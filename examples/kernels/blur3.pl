@@ -1,0 +1,11 @@
+// 3-point stencil blur with a strided downsample pass: mixes unit-stride
+// streaming (BB) with a tiny-footprint reduction (CB)
+program blur3(n) {
+  arrays { img[n] : f64; out[n] : f64; acc[1] : f64; }
+  for (i = 1; i < n - 1; i++) {
+    out[i] = 0.25 * img[i - 1] + 0.5 * img[i] + 0.25 * img[i + 1];
+  }
+  for (j = 0; j < n; j += 8) {
+    acc[0] = acc[0] + out[j] * out[j];
+  }
+}

@@ -1,0 +1,12 @@
+// general matrix multiply: C = 1.2*C + 1.5*A*B (PolyBench gemm)
+program gemm(n) {
+  arrays { A[n][n] : f64; B[n][n] : f64; C[n][n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      C[i][j] = C[i][j] * 1.2;
+      for (k = 0; k < n; k++) {
+        C[i][j] = C[i][j] + 1.5 * A[i][k] * B[k][j];
+      }
+    }
+  }
+}

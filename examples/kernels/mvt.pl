@@ -1,0 +1,14 @@
+// matrix-vector product and transpose (PolyBench mvt) - bandwidth bound
+program mvt(n) {
+  arrays { A[n][n] : f64; x1[n] : f64; x2[n] : f64; y1[n] : f64; y2[n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      x1[i] = x1[i] + A[i][j] * y1[j];
+    }
+  }
+  for (i2 = 0; i2 < n; i2++) {
+    for (j2 = 0; j2 < n; j2++) {
+      x2[i2] = x2[i2] + A[j2][i2] * y2[j2];
+    }
+  }
+}
