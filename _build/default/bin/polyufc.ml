@@ -1,0 +1,213 @@
+(* The PolyUFC command-line driver.
+
+   Subcommands mirror the stages of Fig. 3:
+     parse        — parse a Polylang program and print it back
+     tile         — Pluto-style tiling + parallelization
+     analyze      — PolyUFC-CM cache analysis + OI
+     characterize — CB/BB roofline characterization
+     search       — POLYUFC-SEARCH cap selection per region
+     run          — simulate (baseline vs capped) on a machine
+     workloads    — list the bundled benchmark suite *)
+
+open Cmdliner
+open Polyufc_core
+
+let machine_of_string = function
+  | "bdw" | "BDW" -> Ok Hwsim.Machine.bdw
+  | "rpl" | "RPL" -> Ok Hwsim.Machine.rpl
+  | s -> Error (`Msg (Printf.sprintf "unknown machine %S (use bdw or rpl)" s))
+
+let machine_conv =
+  Arg.conv
+    ( machine_of_string,
+      fun ppf m -> Format.fprintf ppf "%s" m.Hwsim.Machine.name )
+
+let machine_arg =
+  Arg.(
+    value
+    & opt machine_conv Hwsim.Machine.bdw
+    & info [ "m"; "machine" ] ~docv:"MACHINE"
+        ~doc:"Target machine: $(b,bdw) or $(b,rpl).")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:"Use a bundled workload instead of a source file.")
+
+let sizes_arg =
+  Arg.(
+    value
+    & opt (list (pair ~sep:'=' string int)) []
+    & info [ "s"; "size" ] ~docv:"P=N,..."
+        ~doc:"Parameter bindings, e.g. $(b,-s n=200).")
+
+let tile_size_arg =
+  Arg.(
+    value
+    & opt int 32
+    & info [ "tile-size" ] ~docv:"T" ~doc:"Pluto tile size (default 32).")
+
+let epsilon_arg =
+  Arg.(
+    value
+    & opt float 1e-3
+    & info [ "epsilon" ] ~docv:"EPS"
+        ~doc:"POLYUFC-SEARCH threshold (default 1e-3, Sec. VII-E).")
+
+let objective_arg =
+  let obj_conv =
+    Arg.enum
+      [ ("edp", Search.Edp); ("energy", Search.Energy); ("performance", Search.Performance) ]
+  in
+  Arg.(
+    value
+    & opt obj_conv Search.Edp
+    & info [ "objective" ] ~docv:"OBJ"
+        ~doc:"Optimization goal: $(b,edp), $(b,energy) or $(b,performance).")
+
+let load ~workload ~file ~sizes =
+  match workload with
+  | Some name ->
+    let w = Workloads.find name in
+    let sizes = if sizes = [] then Workloads.param_values w else sizes in
+    (Workloads.program w, sizes)
+  | None -> (Polylang.parse_file file, sizes)
+
+let file_or_default =
+  Arg.(
+    value
+    & pos 0 string "/dev/null"
+    & info [] ~docv:"FILE" ~doc:"Polylang source file (omit with --workload).")
+
+let load_term =
+  let combine workload file sizes = (workload, file, sizes) in
+  Term.(const combine $ workload_arg $ file_or_default $ sizes_arg)
+
+let parse_cmd =
+  let run (workload, file, sizes) =
+    let prog, _ = load ~workload ~file ~sizes in
+    Format.printf "%s@." (Polylang.to_string prog)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse a program and print it back")
+    Term.(const run $ load_term)
+
+let tile_cmd =
+  let run (workload, file, sizes) tile_size =
+    let prog, _ = load ~workload ~file ~sizes in
+    let r = Poly_ir.Tiling.tile ~tile_size prog in
+    Format.printf "%a@.%s@." Poly_ir.Tiling.pp_report r
+      (Polylang.to_string r.Poly_ir.Tiling.tiled)
+  in
+  Cmd.v (Cmd.info "tile" ~doc:"Pluto-style tiling and parallelization")
+    Term.(const run $ load_term $ tile_size_arg)
+
+let analyze_cmd =
+  let run (workload, file, sizes) machine tile_size =
+    let prog, sizes = load ~workload ~file ~sizes in
+    let tiled = Poly_ir.Tiling.tile_program ~tile_size prog in
+    let cm =
+      Cache_model.Model.analyze ~machine ~apply_thread_heuristic:false tiled
+        ~param_values:sizes
+    in
+    Format.printf "%a@." Cache_model.Model.pp_result cm
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"PolyUFC-CM cache analysis and OI")
+    Term.(const run $ load_term $ machine_arg $ tile_size_arg)
+
+let characterize_cmd =
+  let run (workload, file, sizes) machine tile_size =
+    let prog, sizes = load ~workload ~file ~sizes in
+    let tiled = Poly_ir.Tiling.tile_program ~tile_size prog in
+    let k = Roofline.microbench machine in
+    let cm =
+      Cache_model.Model.analyze ~machine ~apply_thread_heuristic:false tiled
+        ~param_values:sizes
+    in
+    let oi = cm.Cache_model.Model.oi in
+    Format.printf "OI = %.3f FpB, B^t_DRAM = %.3f FpB -> %a@." oi
+      k.Roofline.b_dram_t Roofline.pp_boundedness
+      (Roofline.characterize k ~oi)
+  in
+  Cmd.v
+    (Cmd.info "characterize" ~doc:"CB/BB roofline characterization (Sec. IV-D)")
+    Term.(const run $ load_term $ machine_arg $ tile_size_arg)
+
+let search_cmd =
+  let run (workload, file, sizes) machine tile_size epsilon objective =
+    let prog, sizes = load ~workload ~file ~sizes in
+    let k = Roofline.microbench machine in
+    let c =
+      Flow.compile ~objective ~epsilon ~tile_size ~machine ~rooflines:k prog
+        ~param_values:sizes
+    in
+    Format.printf "%a@." Flow.pp_compiled c
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Full compilation flow with POLYUFC-SEARCH caps")
+    Term.(
+      const run $ load_term $ machine_arg $ tile_size_arg $ epsilon_arg
+      $ objective_arg)
+
+let run_cmd =
+  let run (workload, file, sizes) machine tile_size epsilon objective =
+    let prog, sizes = load ~workload ~file ~sizes in
+    let k = Roofline.microbench machine in
+    let c =
+      Flow.compile ~objective ~epsilon ~tile_size ~machine ~rooflines:k prog
+        ~param_values:sizes
+    in
+    Format.printf "%a@." Flow.pp_compiled c;
+    let e = Flow.evaluate ~machine c ~param_values:sizes in
+    Format.printf "%a@." Flow.pp_evaluation e
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Compile with caps and simulate vs the UFS-driver baseline")
+    Term.(
+      const run $ load_term $ machine_arg $ tile_size_arg $ epsilon_arg
+      $ objective_arg)
+
+let scop_cmd =
+  let run (workload, file, sizes) tile tile_size =
+    let prog, _ = load ~workload ~file ~sizes in
+    let prog =
+      if tile then Poly_ir.Tiling.tile_program ~tile_size prog else prog
+    in
+    print_string (Poly_ir.Scop.export_isl (Poly_ir.Scop.extract prog))
+  in
+  let tile_flag =
+    Arg.(value & flag & info [ "tiled" ] ~doc:"Extract from the Pluto-tiled form.")
+  in
+  Cmd.v
+    (Cmd.info "scop"
+       ~doc:"Dump the polyhedral representation in isl notation (OpenSCoP substitute)")
+    Term.(const run $ load_term $ tile_flag $ tile_size_arg)
+
+let workloads_cmd =
+  let run () =
+    List.iter
+      (fun (w : Workloads.t) ->
+        Format.printf "%-18s %-10s %s@." w.Workloads.name
+          (match w.Workloads.kind with
+          | Workloads.Polybench -> "polybench"
+          | Workloads.Ml_kernel -> "ml")
+          w.Workloads.description)
+      Workloads.all
+  in
+  Cmd.v (Cmd.info "workloads" ~doc:"List the bundled benchmark suite")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "polyufc" ~version:"1.0.0"
+      ~doc:"Polyhedral compilation meets roofline analysis for uncore frequency capping"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            parse_cmd; tile_cmd; analyze_cmd; characterize_cmd; search_cmd;
+            run_cmd; scop_cmd; workloads_cmd;
+          ]))

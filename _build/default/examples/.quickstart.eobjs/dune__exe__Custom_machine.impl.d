@@ -1,0 +1,1 @@
+examples/custom_machine.ml: Format Hwsim List Perfmodel Polyufc_core Printf Roofline String Workloads

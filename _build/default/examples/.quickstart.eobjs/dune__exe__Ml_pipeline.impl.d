@@ -1,0 +1,1 @@
+examples/ml_pipeline.ml: Dialect Format Hwsim List Lower Ml_polyufc Mlir_lite Polyufc_core Roofline

@@ -1,0 +1,1 @@
+examples/ml_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/polybench_report.ml: Array Format Hwsim List Perfmodel Polyufc_core Roofline Sys Workloads

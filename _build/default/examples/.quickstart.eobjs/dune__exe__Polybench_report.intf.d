@@ -1,0 +1,1 @@
+examples/polybench_report.mli:

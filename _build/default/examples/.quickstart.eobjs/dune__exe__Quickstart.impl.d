@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hwsim List Poly_ir Polylang Polyufc_core Roofline

@@ -1,0 +1,48 @@
+(* Retargetability (Sec. I: "retargetable across multiple
+   micro-architectures"): define a custom machine description, refit its
+   rooflines from scratch, and watch the cap decisions adapt.
+
+   The custom machine is bandwidth-starved (low DRAM bandwidth, expensive
+   uncore): kernels that are CB on BDW may flip to BB here, and the balance
+   point B^t_DRAM moves accordingly.
+
+   Run with:  dune exec examples/custom_machine.exe *)
+
+let bandwidth_starved =
+  {
+    Hwsim.Machine.bdw with
+    Hwsim.Machine.name = "CUSTOM";
+    (* half the bandwidth, pricier uncore, same compute *)
+    dram_bw_gbps_per_ghz = 3.0;
+    dram_bw_max_gbps = 8.0;
+    uncore_w_per_ghz = 16.0;
+  }
+
+let kernel = Workloads.find "gemm"
+
+let decide machine =
+  let rooflines = Roofline.microbench machine in
+  let compiled =
+    Polyufc_core.Flow.compile ~tile:false ~machine ~rooflines
+      (Workloads.tiled_program kernel)
+      ~param_values:(Workloads.param_values kernel)
+  in
+  let d = List.hd compiled.Polyufc_core.Flow.decisions in
+  Format.printf
+    "%-8s B^t=%6.2f FpB  OI=%6.2f  -> %s, cap %.1f GHz (range %.1f-%.1f)@."
+    machine.Hwsim.Machine.name rooflines.Roofline.b_dram_t
+    compiled.Polyufc_core.Flow.profile.Perfmodel.oi
+    (match d.Polyufc_core.Flow.region_bound with
+    | Roofline.CB -> "CB"
+    | Roofline.BB -> "BB")
+    d.Polyufc_core.Flow.cap_ghz machine.Hwsim.Machine.uncore_min_ghz
+    machine.Hwsim.Machine.uncore_max_ghz
+
+let () =
+  Format.printf "kernel: %s at %s@." kernel.Workloads.name
+    (String.concat ","
+       (List.map
+          (fun (p, v) -> Printf.sprintf "%s=%d" p v)
+          (Workloads.param_values kernel)));
+  List.iter decide
+    [ Hwsim.Machine.bdw; Hwsim.Machine.rpl; bandwidth_starved ]

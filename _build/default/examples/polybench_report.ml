@@ -1,0 +1,41 @@
+(* Characterization report over a PolyBench selection: static OI, CB/BB
+   class, selected cap, and predicted EDP improvement — the per-kernel view
+   behind Fig. 6/7.
+
+   Run with:  dune exec examples/polybench_report.exe [kernel...] *)
+
+let default_selection =
+  [ "gemm"; "2mm"; "mvt"; "gemver"; "trisolv"; "jacobi-1d"; "durbin"; "atax" ]
+
+let () =
+  let selection =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> default_selection
+  in
+  let machine = Hwsim.Machine.bdw in
+  let rooflines = Roofline.microbench machine in
+  Format.printf "machine: %a@." Hwsim.Machine.pp machine;
+  Format.printf "%-12s %10s %6s %7s %12s %12s@." "kernel" "OI (FpB)" "class"
+    "cap" "est EDP" "EDP@max";
+  List.iter
+    (fun name ->
+      match Workloads.find name with
+      | exception Not_found -> Format.printf "%-12s (unknown workload)@." name
+      | w ->
+        let compiled =
+          Polyufc_core.Flow.compile ~tile:false ~machine ~rooflines
+            (Workloads.tiled_program w)
+            ~param_values:(Workloads.param_values w)
+        in
+        let d = List.hd compiled.Polyufc_core.Flow.decisions in
+        let s = d.Polyufc_core.Flow.search in
+        Format.printf "%-12s %10.3f %6s %6.1f %12.4g %12.4g@." name
+          compiled.Polyufc_core.Flow.profile.Perfmodel.oi
+          (match d.Polyufc_core.Flow.region_bound with
+          | Roofline.CB -> "CB"
+          | Roofline.BB -> "BB")
+          d.Polyufc_core.Flow.cap_ghz
+          s.Polyufc_core.Search.chosen.Perfmodel.edp
+          s.Polyufc_core.Search.baseline.Perfmodel.edp)
+    selection

@@ -1,0 +1,1 @@
+lib/cache_model/lru.ml: Array Hashtbl

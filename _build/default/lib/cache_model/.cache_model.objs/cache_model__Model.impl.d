@@ -1,0 +1,1 @@
+lib/cache_model/model.ml: Array Bset Count Float Format Hashtbl Hwsim Interp Ir Layout List Lru Poly Poly_ir Presburger Scop Space String

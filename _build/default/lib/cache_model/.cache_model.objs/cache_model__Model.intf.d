@@ -1,0 +1,1 @@
+lib/cache_model/model.mli: Format Hwsim Poly_ir Presburger

@@ -1,0 +1,363 @@
+open Poly_ir
+open Presburger
+
+type assoc_mode = Set_associative | Fully_associative
+
+type level_counts = {
+  level_name : string;
+  presented : int;
+  cold : int;
+  capacity_conflict : int;
+  hits : int;
+  demand_hits : int;
+}
+
+type stmt_counts = {
+  stmt_levels : level_counts array;
+  stmt_flops : int;
+  stmt_oi : float;
+}
+
+type result = {
+  machine : Hwsim.Machine.t;
+  mode : assoc_mode;
+  levels : level_counts array;
+  per_stmt : (string * stmt_counts) list;
+  threads_divisor : int;
+  miss_llc : float;
+  q_dram_bytes : float;
+  flops : int;
+  oi : float;
+  hit_ratios : float array;
+  miss_ratios : float array;
+}
+
+let total_misses lc = lc.cold + lc.capacity_conflict
+
+(* mutable per-level model state *)
+type level_state = {
+  geom : Hwsim.Machine.cache_geometry;
+  sets : Lru.t array;  (* one per set; a single entry in fully-assoc mode *)
+  n_sets : int;
+  seen : (int, unit) Hashtbl.t;  (* lines ever touched: cold classification *)
+  mutable c_presented : int;
+  mutable c_cold : int;
+  mutable c_capconf : int;
+  mutable c_hits : int;
+  mutable c_demand_hits : int;
+}
+
+let make_level mode (geom : Hwsim.Machine.cache_geometry) =
+  let lines_total = geom.Hwsim.Machine.size_bytes / geom.Hwsim.Machine.line_bytes in
+  let n_sets, cap =
+    match mode with
+    | Set_associative -> (lines_total / geom.Hwsim.Machine.assoc, geom.Hwsim.Machine.assoc)
+    | Fully_associative -> (1, lines_total)
+  in
+  {
+    geom;
+    sets = Array.init n_sets (fun _ -> Lru.create ~capacity:cap);
+    n_sets;
+    seen = Hashtbl.create 4096;
+    c_presented = 0;
+    c_cold = 0;
+    c_capconf = 0;
+    c_hits = 0;
+    c_demand_hits = 0;
+  }
+
+let rec has_parallel_loop = function
+  | Ir.Stmt _ -> false
+  | Ir.Loop l -> l.Ir.parallel || List.exists has_parallel_loop l.Ir.body
+  | Ir.If b ->
+    List.exists has_parallel_loop b.Ir.then_
+    || List.exists has_parallel_loop b.Ir.else_
+
+type stmt_state = {
+  ss_presented : int array;
+  ss_cold : int array;
+  ss_capconf : int array;
+  ss_hits : int array;
+  ss_demand_hits : int array;
+  mutable ss_flops : int;
+}
+
+let analyze ?(mode = Set_associative) ?(apply_thread_heuristic = true)
+    ?(set_sampling = 1) ~machine prog ~param_values =
+  if set_sampling < 1 then invalid_arg "Model.analyze: set_sampling < 1";
+  let sampling = match mode with Fully_associative -> 1 | Set_associative -> set_sampling in
+  let levels =
+    Array.of_list (List.map (make_level mode) machine.Hwsim.Machine.caches)
+  in
+  let n_levels = Array.length levels in
+  let stmt_tbl : (string, stmt_state) Hashtbl.t = Hashtbl.create 16 in
+  let stmt_order = ref [] in
+  let stmt_state name =
+    match Hashtbl.find_opt stmt_tbl name with
+    | Some s -> s
+    | None ->
+      let s =
+        {
+          ss_presented = Array.make n_levels 0;
+          ss_cold = Array.make n_levels 0;
+          ss_capconf = Array.make n_levels 0;
+          ss_hits = Array.make n_levels 0;
+          ss_demand_hits = Array.make n_levels 0;
+          ss_flops = 0;
+        }
+      in
+      Hashtbl.add stmt_tbl name s;
+      stmt_order := name :: !stmt_order;
+      s
+  in
+  let on_access ~stmt ~array:_ ~addr ~bytes:_ ~is_write =
+    let ss = stmt_state stmt in
+    (* write-through: level i+1 sees level i's misses and all writes *)
+    let rec level i missed_above =
+      if i < n_levels && (i = 0 || missed_above || is_write) then begin
+        let demand = i = 0 || missed_above in
+        let st = levels.(i) in
+        let line = addr / st.geom.Hwsim.Machine.line_bytes in
+        let set = if st.n_sets = 1 then 0 else line mod st.n_sets in
+        (* Bullseye-style sampling applies to the last level only: the
+           shallower levels keep exact state so the write-through
+           presentation chain stays unbiased *)
+        if sampling > 1 && i = n_levels - 1 && set mod sampling <> 0 then ()
+        else begin
+        st.c_presented <- st.c_presented + 1;
+        ss.ss_presented.(i) <- ss.ss_presented.(i) + 1;
+        let in_lru = Lru.touch st.sets.(set) line in
+        let missed =
+          if in_lru then begin
+            st.c_hits <- st.c_hits + 1;
+            ss.ss_hits.(i) <- ss.ss_hits.(i) + 1;
+            if demand then begin
+              st.c_demand_hits <- st.c_demand_hits + 1;
+              ss.ss_demand_hits.(i) <- ss.ss_demand_hits.(i) + 1
+            end;
+            false
+          end
+          else begin
+            if Hashtbl.mem st.seen line then begin
+              st.c_capconf <- st.c_capconf + 1;
+              ss.ss_capconf.(i) <- ss.ss_capconf.(i) + 1
+            end
+            else begin
+              Hashtbl.add st.seen line ();
+              st.c_cold <- st.c_cold + 1;
+              ss.ss_cold.(i) <- ss.ss_cold.(i) + 1
+            end;
+            true
+          end
+        in
+        level (i + 1) missed
+        end
+      end
+    in
+    level 0 false
+  in
+  (* only last-level counters are scaled back up *)
+  let scale_at i x = if i = n_levels - 1 then x * sampling else x in
+  let cb =
+    {
+      (Interp.with_access on_access) with
+      Interp.on_stmt =
+        (fun ~stmt ~flops ->
+          let ss = stmt_state stmt in
+          ss.ss_flops <- ss.ss_flops + flops);
+    }
+  in
+  let res = Interp.run ~compute:false prog ~param_values cb in
+  let counts =
+    Array.mapi
+      (fun i st ->
+        {
+          level_name = st.geom.Hwsim.Machine.level_name;
+          presented = scale_at i st.c_presented;
+          cold = scale_at i st.c_cold;
+          capacity_conflict = scale_at i st.c_capconf;
+          hits = scale_at i st.c_hits;
+          demand_hits = scale_at i st.c_demand_hits;
+        })
+      levels
+  in
+  let divisor =
+    if
+      apply_thread_heuristic
+      && List.exists has_parallel_loop prog.Ir.body
+      && machine.Hwsim.Machine.threads > 1
+    then machine.Hwsim.Machine.threads
+    else 1
+  in
+  let llc = counts.(n_levels - 1) in
+  let miss_llc = float_of_int (total_misses llc) /. float_of_int divisor in
+  let line = (Hwsim.Machine.llc machine).Hwsim.Machine.line_bytes in
+  let per_stmt =
+    List.rev_map
+      (fun name ->
+        let ss = Hashtbl.find stmt_tbl name in
+        let stmt_levels =
+          Array.init n_levels (fun i ->
+              {
+                level_name = counts.(i).level_name;
+                presented = scale_at i ss.ss_presented.(i);
+                cold = scale_at i ss.ss_cold.(i);
+                capacity_conflict = scale_at i ss.ss_capconf.(i);
+                hits = scale_at i ss.ss_hits.(i);
+                demand_hits = scale_at i ss.ss_demand_hits.(i);
+              })
+        in
+        let m_llc =
+          float_of_int (total_misses stmt_levels.(n_levels - 1))
+          /. float_of_int divisor
+        in
+        let q = m_llc *. float_of_int line in
+        ( name,
+          {
+            stmt_levels;
+            stmt_flops = ss.ss_flops;
+            stmt_oi =
+              (if q > 0.0 then float_of_int ss.ss_flops /. q
+               else Float.infinity);
+          } ))
+      !stmt_order
+  in
+  let q_dram = miss_llc *. float_of_int line in
+  let hit_ratios =
+    Array.map
+      (fun c ->
+        if c.presented = 0 then 1.0
+        else float_of_int c.hits /. float_of_int c.presented)
+      counts
+  in
+  {
+    machine;
+    mode;
+    levels = counts;
+    per_stmt;
+    threads_divisor = divisor;
+    miss_llc;
+    q_dram_bytes = q_dram;
+    flops = res.Interp.flops;
+    oi =
+      (if q_dram > 0.0 then float_of_int res.Interp.flops /. q_dram
+       else Float.infinity);
+    hit_ratios;
+    miss_ratios = Array.map (fun h -> 1.0 -. h) hit_ratios;
+  }
+
+let cold_misses_symbolic ~machine ~level prog =
+  match prog.Ir.params with
+  | [ p ] ->
+    Count.interpolate
+      ~count:(fun n ->
+        let r = analyze ~machine ~apply_thread_heuristic:false prog ~param_values:[ (p, n) ] in
+        r.levels.(level).cold)
+      ()
+  | _ -> None
+
+let access_map_with_cache_dims ~machine ~level (info : Scop.stmt_info)
+    (acc : Ir.access) ~layout ~param_values =
+  let geom = List.nth machine.Hwsim.Machine.caches level in
+  let line_bytes = geom.Hwsim.Machine.line_bytes in
+  let n_sets =
+    geom.Hwsim.Machine.size_bytes / line_bytes / geom.Hwsim.Machine.assoc
+  in
+  let al = Layout.find layout acc.Ir.array in
+  let e = al.Layout.decl.Ir.elem_size in
+  let space =
+    Space.map_space ~in_name:"S" ~out_name:acc.Ir.array
+      info.Scop.iter_vars [ "line"; "set" ]
+  in
+  let b = Bset.universe space in
+  (* domain constraints on the input tuple *)
+  let dom =
+    let sp = Bset.space info.Scop.domain in
+    let values =
+      Array.map
+        (fun p ->
+          match List.assoc_opt p param_values with
+          | Some v -> v
+          | None -> invalid_arg ("Model: missing parameter " ^ p))
+        sp.Space.params
+    in
+    Bset.fix_params info.Scop.domain values
+  in
+  let nd_dom = Bset.n_div dom in
+  let ndim = List.length info.Scop.iter_vars in
+  (* combine: ins = iter dims, outs = line/set, divs = dom divs (then ours) *)
+  let total = ndim + 2 + nd_dom in
+  let pdom =
+    Poly.remap dom.Bset.poly total (fun i ->
+        if i < ndim then i else ndim + 2 + (i - ndim))
+  in
+  let b =
+    Bset.of_poly (Bset.space b) ~n_div:nd_dom
+      (Poly.append pdom (Poly.insert_vars b.Bset.poly ~at:(ndim + 2) ~count:nd_dom))
+  in
+  (* byte address as an affine form over the input dims *)
+  let var_col v =
+    let rec idx k = function
+      | [] -> invalid_arg ("Model: unbound variable " ^ v)
+      | w :: _ when String.equal w v -> k
+      | _ :: r -> idx (k + 1) r
+    in
+    Bset.in_pos b (idx 0 info.Scop.iter_vars)
+  in
+  let param_val p =
+    match List.assoc_opt p param_values with
+    | Some v -> v
+    | None -> invalid_arg ("Model: missing parameter " ^ p)
+  in
+  let addr_aff =
+    List.fold_left
+      (fun (k, aff) idx ->
+        let stride = al.Layout.strides.(k) * e in
+        let const =
+          List.fold_left
+            (fun acc (p, c) -> acc + (c * param_val p * stride))
+            (idx.Ir.const * stride) idx.Ir.param_coefs
+        in
+        ( k + 1,
+          {
+            Bset.coefs =
+              aff.Bset.coefs
+              @ List.map (fun (v, c) -> (c * stride, var_col v)) idx.Ir.var_coefs;
+            const = aff.Bset.const + const;
+          } ))
+      (0, { Bset.coefs = []; const = al.Layout.base })
+      acc.Ir.indices
+    |> snd
+  in
+  (* line = floor(addr / ℓ), set = line mod N_sets *)
+  let b, qline = Bset.add_div b ~num:addr_aff ~den:line_bytes in
+  let b =
+    Bset.add_eq b
+      { Bset.coefs = [ (1, Bset.out_pos b 0); (-1, qline) ]; const = 0 }
+  in
+  let b, qset =
+    Bset.add_div b ~num:{ Bset.coefs = [ (1, qline) ]; const = 0 } ~den:n_sets
+  in
+  Bset.add_eq b
+    {
+      Bset.coefs = [ (1, Bset.out_pos b 1); (-1, qline); (n_sets, qset) ];
+      const = 0;
+    }
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>PolyUFC-CM (%s, %s):@,"
+    r.machine.Hwsim.Machine.name
+    (match r.mode with
+    | Set_associative -> "set-assoc"
+    | Fully_associative -> "fully-assoc");
+  Array.iter
+    (fun c ->
+      Format.fprintf ppf
+        "  %s: presented=%d cold=%d cap/conf=%d hits=%d (hit ratio %.3f)@,"
+        c.level_name c.presented c.cold c.capacity_conflict c.hits
+        (if c.presented = 0 then 1.0
+         else float_of_int c.hits /. float_of_int c.presented))
+    r.levels;
+  Format.fprintf ppf
+    "  Miss_LLC=%.0f (÷%d threads) Q_DRAM=%.3g bytes Ω=%d flops OI=%.3f FpB@]"
+    r.miss_llc r.threads_divisor r.q_dram_bytes r.flops r.oi

@@ -1,0 +1,106 @@
+(** PolyUFC-CM: the approximate set-associative cache model (Sec. IV).
+
+    For each cache level independently (write-allocate, write-through:
+    level [i+1] sees level [i]'s misses plus all writes), the model
+    classifies every statically-enumerated access as a {e compulsory/cold}
+    miss (first touch of the line — the cardinality of the paper's
+    [COLDMISS = lexmin(A⁻¹ ∘ S) ∘ S⁻¹] relation), a {e capacity/conflict}
+    miss (per-set reuse distance ≥ associativity [k], the paper's
+    [M = {RD > k·ℓ/e}] count), or a hit.
+
+    The instance stream is enumerated from the polyhedral representation in
+    schedule order; the symbolic counting the paper delegates to barvinok
+    is performed by exact enumeration here, with Ehrhart interpolation
+    available for the polynomial quantities (flop count Ω, cold misses).
+
+    Paper assumptions kept: no prefetching, cold initial caches,
+    homogeneous associativity per level, and the OpenMP heuristic that
+    divides sequential miss counts by the thread count for loop-parallel
+    programs (Sec. IV-B). *)
+
+type assoc_mode =
+  | Set_associative  (** per-set LRU with the level's true associativity *)
+  | Fully_associative  (** one LRU over the level's full line capacity *)
+
+type level_counts = {
+  level_name : string;
+  presented : int;  (** accesses seen by this level (write-through) *)
+  cold : int;
+  capacity_conflict : int;
+  hits : int;
+  demand_hits : int;
+      (** hits on the demand (miss-refill) path — excludes write-through
+          forwards, which are buffered and cost no latency; this is the hit
+          count the timing model (Eqn. 4) consumes *)
+}
+
+type stmt_counts = {
+  stmt_levels : level_counts array;
+  stmt_flops : int;
+  stmt_oi : float;  (** per-statement operational intensity *)
+}
+
+type result = {
+  machine : Hwsim.Machine.t;
+  mode : assoc_mode;
+  levels : level_counts array;
+  per_stmt : (string * stmt_counts) list;
+      (** per-statement breakdown, in program order — used for the paper's
+          min/max cap aggregation over the statements of a top-level op *)
+  threads_divisor : int;  (** OpenMP heuristic divisor applied *)
+  miss_llc : float;  (** total LLC misses after the thread heuristic *)
+  q_dram_bytes : float;  (** Q_DRAM = Miss_LLC · ℓ (Sec. IV-C) *)
+  flops : int;  (** Ω *)
+  oi : float;  (** I = Ω / Q_DRAM, FLOP per byte (Eqn. 1) *)
+  hit_ratios : float array;  (** ρ^h per level *)
+  miss_ratios : float array;  (** ρ^m per level *)
+}
+
+val analyze :
+  ?mode:assoc_mode ->
+  ?apply_thread_heuristic:bool ->
+  ?set_sampling:int ->
+  machine:Hwsim.Machine.t ->
+  Poly_ir.Ir.t ->
+  param_values:(string * int) list ->
+  result
+(** Run the model.  The thread heuristic applies only when the program
+    contains a loop marked [parallel] (default on).
+
+    [set_sampling] (default 1 = exact) enables Bullseye-style set sampling
+    (Shah et al., TACO 2022 — the paper's scalability companion) at the
+    {e last} cache level: only LLC sets whose index is divisible by the
+    factor are simulated, and LLC counters are extrapolated by the same
+    factor (shallower levels stay exact so the write-through presentation
+    chain is unbiased).  Miss behaviour is near-uniform across sets for
+    affine programs, so accuracy degrades gracefully while LLC model cost
+    drops by roughly the factor.  [Fully_associative] mode ignores the
+    option. *)
+
+val total_misses : level_counts -> int
+
+val cold_misses_symbolic :
+  machine:Hwsim.Machine.t ->
+  level:int ->
+  Poly_ir.Ir.t ->
+  Presburger.Count.quasi_poly option
+(** Ehrhart quasi-polynomial for the level's cold misses as a function of a
+    single program parameter (cold misses = distinct lines touched, an
+    Ehrhart-countable quantity).  [None] for multi-parameter programs or
+    failed fits. *)
+
+val access_map_with_cache_dims :
+  machine:Hwsim.Machine.t ->
+  level:int ->
+  Poly_ir.Scop.stmt_info ->
+  Poly_ir.Ir.access ->
+  layout:Poly_ir.Layout.t ->
+  param_values:(string * int) list ->
+  Presburger.Bset.t
+(** The paper's [A_c]: the symbolic access relation extended with [line]
+    and [set] output dimensions
+    ([line = ⌊(base + linear·e)/ℓ⌋], [set = line mod N_sets]), built with
+    existential division variables.  Parameters must be fixed in [layout];
+    the resulting map has no parameters. *)
+
+val pp_result : Format.formatter -> result -> unit

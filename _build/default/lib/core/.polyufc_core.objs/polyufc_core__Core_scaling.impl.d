@@ -1,0 +1,1 @@
+lib/core/core_scaling.ml: Float Flow Format Hwsim List Perfmodel Printf Roofline Search String

@@ -1,0 +1,1 @@
+lib/core/core_scaling.mli: Flow Format Hwsim Poly_ir Roofline Search

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Cache_model Float Format Hwsim Ir List Perfmodel Poly_ir Roofline Scop Search Tiling Unix

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Cache_model Format Hwsim Perfmodel Poly_ir Roofline Search

@@ -1,0 +1,1 @@
+lib/core/ml_polyufc.ml: Array Cache_model Dialect Float Hwsim List Lower Mlir_lite Perfmodel Roofline Search String

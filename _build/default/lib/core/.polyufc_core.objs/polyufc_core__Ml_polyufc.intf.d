@@ -1,0 +1,1 @@
+lib/core/ml_polyufc.mli: Hwsim Mlir_lite Roofline Search

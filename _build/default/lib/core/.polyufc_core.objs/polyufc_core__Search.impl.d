@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Format Perfmodel Roofline

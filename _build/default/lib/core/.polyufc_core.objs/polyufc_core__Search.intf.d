@@ -1,0 +1,1 @@
+lib/core/search.mli: Format Perfmodel Roofline

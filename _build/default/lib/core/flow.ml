@@ -1,0 +1,246 @@
+open Poly_ir
+
+type timing = {
+  preprocess_s : float;
+  pluto_s : float;
+  cm_s : float;
+  steps456_s : float;
+}
+
+type stmt_decision = {
+  stmt_name : string;
+  stmt_oi : float;
+  stmt_bound : Roofline.boundedness;
+  stmt_cap : float;
+}
+
+type region_decision = {
+  region_var : string;
+  region_oi : float;
+  region_bound : Roofline.boundedness;
+  cap_ghz : float;
+  search : Search.outcome;
+  stmts : stmt_decision list;
+}
+
+type compiled = {
+  source : Ir.t;
+  optimized : Ir.t;
+  caps : (string * float) list;
+  decisions : region_decision list;
+  cm : Cache_model.Model.result;
+  profile : Perfmodel.profile;
+  timing : timing;
+}
+
+let profile_of_stmt_counts (sc : Cache_model.Model.stmt_counts) =
+  {
+    Perfmodel.omega = float_of_int sc.Cache_model.Model.stmt_flops;
+    level_hits =
+      Array.map
+        (fun (c : Cache_model.Model.level_counts) ->
+          float_of_int c.Cache_model.Model.demand_hits)
+        sc.Cache_model.Model.stmt_levels;
+    miss_llc =
+      (let last =
+         sc.Cache_model.Model.stmt_levels.(Array.length sc.Cache_model.Model.stmt_levels - 1)
+       in
+       float_of_int (Cache_model.Model.total_misses last));
+    q_dram_bytes =
+      (let last =
+         sc.Cache_model.Model.stmt_levels.(Array.length sc.Cache_model.Model.stmt_levels - 1)
+       in
+       float_of_int (Cache_model.Model.total_misses last) *. 64.0);
+    oi = sc.Cache_model.Model.stmt_oi;
+  }
+
+let rec stmt_names_of_item = function
+  | Ir.Stmt s -> [ s.Ir.stmt_name ]
+  | Ir.Loop l -> List.concat_map stmt_names_of_item l.Ir.body
+  | Ir.If b ->
+    List.concat_map stmt_names_of_item b.Ir.then_
+    @ List.concat_map stmt_names_of_item b.Ir.else_
+
+let compile ?(objective = Search.Edp) ?(epsilon = 1e-3) ?(tile_size = 32)
+    ?(tile = true) ?(mode = Cache_model.Model.Set_associative) ~machine
+    ~rooflines prog ~param_values =
+  let now () = Unix.gettimeofday () in
+  (* (1) preprocess: validation + SCoP extraction *)
+  let t0 = now () in
+  (match Ir.validate prog with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Flow.compile: " ^ m));
+  let _scop = Scop.extract prog in
+  let t1 = now () in
+  (* (2) Pluto *)
+  let optimized = if tile then Tiling.tile_program ~tile_size prog else prog in
+  let t2 = now () in
+  (* (3) PolyUFC-CM on the whole program, with per-statement breakdown.
+     The OpenMP sharing heuristic models multiple hardware threads
+     splitting the working set; our simulated testbed executes a single
+     instruction stream with scaled timing, so it is disabled here (it
+     remains available and tested in Cache_model). *)
+  let cm =
+    Cache_model.Model.analyze ~mode ~apply_thread_heuristic:false ~machine
+      optimized ~param_values
+  in
+  let profile = Perfmodel.profile_of_cm cm in
+  let t3 = now () in
+  (* (4–6) characterize, estimate, search per top-level region *)
+  let decide_region (l : Ir.loop) =
+    let names = List.concat_map stmt_names_of_item l.Ir.body in
+    let stmt_decs =
+      List.filter_map
+        (fun (name, sc) ->
+          if List.mem name names && sc.Cache_model.Model.stmt_flops >= 0 then begin
+            let p = profile_of_stmt_counts sc in
+            if p.Perfmodel.miss_llc = 0.0 && p.Perfmodel.omega = 0.0 then None
+            else begin
+              let s = Search.run ~objective ~epsilon rooflines p in
+              Some
+                {
+                  stmt_name = name;
+                  stmt_oi = p.Perfmodel.oi;
+                  stmt_bound = s.Search.boundedness;
+                  stmt_cap = s.Search.cap_ghz;
+                }
+            end
+          end
+          else None)
+        cm.Cache_model.Model.per_stmt
+    in
+    (* region-level profile: sum of its statements *)
+    let n_levels = Array.length cm.Cache_model.Model.levels in
+    let region_profile =
+      List.fold_left
+        (fun acc (name, sc) ->
+          if List.mem name names then begin
+            let p = profile_of_stmt_counts sc in
+            {
+              Perfmodel.omega = acc.Perfmodel.omega +. p.Perfmodel.omega;
+              level_hits =
+                Array.init n_levels (fun i ->
+                    acc.Perfmodel.level_hits.(i) +. p.Perfmodel.level_hits.(i));
+              miss_llc = acc.Perfmodel.miss_llc +. p.Perfmodel.miss_llc;
+              q_dram_bytes = acc.Perfmodel.q_dram_bytes +. p.Perfmodel.q_dram_bytes;
+              oi = 0.0;
+            }
+          end
+          else acc)
+        {
+          Perfmodel.omega = 0.0;
+          level_hits = Array.make n_levels 0.0;
+          miss_llc = 0.0;
+          q_dram_bytes = 0.0;
+          oi = 0.0;
+        }
+        cm.Cache_model.Model.per_stmt
+    in
+    let region_oi =
+      if region_profile.Perfmodel.q_dram_bytes > 0.0 then
+        region_profile.Perfmodel.omega /. region_profile.Perfmodel.q_dram_bytes
+      else Float.infinity
+    in
+    let region_profile = { region_profile with Perfmodel.oi = region_oi } in
+    let search = Search.run ~objective ~epsilon rooflines region_profile in
+    let region_bound = search.Search.boundedness in
+    (* paper's aggregation: min of statement caps for CB, max for BB *)
+    let cap_ghz =
+      match stmt_decs with
+      | [] -> search.Search.cap_ghz
+      | ds ->
+        let caps = List.map (fun d -> d.stmt_cap) ds in
+        (match region_bound with
+        | Roofline.CB -> List.fold_left Float.min (search.Search.cap_ghz) caps
+        | Roofline.BB -> List.fold_left Float.max (search.Search.cap_ghz) caps)
+    in
+    {
+      region_var = l.Ir.var;
+      region_oi;
+      region_bound;
+      cap_ghz;
+      search;
+      stmts = stmt_decs;
+    }
+  in
+  let decisions =
+    List.filter_map
+      (function
+        | Ir.Loop l -> Some (decide_region l)
+        | Ir.Stmt _ | Ir.If _ -> None)
+      optimized.Ir.body
+  in
+  (* cap schedule with redundant-cap removal (the paper's pattern-rewrite):
+     a region whose cap equals the previously active cap needs no call *)
+  let caps =
+    List.rev
+      (snd
+         (List.fold_left
+            (fun (prev, acc) d ->
+              match prev with
+              | Some p when Float.abs (p -. d.cap_ghz) < 1e-9 ->
+                (prev, acc)
+              | _ -> (Some d.cap_ghz, (d.region_var, d.cap_ghz) :: acc))
+            (None, []) decisions))
+  in
+  let t4 = now () in
+  {
+    source = prog;
+    optimized;
+    caps;
+    decisions;
+    cm;
+    profile;
+    timing =
+      {
+        preprocess_s = t1 -. t0;
+        pluto_s = t2 -. t1;
+        cm_s = t3 -. t2;
+        steps456_s = t4 -. t3;
+      };
+  }
+
+type evaluation = {
+  baseline : Hwsim.Sim.outcome;
+  capped : Hwsim.Sim.outcome;
+  time_gain : float;
+  energy_gain : float;
+  edp_gain : float;
+}
+
+let evaluate ~machine compiled ~param_values =
+  let baseline =
+    Hwsim.Sim.run ~machine ~uncore:`Governor compiled.optimized ~param_values
+  in
+  let capped =
+    Hwsim.Sim.run ~machine ~uncore:`Governor ~caps:compiled.caps
+      compiled.optimized ~param_values
+  in
+  let gain base v = (base -. v) /. base in
+  {
+    baseline;
+    capped;
+    time_gain = gain baseline.Hwsim.Sim.time_s capped.Hwsim.Sim.time_s;
+    energy_gain = gain baseline.Hwsim.Sim.energy_j capped.Hwsim.Sim.energy_j;
+    edp_gain = gain baseline.Hwsim.Sim.edp capped.Hwsim.Sim.edp;
+  }
+
+let pp_compiled ppf c =
+  Format.fprintf ppf "@[<v>PolyUFC compile of %s:@," c.source.Ir.prog_name;
+  Format.fprintf ppf "  whole-program OI=%.3f FpB@," c.profile.Perfmodel.oi;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "  region %s: OI=%.3f [%a] cap=%.1f GHz (%d stmts)@,"
+        d.region_var d.region_oi Roofline.pp_boundedness d.region_bound
+        d.cap_ghz (List.length d.stmts))
+    c.decisions;
+  Format.fprintf ppf "  cap schedule:";
+  List.iter (fun (v, f) -> Format.fprintf ppf " %s->%.1f" v f) c.caps;
+  Format.fprintf ppf "@,  compile time: pre=%.3fs pluto=%.3fs cm=%.3fs s456=%.3fs@]"
+    c.timing.preprocess_s c.timing.pluto_s c.timing.cm_s c.timing.steps456_s
+
+let pp_evaluation ppf e =
+  Format.fprintf ppf
+    "baseline: %a@ capped:   %a@ gains: time %+.1f%% energy %+.1f%% EDP %+.1f%%"
+    Hwsim.Sim.pp_outcome e.baseline Hwsim.Sim.pp_outcome e.capped
+    (100. *. e.time_gain) (100. *. e.energy_gain) (100. *. e.edp_gain)

@@ -1,0 +1,214 @@
+open Mlir_lite
+
+type phase = {
+  op_label : string;
+  oi : float;
+  bound : Roofline.boundedness;
+  cap_ghz : float;
+}
+
+let profile_of_nest ~machine module_ op =
+  let prog = Lower.nest_program module_ op in
+  let cm =
+    Cache_model.Model.analyze ~machine ~apply_thread_heuristic:false prog
+      ~param_values:[]
+  in
+  Perfmodel.profile_of_cm cm
+
+let phase_of_profile ?objective ?epsilon ~rooflines label p =
+  let s = Search.run ?objective ?epsilon rooflines p in
+  {
+    op_label = label;
+    oi = p.Perfmodel.oi;
+    bound = s.Search.boundedness;
+    cap_ghz = s.Search.cap_ghz;
+  }
+
+let characterize_nests ?objective ?epsilon ~machine ~rooflines m =
+  List.filter_map
+    (fun op ->
+      match op with
+      | Dialect.Affine_nest _ | Dialect.Scf_nest _ ->
+        let p = profile_of_nest ~machine m op in
+        Some
+          (phase_of_profile ?objective ?epsilon ~rooflines
+             (Dialect.op_name op) p)
+      | _ -> None)
+    m.Dialect.ops
+
+let sum_profiles n_levels ps =
+  List.fold_left
+    (fun acc p ->
+      {
+        Perfmodel.omega = acc.Perfmodel.omega +. p.Perfmodel.omega;
+        level_hits =
+          Array.init n_levels (fun i ->
+              acc.Perfmodel.level_hits.(i) +. p.Perfmodel.level_hits.(i));
+        miss_llc = acc.Perfmodel.miss_llc +. p.Perfmodel.miss_llc;
+        q_dram_bytes = acc.Perfmodel.q_dram_bytes +. p.Perfmodel.q_dram_bytes;
+        oi = 0.0;
+      })
+    {
+      Perfmodel.omega = 0.0;
+      level_hits = Array.make n_levels 0.0;
+      miss_llc = 0.0;
+      q_dram_bytes = 0.0;
+      oi = 0.0;
+    }
+    ps
+
+let finish_profile p =
+  {
+    p with
+    Perfmodel.oi =
+      (if p.Perfmodel.q_dram_bytes > 0.0 then
+         p.Perfmodel.omega /. p.Perfmodel.q_dram_bytes
+       else Float.infinity);
+  }
+
+let characterize_torch_ops ?objective ?epsilon ?tile ~machine ~rooflines m =
+  let n_levels = List.length machine.Hwsim.Machine.caches in
+  List.filter_map
+    (fun op ->
+      match op with
+      | Dialect.Torch_op (prefix, t) ->
+        (* lower this op in isolation; aggregate its nests' profiles *)
+        let solo =
+          {
+            Dialect.module_name = prefix;
+            arrays = [];
+            ops = [ Dialect.Torch_op (prefix, t) ];
+          }
+        in
+        let lowered =
+          Lower.run_pipeline (Lower.default_pipeline ?tile ()) solo
+        in
+        let ps =
+          List.filter_map
+            (fun o ->
+              match o with
+              | Dialect.Affine_nest _ | Dialect.Scf_nest _ ->
+                Some (profile_of_nest ~machine lowered o)
+              | _ -> None)
+            lowered.Dialect.ops
+        in
+        let p = finish_profile (sum_profiles n_levels ps) in
+        Some
+          (phase_of_profile ?objective ?epsilon ~rooflines
+             (Dialect.op_name op) p)
+      | _ -> None)
+    m.Dialect.ops
+
+let phase_pattern phases =
+  let labels =
+    List.map
+      (fun p ->
+        match p.bound with Roofline.CB -> "CB" | Roofline.BB -> "BB")
+      phases
+  in
+  (* collapse runs with a Kleene star *)
+  let rec collapse = function
+    | [] -> []
+    | x :: rest ->
+      let run, rest' =
+        let rec take n = function
+          | y :: r when String.equal y x -> take (n + 1) r
+          | r -> (n, r)
+        in
+        take 1 rest
+      in
+      ignore run;
+      let count = 1 + (List.length rest - List.length rest') in
+      (if count > 1 then x ^ "*" else x) :: collapse rest'
+  in
+  String.concat " -> " (collapse labels)
+
+type granularity = Per_nest | Grouped of int list | Whole_module
+
+let aggregate_caps bound phases =
+  match phases with
+  | [] -> invalid_arg "Ml_polyufc: empty group"
+  | p :: rest ->
+    List.fold_left
+      (fun acc q ->
+        match bound with
+        | Roofline.CB -> Float.min acc q.cap_ghz
+        | Roofline.BB -> Float.max acc q.cap_ghz)
+      p.cap_ghz rest
+
+let insert_caps ?objective ?epsilon ~granularity ~machine ~rooflines m =
+  let n_levels = List.length machine.Hwsim.Machine.caches in
+  let nests =
+    List.filter
+      (function
+        | Dialect.Affine_nest _ | Dialect.Scf_nest _ -> true | _ -> false)
+      m.Dialect.ops
+  in
+  let nest_phases =
+    List.map
+      (fun op ->
+        let p = profile_of_nest ~machine m op in
+        (op, p, phase_of_profile ?objective ?epsilon ~rooflines (Dialect.op_name op) p))
+      nests
+  in
+  (* cap per nest according to the granularity *)
+  let caps_per_nest =
+    match granularity with
+    | Per_nest -> List.map (fun (_, _, ph) -> ph.cap_ghz) nest_phases
+    | Whole_module ->
+      let profiles = List.map (fun (_, p, _) -> p) nest_phases in
+      let agg = finish_profile (sum_profiles n_levels profiles) in
+      let ph = phase_of_profile ?objective ?epsilon ~rooflines "module" agg in
+      let bound = ph.bound in
+      let cap =
+        aggregate_caps bound (List.map (fun (_, _, ph) -> ph) nest_phases)
+      in
+      List.map (fun _ -> cap) nest_phases
+    | Grouped sizes ->
+      if List.fold_left ( + ) 0 sizes <> List.length nest_phases then
+        invalid_arg "Ml_polyufc.insert_caps: group sizes do not sum to nest count";
+      let arr = Array.of_list nest_phases in
+      let caps = ref [] in
+      let pos = ref 0 in
+      List.iter
+        (fun size ->
+          let group = Array.to_list (Array.sub arr !pos size) in
+          let profiles = List.map (fun (_, p, _) -> p) group in
+          let agg = finish_profile (sum_profiles n_levels profiles) in
+          let gph = phase_of_profile ?objective ?epsilon ~rooflines "group" agg in
+          let cap = aggregate_caps gph.bound (List.map (fun (_, _, ph) -> ph) group) in
+          List.iter (fun _ -> caps := cap :: !caps) group;
+          pos := !pos + size)
+        sizes;
+      List.rev !caps
+  in
+  (* rebuild the op list, inserting caps before nests with redundant-cap
+     removal (skip a cap equal to the currently active one) *)
+  let caps_q = ref caps_per_nest in
+  let active = ref None in
+  let switches = ref 0 in
+  let ops =
+    List.concat_map
+      (fun op ->
+        match op with
+        | Dialect.Affine_nest _ | Dialect.Scf_nest _ ->
+          let cap =
+            match !caps_q with
+            | c :: rest ->
+              caps_q := rest;
+              c
+            | [] -> invalid_arg "Ml_polyufc: cap bookkeeping error"
+          in
+          (match !active with
+          | Some a when Float.abs (a -. cap) < 1e-9 -> [ op ]
+          | _ ->
+            active := Some cap;
+            incr switches;
+            [ Dialect.Set_uncore_cap cap; op ])
+        | Dialect.Set_uncore_cap _ -> [] (* drop pre-existing caps *)
+        | op -> [ op ])
+      m.Dialect.ops
+  in
+  ({ m with Dialect.ops }, !switches)
+
+let switch_overhead_us machine n = float_of_int n *. machine.Hwsim.Machine.cap_switch_us

@@ -1,0 +1,70 @@
+(** ML-PolyUFC: multi-level application of uncore frequency caps (Sec. VI).
+
+    Analysis always happens at the affine level (the polyhedral tools live
+    there, Sec. VI-B); results are then propagated to the granularity at
+    which caps are applied:
+
+    - {e torch level}: one cap per original network op — coarse, hides the
+      CB/BB phase changes inside e.g. [sdpa] (Fig. 5);
+    - {e linalg level}: one cap per structured op (= per loop nest) — the
+      paper's recommended trade-off;
+    - {e module level}: a single cap for the whole module.
+
+    Redundant caps (equal to the previously active one) are removed by the
+    pattern rewrite, and the remaining switch count × the machine's
+    cap-switch latency gives the overhead the paper reports (35 µs BDW /
+    21 µs RPL per switch, ≈1 ms for the 28-kernel sdpa of Sec. VII-F). *)
+
+type phase = {
+  op_label : string;
+  oi : float;
+  bound : Roofline.boundedness;
+  cap_ghz : float;  (** the cap POLYUFC-SEARCH selects for this unit *)
+}
+
+val characterize_nests :
+  ?objective:Search.objective ->
+  ?epsilon:float ->
+  machine:Hwsim.Machine.t ->
+  rooflines:Roofline.constants ->
+  Mlir_lite.Dialect.t ->
+  phase list
+(** One phase per loop nest of a fully-lowered (affine/scf) module —
+    the linalg-granularity view. *)
+
+val characterize_torch_ops :
+  ?objective:Search.objective ->
+  ?epsilon:float ->
+  ?tile:bool ->
+  machine:Hwsim.Machine.t ->
+  rooflines:Roofline.constants ->
+  Mlir_lite.Dialect.t ->
+  phase list
+(** One phase per torch op of a torch-level module (each op is lowered in
+    isolation and its nests' profiles aggregated). *)
+
+val phase_pattern : phase list -> string
+(** Kleene-star summary of a phase sequence, e.g. ["CB -> BB* -> CB"]
+    (Sec. VI-A). *)
+
+type granularity =
+  | Per_nest  (** linalg level: one cap per loop nest *)
+  | Grouped of int list
+      (** torch level: consecutive nest-group sizes (must sum to the nest
+          count); each group gets one aggregated cap (min CB / max BB) *)
+  | Whole_module
+
+val insert_caps :
+  ?objective:Search.objective ->
+  ?epsilon:float ->
+  granularity:granularity ->
+  machine:Hwsim.Machine.t ->
+  rooflines:Roofline.constants ->
+  Mlir_lite.Dialect.t ->
+  Mlir_lite.Dialect.t * int
+(** Insert [set_uncore_cap] calls into a fully-lowered module at the given
+    granularity (with redundant-cap removal); returns the rewritten module
+    and the number of remaining cap switches. *)
+
+val switch_overhead_us : Hwsim.Machine.t -> int -> float
+(** Cumulative cap-switch overhead (Sec. VII-F). *)

@@ -1,0 +1,1 @@
+lib/hwsim/cache.ml: Array List Machine

@@ -1,0 +1,1 @@
+lib/hwsim/machine.ml: Float Format List

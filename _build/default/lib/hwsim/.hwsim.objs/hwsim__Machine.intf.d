@@ -1,0 +1,1 @@
+lib/hwsim/machine.mli: Format

@@ -1,0 +1,1 @@
+lib/hwsim/sim.ml: Array Cache Float Format Interp List Machine Poly_ir

@@ -1,0 +1,1 @@
+lib/hwsim/sim.mli: Cache Format Machine Poly_ir

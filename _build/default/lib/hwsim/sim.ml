@@ -1,0 +1,213 @@
+open Poly_ir
+
+type uncore_policy = [ `Fixed of float | `Governor ]
+
+type zone_energy = {
+  core_j : float;
+  uncore_j : float;
+  dram_j : float;
+  static_j : float;
+}
+
+type outcome = {
+  time_s : float;
+  energy_j : float;
+  edp : float;
+  avg_power_w : float;
+  avg_uncore_ghz : float;
+  zones : zone_energy;
+  flops : int;
+  dram_lines : int;
+  dram_bytes : int;
+  cache_stats : Cache.level_stats array;
+  cap_switches : int;
+  achieved_gflops : float;
+  achieved_bw_gbps : float;
+}
+
+type cap_schedule = (string * float) list
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let run ~machine ~uncore ?(caps = []) ?(governor_interval_us = 100.0)
+    prog ~param_values =
+  let m = machine in
+  let cache = Cache.create m.Machine.caches in
+  let line = Machine.line_bytes m in
+  let hit_lat =
+    Array.of_list (List.map (fun g -> g.Machine.hit_latency_ns) m.Machine.caches)
+  in
+  let n_levels = Array.length hit_lat in
+  (* simulated state; all times in nanoseconds *)
+  let time_ns = ref 0.0 in
+  let core_j = ref 0.0 and uncore_j = ref 0.0 and dram_j = ref 0.0 in
+  let uncore_time_weighted = ref 0.0 in
+  (* [cap = None]: governor free-running; [Some f]: uncore pinned at f —
+     PolyUFC writes both UFS limits, pinning the clock for the region *)
+  let cap = ref None in
+  let f_u =
+    ref
+      (match uncore with
+      | `Fixed f -> clamp m.Machine.uncore_min_ghz m.Machine.uncore_max_ghz f
+      | `Governor -> m.Machine.uncore_min_ghz)
+  in
+  let parallel_depth = ref 0 in
+  let cap_switches = ref 0 in
+  let total_flops = ref 0 in
+  let dram_event_bytes = ref 0 in
+  (* governor state: DRAM bytes seen since the last adjustment *)
+  let gov_last_t = ref 0.0 in
+  let gov_bytes = ref 0 in
+  let governor_interval_ns = governor_interval_us *. 1e3 in
+  (* advance simulated time, integrating power over the interval *)
+  let advance dt_ns =
+    if dt_ns > 0.0 then begin
+      time_ns := !time_ns +. dt_ns;
+      let threads =
+        if !parallel_depth > 0 then float_of_int m.Machine.threads else 1.0
+      in
+      core_j := !core_j +. (m.Machine.core_w_active *. threads *. dt_ns *. 1e-9);
+      uncore_j := !uncore_j +. (Machine.uncore_power_w m ~f_u:!f_u *. dt_ns *. 1e-9);
+      uncore_time_weighted := !uncore_time_weighted +. (!f_u *. dt_ns)
+    end
+  in
+  let governor_tick () =
+    if !cap = None && !time_ns -. !gov_last_t >= governor_interval_ns then begin
+      let dt = !time_ns -. !gov_last_t in
+      let bw_gbps = float_of_int !gov_bytes /. dt in
+      (* demand ratio against the capability at the current clock; the
+         driver targets the top of the range under any sustained memory
+         activity (over-provisioning CB phases, cf. Sec. I) but ramps with
+         control-loop latency and decays between phases *)
+      let capacity = Machine.dram_bw_gbps m ~f_u:!f_u in
+      let demand = bw_gbps /. Float.max 1e-9 capacity in
+      let target =
+        if demand > 0.01 then m.Machine.uncore_max_ghz
+        else
+          m.Machine.uncore_min_ghz
+          +. ((m.Machine.uncore_max_ghz -. m.Machine.uncore_min_ghz)
+             *. (demand /. 0.01))
+      in
+      let next =
+        if target > !f_u then !f_u +. ((target -. !f_u) *. 0.5)
+        else !f_u -. ((!f_u -. target) *. 0.15)
+      in
+      f_u := clamp m.Machine.uncore_min_ghz m.Machine.uncore_max_ghz next;
+      gov_last_t := !time_ns;
+      gov_bytes := 0
+    end
+  in
+  let apply_cap freq =
+    incr cap_switches;
+    (* the MSR write stalls the pipeline for the cap-switch latency *)
+    advance (m.Machine.cap_switch_us *. 1e3);
+    let f = clamp m.Machine.uncore_min_ghz m.Machine.uncore_max_ghz freq in
+    cap := Some f;
+    f_u := f
+  in
+  let thread_factor () =
+    if !parallel_depth > 0 then float_of_int m.Machine.threads else 1.0
+  in
+  let on_access ~stmt:_ ~array:_ ~addr ~bytes:_ ~is_write =
+    let o = Cache.access cache ~addr ~is_write in
+    let tf = thread_factor () in
+    if o.Cache.hit_level < n_levels then
+      advance (hit_lat.(o.Cache.hit_level) /. m.Machine.mlp /. tf)
+    else begin
+      (* DRAM: latency amortized by MLP, bandwidth shared by all threads *)
+      let lat = Machine.dram_latency_ns m ~f_u:!f_u /. m.Machine.mlp /. tf in
+      let bw_t =
+        float_of_int line /. Machine.dram_bw_gbps m ~f_u:!f_u
+      in
+      advance (Float.max lat bw_t);
+      dram_j := !dram_j +. (m.Machine.dram_nj_per_line *. 1e-9);
+      gov_bytes := !gov_bytes + line;
+      dram_event_bytes := !dram_event_bytes + line
+    end;
+    if o.Cache.dram_writeback then begin
+      (* buffered write-back: occupies bandwidth, no added latency *)
+      let bw_t = float_of_int line /. Machine.dram_bw_gbps m ~f_u:!f_u in
+      advance (bw_t *. 0.5);
+      dram_j := !dram_j +. (m.Machine.dram_nj_per_line *. 1e-9);
+      gov_bytes := !gov_bytes + line;
+      dram_event_bytes := !dram_event_bytes + line
+    end;
+    (match uncore with `Governor -> governor_tick () | `Fixed _ -> ())
+  in
+  let on_stmt ~stmt:_ ~flops =
+    total_flops := !total_flops + flops;
+    advance (float_of_int flops *. m.Machine.flop_ns /. thread_factor ())
+  in
+  let on_loop_enter ~var ~depth ~parallel =
+    if parallel then incr parallel_depth;
+    if depth = 0 then
+      match List.assoc_opt var caps with
+      | Some f -> apply_cap f
+      | None -> ()
+  in
+  let on_loop_exit ~var:_ ~depth:_ = () in
+  let on_loop_exit_track ~var ~depth =
+    ignore var;
+    ignore depth
+  in
+  ignore on_loop_exit_track;
+  (* track parallel region exit *)
+  let parallel_stack = ref [] in
+  let cb =
+    {
+      Interp.on_access;
+      on_stmt;
+      on_loop_enter =
+        (fun ~var ~depth ~parallel ->
+          parallel_stack := parallel :: !parallel_stack;
+          on_loop_enter ~var ~depth ~parallel);
+      on_loop_exit =
+        (fun ~var ~depth ->
+          (match !parallel_stack with
+          | p :: rest ->
+            parallel_stack := rest;
+            if p then decr parallel_depth
+          | [] -> ());
+          on_loop_exit ~var ~depth);
+    }
+  in
+  let _res = Interp.run ~compute:false prog ~param_values cb in
+  (* final dirty lines drain to DRAM *)
+  let resident_dirty = Cache.flush_writebacks cache in
+  let drain_bytes = resident_dirty * line in
+  let bw_t = float_of_int drain_bytes /. Machine.dram_bw_gbps m ~f_u:!f_u in
+  advance (bw_t *. 0.5);
+  dram_j := !dram_j +. (float_of_int resident_dirty *. m.Machine.dram_nj_per_line *. 1e-9);
+  dram_event_bytes := !dram_event_bytes + drain_bytes;
+  let time_s = !time_ns *. 1e-9 in
+  let static_j = m.Machine.p_static_w *. time_s in
+  let energy_j = !core_j +. !uncore_j +. !dram_j +. static_j in
+  let dram_lines = Cache.dram_reads cache in
+  {
+    time_s;
+    energy_j;
+    edp = energy_j *. time_s;
+    avg_power_w = (if time_s > 0.0 then energy_j /. time_s else 0.0);
+    avg_uncore_ghz =
+      (if !time_ns > 0.0 then !uncore_time_weighted /. !time_ns
+       else !f_u);
+    zones = { core_j = !core_j; uncore_j = !uncore_j; dram_j = !dram_j; static_j };
+    flops = !total_flops;
+    dram_lines;
+    dram_bytes = !dram_event_bytes;
+    cache_stats = Cache.stats cache;
+    cap_switches = !cap_switches;
+    achieved_gflops =
+      (if time_s > 0.0 then float_of_int !total_flops /. time_s /. 1e9 else 0.0);
+    achieved_bw_gbps =
+      (if time_s > 0.0 then
+         float_of_int (dram_lines * line) /. time_s /. 1e9
+       else 0.0);
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "time=%.3g s energy=%.3g J edp=%.3g avg_power=%.1f W avg_uncore=%.2f GHz \
+     gflops=%.2f bw=%.2f GB/s dram_lines=%d cap_switches=%d"
+    o.time_s o.energy_j o.edp o.avg_power_w o.avg_uncore_ghz o.achieved_gflops
+    o.achieved_bw_gbps o.dram_lines o.cap_switches

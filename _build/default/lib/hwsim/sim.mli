@@ -1,0 +1,60 @@
+(** The hardware simulator: executes a program's access trace against a
+    {!Machine.t} and reports time, energy and EDP.
+
+    This is the reproduction's stand-in for the paper's real testbeds
+    (PAPI counters + RAPL energy + the Intel UFS / P-state drivers):
+
+    - {b Timing}: execution time accumulates per event.  Compute time is
+      [flops · flop_ns / threads_in_parallel_region]; cache-hit time is
+      [hit_latency / (mlp · threads)]; a DRAM access costs
+      [max(latency(f_u)/mlp, line/BW(f_u))] — the bandwidth term is shared
+      across threads, which is what starves bandwidth-bound kernels.
+    - {b Power/energy}: [P = p_static + core_active + (α·f_u + γ)] plus a
+      per-line DRAM transfer energy; energy integrates power over simulated
+      time, RAPL-style, with separate core/uncore zone accounting.
+    - {b Uncore frequency}: either pinned ([`Fixed f]) or driven by a
+      UFS-like governor ([`Governor]) that scales the uncore with observed
+      DRAM-bandwidth demand, bounded by the currently-active cap.  Cap
+      changes (from the compiled-in cap schedule) cost the machine's
+      cap-switch latency.
+
+    Relative comparisons (capped code vs. the governor baseline on the same
+    machine) are the meaningful output, as in the paper. *)
+
+type uncore_policy =
+  [ `Fixed of float  (** pin the uncore clock (cap with a saturated load) *)
+  | `Governor  (** UFS-driver-like dynamic scaling, bounded by active cap *)
+  ]
+
+type zone_energy = { core_j : float; uncore_j : float; dram_j : float; static_j : float }
+
+type outcome = {
+  time_s : float;
+  energy_j : float;
+  edp : float;  (** energy × delay *)
+  avg_power_w : float;
+  avg_uncore_ghz : float;  (** time-weighted *)
+  zones : zone_energy;
+  flops : int;
+  dram_lines : int;  (** DRAM line fills *)
+  dram_bytes : int;  (** fills + writebacks, in bytes *)
+  cache_stats : Cache.level_stats array;
+  cap_switches : int;
+  achieved_gflops : float;
+  achieved_bw_gbps : float;
+}
+
+type cap_schedule = (string * float) list
+(** Caps keyed by top-level loop variable: entering that loop sets the
+    uncore cap (PolyUFC's inter-kernel capping, Sec. VII-A). *)
+
+val run :
+  machine:Machine.t ->
+  uncore:uncore_policy ->
+  ?caps:cap_schedule ->
+  ?governor_interval_us:float ->
+  Poly_ir.Ir.t ->
+  param_values:(string * int) list ->
+  outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

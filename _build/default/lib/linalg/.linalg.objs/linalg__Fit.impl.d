@@ -1,0 +1,1 @@
+lib/linalg/fit.ml: Array Float List Mat Q Vec

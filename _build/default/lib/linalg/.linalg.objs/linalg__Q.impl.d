@@ -1,0 +1,1 @@
+lib/linalg/q.ml: Float Format Ints Stdlib

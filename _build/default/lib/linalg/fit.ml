@@ -1,0 +1,113 @@
+(* Float least-squares via normal equations solved with exact rationals
+   (converting the float inputs through Q.of_float_approx would lose
+   precision, so we solve the normal equations in floats with partial
+   pivoting instead). *)
+
+let solve_normal design target =
+  (* design : n×m float matrix; target : n vector; returns m vector *)
+  let n = Array.length design in
+  let m = if n = 0 then 0 else Array.length design.(0) in
+  (* a = designᵀ design (m×m), b = designᵀ target *)
+  let a = Array.make_matrix m m 0.0 and b = Array.make m 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      for k = 0 to n - 1 do
+        a.(i).(j) <- a.(i).(j) +. (design.(k).(i) *. design.(k).(j))
+      done
+    done;
+    for k = 0 to n - 1 do
+      b.(i) <- b.(i) +. (design.(k).(i) *. target.(k))
+    done
+  done;
+  (* Gaussian elimination with partial pivoting *)
+  for col = 0 to m - 1 do
+    let piv = ref col in
+    for i = col + 1 to m - 1 do
+      if Float.abs a.(i).(col) > Float.abs a.(!piv).(col) then piv := i
+    done;
+    let tmp = a.(col) in
+    a.(col) <- a.(!piv);
+    a.(!piv) <- tmp;
+    let tb = b.(col) in
+    b.(col) <- b.(!piv);
+    b.(!piv) <- tb;
+    let d = a.(col).(col) in
+    if Float.abs d > 1e-14 then
+      for i = col + 1 to m - 1 do
+        let f = a.(i).(col) /. d in
+        for j = col to m - 1 do
+          a.(i).(j) <- a.(i).(j) -. (f *. a.(col).(j))
+        done;
+        b.(i) <- b.(i) -. (f *. b.(col))
+      done
+  done;
+  let x = Array.make m 0.0 in
+  for i = m - 1 downto 0 do
+    let s = ref b.(i) in
+    for j = i + 1 to m - 1 do
+      s := !s -. (a.(i).(j) *. x.(j))
+    done;
+    x.(i) <- (if Float.abs a.(i).(i) > 1e-14 then !s /. a.(i).(i) else 0.0)
+  done;
+  x
+
+let polynomial ~degree pts =
+  assert (List.length pts > degree);
+  let pts = Array.of_list pts in
+  let n = Array.length pts in
+  let design =
+    Array.init n (fun k ->
+        let x, _ = pts.(k) in
+        Array.init (degree + 1) (fun i -> Float.pow x (float_of_int i)))
+  in
+  let target = Array.map snd pts in
+  solve_normal design target
+
+let eval_poly c x =
+  let acc = ref 0.0 in
+  for i = Array.length c - 1 downto 0 do
+    acc := (!acc *. x) +. c.(i)
+  done;
+  !acc
+
+let linear pts =
+  let c = polynomial ~degree:1 pts in
+  (c.(1), c.(0))
+
+let inverse_plus_const pts =
+  let transformed = List.map (fun (x, y) -> (1.0 /. x, y)) pts in
+  let slope, intercept = linear transformed in
+  (slope, intercept)
+
+let eval_exact_poly c x =
+  let acc = ref Q.zero in
+  for i = Array.length c - 1 downto 0 do
+    acc := Q.add (Q.mul !acc x) c.(i)
+  done;
+  !acc
+
+let exact_polynomial ~degree pts =
+  assert (List.length pts >= degree + 1);
+  let base = List.filteri (fun i _ -> i <= degree) pts in
+  let vandermonde =
+    Mat.of_rows
+      (Array.of_list
+         (List.map
+            (fun (x, _) ->
+              Array.init (degree + 1) (fun i ->
+                  let rec pow acc k = if k = 0 then acc else pow (Q.mul acc x) (k - 1) in
+                  pow Q.one i))
+            base))
+  in
+  let rhs = Vec.of_list (List.map snd base) in
+  match Mat.solve vandermonde rhs with
+  | None -> None
+  | Some sol ->
+    let coeffs = Vec.to_array sol in
+    (* every extra point must be consistent with the interpolant *)
+    let ok =
+      List.for_all
+        (fun (x, y) -> Q.equal (eval_exact_poly coeffs x) y)
+        pts
+    in
+    if ok then Some coeffs else None

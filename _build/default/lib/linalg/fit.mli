@@ -1,0 +1,30 @@
+(** Curve fitting used by the roofline and power models.
+
+    The paper fits DRAM miss penalty as [a/f + b] (Sec. V-A), peak power per
+    byte as a linear function [α·f + γ] (Eqn. 8), and applies polynomial
+    fitting to EDP medians (Fig. 1).  All fits here are float-based
+    least-squares; exact-rational fitting (for Ehrhart interpolation) solves
+    a Vandermonde system with {!Mat.solve}. *)
+
+val linear : (float * float) list -> float * float
+(** [linear pts] is [(slope, intercept)] minimising squared error.
+    Requires at least two points with distinct abscissae. *)
+
+val polynomial : degree:int -> (float * float) list -> float array
+(** Least-squares polynomial fit; result [c] satisfies
+    [p(x) = Σ c.(i) · xⁱ].  Requires [List.length pts > degree]. *)
+
+val eval_poly : float array -> float -> float
+(** Horner evaluation of a coefficient array as produced by {!polynomial}. *)
+
+val inverse_plus_const : (float * float) list -> float * float
+(** Fit [y = a/x + b] by linear regression on [1/x]; returns [(a, b)].
+    Used for the DRAM miss-penalty curve M{^t}(f_c) = a/f_c + b. *)
+
+val exact_polynomial : degree:int -> (Q.t * Q.t) list -> Q.t array option
+(** Exact polynomial interpolation through [degree + 1] (or more, consistent)
+    points, via a Vandermonde solve.  [None] if the points are inconsistent
+    with a polynomial of the given degree.  This is the Ehrhart
+    interpolation backend. *)
+
+val eval_exact_poly : Q.t array -> Q.t -> Q.t

@@ -1,0 +1,58 @@
+exception Overflow
+
+let add a b =
+  let s = a + b in
+  if (a >= 0) = (b >= 0) && (s >= 0) <> (a >= 0) then raise Overflow;
+  s
+
+let sub a b =
+  let d = a - b in
+  if (a >= 0) <> (b >= 0) && (d >= 0) <> (a >= 0) then raise Overflow;
+  d
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else begin
+    let p = a * b in
+    if p / b <> a then raise Overflow;
+    p
+  end
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (mul (a / gcd a b) b)
+
+let fdiv a b =
+  assert (b <> 0);
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let cdiv a b =
+  assert (b <> 0);
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) = (b < 0) then q + 1 else q
+
+let fmod a b = a - mul b (fdiv a b)
+
+let pow b e =
+  assert (e >= 0);
+  (* check [e <= 1] before squaring, so a representable result never
+     triggers a spurious overflow from one squaring step past the end *)
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e = 1 then mul acc b
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e asr 1)
+    else go acc (mul b b) (e asr 1)
+  in
+  go 1 b e
+
+let binom n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let num = ref 1 in
+    for i = 1 to k do
+      num := mul !num (n - k + i) / i
+    done;
+    !num
+  end

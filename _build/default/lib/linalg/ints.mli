@@ -1,0 +1,38 @@
+(** Integer utilities used throughout the polyhedral machinery.
+
+    All functions operate on OCaml's native [int] (63-bit on 64-bit
+    platforms).  Arithmetic that could overflow silently is provided in
+    checked form and raises {!Overflow} instead of wrapping. *)
+
+exception Overflow
+
+val add : int -> int -> int
+(** [add a b] is [a + b]; raises {!Overflow} on overflow. *)
+
+val sub : int -> int -> int
+(** [sub a b] is [a - b]; raises {!Overflow} on overflow. *)
+
+val mul : int -> int -> int
+(** [mul a b] is [a * b]; raises {!Overflow} on overflow. *)
+
+val gcd : int -> int -> int
+(** [gcd a b] is the non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+(** Least common multiple, non-negative. Raises {!Overflow} if too large. *)
+
+val fdiv : int -> int -> int
+(** [fdiv a b] is the floor division [⌊a/b⌋]; requires [b <> 0]. *)
+
+val cdiv : int -> int -> int
+(** [cdiv a b] is the ceiling division [⌈a/b⌉]; requires [b <> 0]. *)
+
+val fmod : int -> int -> int
+(** [fmod a b] is [a - b * fdiv a b]; result has the sign of [b] or zero. *)
+
+val pow : int -> int -> int
+(** [pow b e] is [b{^e}] for [e >= 0]; checked. *)
+
+val binom : int -> int -> int
+(** [binom n k] is the binomial coefficient [C(n, k)]; 0 when [k < 0] or
+    [k > n]. *)

@@ -1,0 +1,156 @@
+type t = Q.t array array (* row-major; invariant: rectangular, never aliased *)
+
+let make r c q = Array.init r (fun _ -> Array.make c q)
+let zero r c = make r c Q.zero
+
+let identity n =
+  Array.init n (fun i ->
+      Array.init n (fun j -> if i = j then Q.one else Q.zero))
+
+let of_rows rows =
+  let m = Array.map Array.copy rows in
+  let c = if Array.length m = 0 then 0 else Array.length m.(0) in
+  Array.iter (fun r -> assert (Array.length r = c)) m;
+  m
+
+let of_int_rows rows =
+  of_rows
+    (Array.of_list
+       (List.map (fun r -> Array.of_list (List.map Q.of_int r)) rows))
+
+let of_vec_rows rows =
+  of_rows (Array.of_list (List.map Vec.to_array rows))
+
+let rows m = Array.length m
+let cols m = if Array.length m = 0 then 0 else Array.length m.(0)
+let get m i j = m.(i).(j)
+let row m i = Vec.of_array m.(i)
+let col m j = Vec.of_array (Array.init (rows m) (fun i -> m.(i).(j)))
+
+let transpose m =
+  let r = rows m and c = cols m in
+  Array.init c (fun j -> Array.init r (fun i -> m.(i).(j)))
+
+let mul a b =
+  assert (cols a = rows b);
+  let n = cols a in
+  Array.init (rows a) (fun i ->
+      Array.init (cols b) (fun j ->
+          let acc = ref Q.zero in
+          for k = 0 to n - 1 do
+            acc := Q.add !acc (Q.mul a.(i).(k) b.(k).(j))
+          done;
+          !acc))
+
+let mul_vec m v =
+  assert (cols m = Vec.dim v);
+  Vec.of_array (Array.map (fun r -> Vec.dot (Vec.of_array r) v) m)
+
+let equal a b =
+  rows a = rows b && cols a = cols b
+  && Array.for_all2 (fun ra rb -> Array.for_all2 Q.equal ra rb) a b
+
+let copy m = Array.map Array.copy m
+
+(* Gauss–Jordan elimination in place; returns the list of pivot columns. *)
+let eliminate m =
+  let r = Array.length m and c = if Array.length m = 0 then 0 else Array.length m.(0) in
+  let pivots = ref [] in
+  let pr = ref 0 in
+  let j = ref 0 in
+  while !pr < r && !j < c do
+    (* choose a pivot row with a non-zero entry in column !j *)
+    let pi = ref (-1) in
+    (try
+       for i = !pr to r - 1 do
+         if not (Q.is_zero m.(i).(!j)) then begin
+           pi := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !pi >= 0 then begin
+      let tmp = m.(!pr) in
+      m.(!pr) <- m.(!pi);
+      m.(!pi) <- tmp;
+      let inv = Q.inv m.(!pr).(!j) in
+      for k = 0 to c - 1 do
+        m.(!pr).(k) <- Q.mul inv m.(!pr).(k)
+      done;
+      for i = 0 to r - 1 do
+        if i <> !pr && not (Q.is_zero m.(i).(!j)) then begin
+          let f = m.(i).(!j) in
+          for k = 0 to c - 1 do
+            m.(i).(k) <- Q.sub m.(i).(k) (Q.mul f m.(!pr).(k))
+          done
+        end
+      done;
+      pivots := (!pr, !j) :: !pivots;
+      incr pr
+    end;
+    incr j
+  done;
+  List.rev !pivots
+
+let rref m =
+  let m = copy m in
+  ignore (eliminate m);
+  m
+
+let rank m =
+  let m = copy m in
+  List.length (eliminate m)
+
+let solve a b =
+  assert (rows a = Vec.dim b);
+  let r = rows a and c = cols a in
+  (* eliminate the augmented matrix [a | b] *)
+  let aug =
+    Array.init r (fun i ->
+        Array.init (c + 1) (fun j -> if j < c then a.(i).(j) else Vec.get b i))
+  in
+  let pivots = eliminate aug in
+  (* inconsistent iff a pivot lands in the augmented column *)
+  if List.exists (fun (_, j) -> j = c) pivots then None
+  else begin
+    let x = Array.make c Q.zero in
+    List.iter (fun (i, j) -> x.(j) <- aug.(i).(c)) pivots;
+    Some (Vec.of_array x)
+  end
+
+let inverse m =
+  let n = rows m in
+  assert (cols m = n);
+  let aug =
+    Array.init n (fun i ->
+        Array.init (2 * n) (fun j ->
+            if j < n then m.(i).(j)
+            else if j - n = i then Q.one
+            else Q.zero))
+  in
+  let pivots = eliminate aug in
+  (* singular iff fewer than [n] pivots land in the left block *)
+  let left_pivots = List.filter (fun (_, j) -> j < n) pivots in
+  if List.length left_pivots < n then None
+  else Some (Array.init n (fun i -> Array.init n (fun j -> aug.(i).(n + j))))
+
+let nullspace m =
+  let c = cols m in
+  let red = copy m in
+  let pivots = eliminate red in
+  let pivot_cols = List.map snd pivots in
+  let free_cols =
+    List.filter (fun j -> not (List.mem j pivot_cols)) (List.init c Fun.id)
+  in
+  let basis_for jf =
+    let v = Array.make c Q.zero in
+    v.(jf) <- Q.one;
+    List.iter (fun (i, j) -> v.(j) <- Q.neg red.(i).(jf)) pivots;
+    Vec.of_array v
+  in
+  List.map basis_for free_cols
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  Array.iter (fun r -> Format.fprintf ppf "%a@," Vec.pp (Vec.of_array r)) m;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Matrices of exact rationals: elimination, solving, inversion.
+
+    Matrices are immutable from the outside; all operations return fresh
+    values. *)
+
+type t
+
+val make : int -> int -> Q.t -> t
+val zero : int -> int -> t
+val identity : int -> t
+val of_rows : Q.t array array -> t
+val of_int_rows : int list list -> t
+val of_vec_rows : Vec.t list -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Q.t
+val row : t -> int -> Vec.t
+val col : t -> int -> Vec.t
+val transpose : t -> t
+val mul : t -> t -> t
+val mul_vec : t -> Vec.t -> Vec.t
+val equal : t -> t -> bool
+
+val rank : t -> int
+
+val solve : t -> Vec.t -> Vec.t option
+(** [solve a b] is a solution [x] of [a x = b], or [None] if the system is
+    inconsistent.  Underdetermined systems return one particular solution. *)
+
+val inverse : t -> t option
+(** Inverse of a square matrix, [None] if singular. *)
+
+val nullspace : t -> Vec.t list
+(** A basis of the right nullspace. *)
+
+val rref : t -> t
+(** Reduced row-echelon form. *)
+
+val pp : Format.formatter -> t -> unit

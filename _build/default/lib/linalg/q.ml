@@ -1,0 +1,99 @@
+type t = { num : int; den : int }
+
+let make num den =
+  if den = 0 then invalid_arg "Q.make: zero denominator";
+  let s = if den < 0 then -1 else 1 in
+  let num = s * num and den = s * den in
+  let g = Ints.gcd num den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let num q = q.num
+let den q = q.den
+
+(* reduce cross factors before multiplying to delay overflow *)
+let add a b =
+  let g = Ints.gcd a.den b.den in
+  let da = a.den / g and db = b.den / g in
+  let n = Ints.add (Ints.mul a.num db) (Ints.mul b.num da) in
+  make n (Ints.mul a.den db)
+
+let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+
+let mul a b =
+  let g1 = Ints.gcd a.num b.den and g2 = Ints.gcd b.num a.den in
+  let n = Ints.mul (a.num / g1) (b.num / g2) in
+  let d = Ints.mul (a.den / g2) (b.den / g1) in
+  make n d
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero;
+  make a.den a.num
+
+let div a b = mul a (inv b)
+let abs a = { a with num = Stdlib.abs a.num }
+let sign a = compare a.num 0
+let is_zero a = a.num = 0
+let is_integer a = a.den = 1
+
+let compare a b =
+  (* compare a.num * b.den with b.num * a.den without overflow via
+     floating point guard then exact fallback *)
+  match Ints.mul a.num b.den, Ints.mul b.num a.den with
+  | x, y -> Stdlib.compare x y
+  | exception Ints.Overflow ->
+    Stdlib.compare (float_of_int a.num /. float_of_int a.den)
+      (float_of_int b.num /. float_of_int b.den)
+
+let equal a b = a.num = b.num && a.den = b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let floor a = Ints.fdiv a.num a.den
+let ceil a = Ints.cdiv a.num a.den
+
+let to_int_exn a =
+  if a.den <> 1 then invalid_arg "Q.to_int_exn: not an integer";
+  a.num
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let of_float_approx ?(max_den = 1_000_000) x =
+  if Float.is_nan x || Float.is_integer x then of_int (int_of_float x)
+  else begin
+    (* continued-fraction expansion with convergents p/q *)
+    let neg = Stdlib.( < ) x 0.0 in
+    let x = Float.abs x in
+    let rec go x p0 q0 p1 q1 =
+      let a = int_of_float (Float.floor x) in
+      let p2 = Stdlib.( + ) (a * p1) p0 and q2 = Stdlib.( + ) (a * q1) q0 in
+      if q2 > max_den then (p1, q1)
+      else begin
+        let frac = x -. Float.floor x in
+        if Stdlib.( < ) frac 1e-12 then (p2, q2)
+        else go (1.0 /. frac) p1 q1 p2 q2
+      end
+    in
+    let p, q = go x 0 1 1 0 in
+    let q = if q = 0 then 1 else q in
+    make (if neg then -p else p) q
+  end
+
+let pp ppf a =
+  if a.den = 1 then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg
+let ( = ) = equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0

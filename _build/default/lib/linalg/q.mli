@@ -1,0 +1,65 @@
+(** Exact rational numbers over native integers.
+
+    Values are kept in canonical form: the denominator is strictly positive
+    and [gcd num den = 1].  All operations are exact; overflow in the
+    underlying integer arithmetic raises {!Ints.Overflow}. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] is the canonical rational [num/den].
+    Raises [Invalid_argument] if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** [div a b] raises [Division_by_zero] if [b] is zero. *)
+
+val neg : t -> t
+val inv : t -> t
+val abs : t -> t
+val min : t -> t -> t
+val max : t -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val floor : t -> int
+(** Greatest integer [<=] the rational. *)
+
+val ceil : t -> int
+(** Least integer [>=] the rational. *)
+
+val to_int_exn : t -> int
+(** The integer value; raises [Invalid_argument] if not an integer. *)
+
+val to_float : t -> float
+val of_float_approx : ?max_den:int -> float -> t
+(** Best rational approximation by continued fractions, denominator bounded
+    by [max_den] (default [1_000_000]). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool

@@ -1,0 +1,47 @@
+type t = Q.t array
+
+let of_array a = Array.copy a
+let of_list = Array.of_list
+let of_ints l = Array.of_list (List.map Q.of_int l)
+let make n q = Array.make n q
+let zero n = make n Q.zero
+
+let unit n i =
+  let v = Array.make n Q.zero in
+  v.(i) <- Q.one;
+  v
+
+let dim = Array.length
+let get v i = v.(i)
+let to_array = Array.copy
+let to_list = Array.to_list
+
+let add a b =
+  assert (dim a = dim b);
+  Array.map2 Q.add a b
+
+let sub a b =
+  assert (dim a = dim b);
+  Array.map2 Q.sub a b
+
+let neg = Array.map Q.neg
+let scale q = Array.map (Q.mul q)
+
+let dot a b =
+  assert (dim a = dim b);
+  let acc = ref Q.zero in
+  for i = 0 to dim a - 1 do
+    acc := Q.add !acc (Q.mul a.(i) b.(i))
+  done;
+  !acc
+
+let map = Array.map
+let equal a b = dim a = dim b && Array.for_all2 Q.equal a b
+let is_zero = Array.for_all Q.is_zero
+let concat = Array.append
+let slice v pos len = Array.sub v pos len
+
+let pp ppf v =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_array ~pp_sep:(fun f () -> Format.fprintf f ";@ ") Q.pp)
+    v

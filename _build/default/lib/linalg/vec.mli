@@ -1,0 +1,31 @@
+(** Immutable vectors of exact rationals. *)
+
+type t
+
+val of_array : Q.t array -> t
+val of_list : Q.t list -> t
+val of_ints : int list -> t
+val make : int -> Q.t -> t
+val zero : int -> t
+val unit : int -> int -> t
+(** [unit n i] is the [n]-dimensional standard basis vector [e_i]. *)
+
+val dim : t -> int
+val get : t -> int -> Q.t
+val to_array : t -> Q.t array
+val to_list : t -> Q.t list
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Q.t -> t -> t
+val dot : t -> t -> Q.t
+val map : (Q.t -> Q.t) -> t -> t
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val concat : t -> t -> t
+val slice : t -> int -> int -> t
+(** [slice v pos len] is the sub-vector of [len] entries starting at [pos]. *)
+
+val pp : Format.formatter -> t -> unit

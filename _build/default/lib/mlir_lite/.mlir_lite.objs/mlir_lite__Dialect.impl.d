@@ -1,0 +1,1 @@
+lib/mlir_lite/dialect.ml: Format List Poly_ir Printf

@@ -1,0 +1,1 @@
+lib/mlir_lite/dialect.mli: Format Poly_ir

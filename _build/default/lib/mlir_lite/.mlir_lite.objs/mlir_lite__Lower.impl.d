@@ -1,0 +1,1 @@
+lib/mlir_lite/lower.ml: Dialect Format Ir List Poly_ir Printf Tiling

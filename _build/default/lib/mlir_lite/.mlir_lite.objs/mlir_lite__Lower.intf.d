@@ -1,0 +1,1 @@
+lib/mlir_lite/lower.mli: Dialect Poly_ir

@@ -1,0 +1,121 @@
+type dialect = Torch | Linalg | Affine | Scf
+
+type torch_op =
+  | T_sdpa of { batch : int; heads : int; seq : int; dim : int }
+  | T_conv2d of {
+      n : int; c : int; h : int; w : int;
+      k : int; r : int; s : int;
+    }
+  | T_matmul of { m : int; k : int; n : int }
+  | T_softmax of { rows : int; cols : int }
+  | T_relu of { elems : int }
+  | T_add of { elems : int }
+
+type linalg_op =
+  | L_matmul of { m : int; k : int; n : int; a : string; b : string; c : string }
+  | L_batch_matmul of {
+      g : int;  (** batch (groups) *)
+      m : int; k : int; n : int;
+      transpose_b : bool;  (** contract against Bᵀ (the QKᵀ pattern) *)
+      a : string; b : string; c : string;
+    }
+  | L_conv2d_nchw_fchw of {
+      n : int; c : int; h : int; w : int; k : int; r : int; s : int;
+      input : string; filter : string; output : string;
+    }
+  | L_scale of { elems : int; factor : float; buf : string }
+  | L_exp of { elems : int; src : string; dst : string }
+  | L_rowsum of { rows : int; cols : int; src : string; dst : string }
+  | L_rowdiv of { rows : int; cols : int; buf : string; divisor : string }
+  | L_relu of { elems : int; buf : string }
+  | L_add of { elems : int; a : string; b : string; dst : string }
+  | L_transpose of { rows : int; cols : int; src : string; dst : string }
+
+type op =
+  | Torch_op of string * torch_op
+  | Linalg_op of linalg_op
+  | Affine_nest of Poly_ir.Ir.item
+  | Scf_nest of Poly_ir.Ir.item
+  | Set_uncore_cap of float
+
+type t = {
+  module_name : string;
+  arrays : Poly_ir.Ir.array_decl list;
+  ops : op list;
+}
+
+let dialect_of_op = function
+  | Torch_op _ -> Torch
+  | Linalg_op _ -> Linalg
+  | Affine_nest _ -> Affine
+  | Scf_nest _ | Set_uncore_cap _ -> Scf
+
+let dialect_rank = function Torch -> 0 | Linalg -> 1 | Affine -> 2 | Scf -> 3
+
+let lowest_dialect t =
+  List.fold_left
+    (fun acc op ->
+      let d = dialect_of_op op in
+      if dialect_rank d > dialect_rank acc then d else acc)
+    Torch t.ops
+
+let torch_flops = function
+  | T_sdpa { batch; heads; seq; dim } ->
+    let b = batch * heads in
+    (* QK^T + scale + softmax (3 passes) + AV *)
+    (2 * b * seq * seq * dim) + (b * seq * seq * 5) + (2 * b * seq * seq * dim)
+  | T_conv2d { n; c; h; w = _; k; r; s; _ } ->
+    (* output spatial dims shrink by the filter *)
+    2 * n * k * c * r * s * (h - r + 1) * (h - r + 1)
+  | T_matmul { m; k; n } -> 2 * m * k * n
+  | T_softmax { rows; cols } -> 5 * rows * cols
+  | T_relu { elems } -> elems
+  | T_add { elems } -> elems
+
+let linalg_name = function
+  | L_matmul _ -> "linalg.matmul"
+  | L_batch_matmul _ -> "linalg.batch_matmul"
+  | L_conv2d_nchw_fchw _ -> "linalg.conv_2d_nchw_fchw"
+  | L_scale _ -> "linalg.generic(scale)"
+  | L_exp _ -> "linalg.generic(exp)"
+  | L_rowsum _ -> "linalg.generic(rowsum)"
+  | L_rowdiv _ -> "linalg.generic(rowdiv)"
+  | L_relu _ -> "linalg.generic(relu)"
+  | L_add _ -> "linalg.generic(add)"
+  | L_transpose _ -> "linalg.transpose"
+
+let torch_name = function
+  | T_sdpa _ -> "torch.sdpa"
+  | T_conv2d _ -> "torch.conv2d"
+  | T_matmul _ -> "torch.matmul"
+  | T_softmax _ -> "torch.softmax"
+  | T_relu _ -> "torch.relu"
+  | T_add _ -> "torch.add"
+
+let rec root_var = function
+  | Poly_ir.Ir.Loop l -> l.Poly_ir.Ir.var
+  | Poly_ir.Ir.Stmt s -> s.Poly_ir.Ir.stmt_name
+  | Poly_ir.Ir.If b -> (
+    match b.Poly_ir.Ir.then_ @ b.Poly_ir.Ir.else_ with
+    | i :: _ -> root_var i
+    | [] -> "if")
+
+and op_name = function
+  | Torch_op (_, t) -> torch_name t
+  | Linalg_op l -> linalg_name l
+  | Affine_nest i -> "affine.for @" ^ root_var i
+  | Scf_nest i -> "scf.for @" ^ root_var i
+  | Set_uncore_cap f -> Printf.sprintf "func.call @set_uncore_cap(%.1f)" f
+
+let pp_op ppf op =
+  match op with
+  | Torch_op (pfx, t) -> Format.fprintf ppf "%s = %s" pfx (torch_name t)
+  | Linalg_op l -> Format.fprintf ppf "%s" (linalg_name l)
+  | Affine_nest i | Scf_nest i ->
+    Format.fprintf ppf "%s {@[<v>%a@]}" (op_name op) Poly_ir.Ir.pp_item i
+  | Set_uncore_cap f -> Format.fprintf ppf "func.call @set_uncore_cap(%.1f)" f
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>module @%s {@," t.module_name;
+  List.iter (fun op -> Format.fprintf ppf "  %s@," (op_name op)) t.ops;
+  Format.fprintf ppf "}@]"

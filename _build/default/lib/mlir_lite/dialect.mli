@@ -1,0 +1,78 @@
+(** A miniature multi-dialect IR — the MLIR substitute.
+
+    The paper's ML-PolyUFC (Sec. VI) studies where to {e analyze} and where
+    to {e apply} uncore caps across the [torch] → [linalg] → [affine] →
+    [scf] lowering chain.  This module gives that chain a concrete shape:
+
+    - {b torch}: whole-network named ops with tensor shapes
+      ([sdpa], [conv2d], [matmul], [softmax], …);
+    - {b linalg}: structured ops over named buffers — one torch op
+      decomposes into several ([sdpa] becomes two matmuls, a scale and the
+      three softmax generics, cf. Fig. 5);
+    - {b affine}: loop nests (the {!Poly_ir.Ir} form) — the analysis level;
+    - {b scf}: affine nests plus explicit [set_uncore_cap] calls, the
+      codegen level fed to the simulator.
+
+    Ops of different dialects may coexist in a module during progressive
+    lowering, exactly as in MLIR. *)
+
+type dialect = Torch | Linalg | Affine | Scf
+
+type torch_op =
+  | T_sdpa of { batch : int; heads : int; seq : int; dim : int }
+  | T_conv2d of {
+      n : int; c : int; h : int; w : int;  (** input NCHW *)
+      k : int; r : int; s : int;  (** filters KC RS, stride 1, no pad *)
+    }
+  | T_matmul of { m : int; k : int; n : int }
+  | T_softmax of { rows : int; cols : int }
+  | T_relu of { elems : int }
+  | T_add of { elems : int }
+
+type linalg_op =
+  | L_matmul of { m : int; k : int; n : int; a : string; b : string; c : string }
+  | L_batch_matmul of {
+      g : int;  (** batch (groups) *)
+      m : int; k : int; n : int;
+      transpose_b : bool;  (** contract against Bᵀ (the QKᵀ pattern) *)
+      a : string; b : string; c : string;
+    }
+  | L_conv2d_nchw_fchw of {
+      n : int; c : int; h : int; w : int; k : int; r : int; s : int;
+      input : string; filter : string; output : string;
+    }
+  | L_scale of { elems : int; factor : float; buf : string }
+  | L_exp of { elems : int; src : string; dst : string }
+  | L_rowsum of { rows : int; cols : int; src : string; dst : string }
+  | L_rowdiv of { rows : int; cols : int; buf : string; divisor : string }
+  | L_relu of { elems : int; buf : string }
+  | L_add of { elems : int; a : string; b : string; dst : string }
+  | L_transpose of { rows : int; cols : int; src : string; dst : string }
+
+type op =
+  | Torch_op of string * torch_op  (** carries a result-buffer prefix *)
+  | Linalg_op of linalg_op
+  | Affine_nest of Poly_ir.Ir.item
+  | Scf_nest of Poly_ir.Ir.item
+  | Set_uncore_cap of float  (** the inserted frequency-cap func call *)
+
+type t = {
+  module_name : string;
+  arrays : Poly_ir.Ir.array_decl list;  (** buffers, accumulated by lowering *)
+  ops : op list;
+}
+
+val dialect_of_op : op -> dialect
+(** [Set_uncore_cap] belongs to [Scf]. *)
+
+val lowest_dialect : t -> dialect
+(** The deepest dialect present ([Torch] < [Linalg] < [Affine] < [Scf]). *)
+
+val torch_flops : torch_op -> int
+(** Nominal flop count of a torch op under the unitary model. *)
+
+val linalg_name : linalg_op -> string
+val torch_name : torch_op -> string
+val op_name : op -> string
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,419 @@
+open Poly_ir
+
+exception Lowering_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Lowering_error s)) fmt
+
+let cst = Ir.aff_const
+let v = Ir.aff_var
+
+(* flat 1-d buffer declaration *)
+let buf name elems = { Ir.array_name = name; extents = [ cst elems ]; elem_size = 8 }
+
+(* index expression Σ coef·var + const over flat buffers *)
+let idx terms const =
+  List.fold_left
+    (fun acc (c, var) -> Ir.aff_add acc (Ir.aff_scale c (v var)))
+    (cst const) terms
+
+(* ---------- torch -> linalg ---------- *)
+
+let decompose_torch prefix t =
+  let b n = prefix ^ "_" ^ n in
+  match t with
+  | Dialect.T_sdpa { batch; heads; seq; dim } ->
+    let g = batch * heads in
+    let decls =
+      [
+        buf (b "q") (g * seq * dim);
+        buf (b "k") (g * seq * dim);
+        buf (b "v") (g * seq * dim);
+        buf (b "att") (g * seq * seq);
+        buf (b "rsum") (g * seq);
+        buf (b "out") (g * seq * dim);
+      ]
+    in
+    let ops =
+      [
+        Dialect.L_batch_matmul
+          { g; m = seq; k = dim; n = seq; transpose_b = true;
+            a = b "q"; b = b "k"; c = b "att" };
+        Dialect.L_scale
+          { elems = g * seq * seq; factor = 1.0 /. sqrt (float_of_int dim);
+            buf = b "att" };
+        Dialect.L_exp { elems = g * seq * seq; src = b "att"; dst = b "att" };
+        Dialect.L_rowsum { rows = g * seq; cols = seq; src = b "att"; dst = b "rsum" };
+        Dialect.L_rowdiv { rows = g * seq; cols = seq; buf = b "att"; divisor = b "rsum" };
+        Dialect.L_batch_matmul
+          { g; m = seq; k = seq; n = dim; transpose_b = false;
+            a = b "att"; b = b "v"; c = b "out" };
+      ]
+    in
+    (decls, ops)
+  | Dialect.T_conv2d { n; c; h; w; k; r; s } ->
+    let oh = h - r + 1 and ow = w - s + 1 in
+    ( [
+        buf (b "in") (n * c * h * w);
+        buf (b "filt") (k * c * r * s);
+        buf (b "out") (n * k * oh * ow);
+      ],
+      [
+        Dialect.L_conv2d_nchw_fchw
+          { n; c; h; w; k; r; s; input = b "in"; filter = b "filt"; output = b "out" };
+      ] )
+  | Dialect.T_matmul { m; k; n } ->
+    ( [ buf (b "a") (m * k); buf (b "b") (k * n); buf (b "c") (m * n) ],
+      [ Dialect.L_matmul { m; k; n; a = b "a"; b = b "b"; c = b "c" } ] )
+  | Dialect.T_softmax { rows; cols } ->
+    ( [ buf (b "x") (rows * cols); buf (b "rsum") rows ],
+      [
+        Dialect.L_exp { elems = rows * cols; src = b "x"; dst = b "x" };
+        Dialect.L_rowsum { rows; cols; src = b "x"; dst = b "rsum" };
+        Dialect.L_rowdiv { rows; cols; buf = b "x"; divisor = b "rsum" };
+      ] )
+  | Dialect.T_relu { elems } ->
+    ([ buf (b "x") elems ], [ Dialect.L_relu { elems; buf = b "x" } ])
+  | Dialect.T_add { elems } ->
+    ( [ buf (b "a") elems; buf (b "b") elems; buf (b "c") elems ],
+      [ Dialect.L_add { elems; a = b "a"; b = b "b"; dst = b "c" } ] )
+
+let merge_decls existing fresh =
+  List.fold_left
+    (fun acc (d : Ir.array_decl) ->
+      match
+        List.find_opt (fun (e : Ir.array_decl) -> e.Ir.array_name = d.Ir.array_name) acc
+      with
+      | None -> acc @ [ d ]
+      | Some e ->
+        if not (List.for_all2 Ir.aff_equal e.Ir.extents d.Ir.extents) then
+          fail "buffer %s redeclared with a different shape" d.Ir.array_name;
+        acc)
+    existing fresh
+
+let torch_to_linalg (m : Dialect.t) =
+  let arrays = ref m.Dialect.arrays in
+  let ops =
+    List.concat_map
+      (function
+        | Dialect.Torch_op (prefix, t) ->
+          let decls, lops = decompose_torch prefix t in
+          arrays := merge_decls !arrays decls;
+          List.map (fun l -> Dialect.Linalg_op l) lops
+        | op -> [ op ])
+      m.Dialect.ops
+  in
+  { m with Dialect.arrays = !arrays; ops }
+
+(* ---------- linalg -> affine ---------- *)
+
+(* fresh names: each nest gets a unique integer suffix *)
+let lower_linalg_op ~nest_id l =
+  let var n = Printf.sprintf "%s%d" n nest_id in
+  let stmt n = Printf.sprintf "%s_%d" n nest_id in
+  let loop name ~hi body = Ir.loop (var name) ~lo:(cst 0) ~hi:(cst hi) body in
+  match l with
+  | Dialect.L_matmul { m; k; n; a; b; c } ->
+    loop "i" ~hi:m
+      [
+        loop "j" ~hi:n
+          [
+            Ir.assign (stmt "mm_init")
+              ~target:(Ir.write c [ idx [ (n, var "i"); (1, var "j") ] 0 ])
+              (Ir.Const 0.0);
+            loop "kk" ~hi:k
+              [
+                Ir.assign (stmt "mm_upd")
+                  ~target:(Ir.write c [ idx [ (n, var "i"); (1, var "j") ] 0 ])
+                  (Ir.Bin
+                     ( Ir.Add,
+                       Ir.read c [ idx [ (n, var "i"); (1, var "j") ] 0 ],
+                       Ir.Bin
+                         ( Ir.Mul,
+                           Ir.read a [ idx [ (k, var "i"); (1, var "kk") ] 0 ],
+                           Ir.read b [ idx [ (n, var "kk"); (1, var "j") ] 0 ] ) ));
+              ];
+          ];
+      ]
+  | Dialect.L_batch_matmul { g; m; k; n; transpose_b; a; b; c } ->
+    let b_index =
+      if transpose_b then
+        (* B is [g][n][k]: element (kk, j) of group gg at gg·n·k + j·k + kk *)
+        idx [ (n * k, var "g"); (k, var "j"); (1, var "kk") ] 0
+      else idx [ (k * n, var "g"); (n, var "kk"); (1, var "j") ] 0
+    in
+    loop "g" ~hi:g
+      [
+        loop "i" ~hi:m
+          [
+            loop "j" ~hi:n
+              [
+                Ir.assign (stmt "bmm_init")
+                  ~target:
+                    (Ir.write c [ idx [ (m * n, var "g"); (n, var "i"); (1, var "j") ] 0 ])
+                  (Ir.Const 0.0);
+                loop "kk" ~hi:k
+                  [
+                    Ir.assign (stmt "bmm_upd")
+                      ~target:
+                        (Ir.write c
+                           [ idx [ (m * n, var "g"); (n, var "i"); (1, var "j") ] 0 ])
+                      (Ir.Bin
+                         ( Ir.Add,
+                           Ir.read c
+                             [ idx [ (m * n, var "g"); (n, var "i"); (1, var "j") ] 0 ],
+                           Ir.Bin
+                             ( Ir.Mul,
+                               Ir.read a
+                                 [ idx [ (m * k, var "g"); (k, var "i"); (1, var "kk") ] 0 ],
+                               Ir.read b [ b_index ] ) ));
+                  ];
+              ];
+          ];
+      ]
+  | Dialect.L_conv2d_nchw_fchw { n; c; h; w; k; r; s; input; filter; output } ->
+    let oh = h - r + 1 and ow = w - s + 1 in
+    loop "n" ~hi:n
+      [
+        loop "f" ~hi:k
+          [
+            loop "y" ~hi:oh
+              [
+                loop "x" ~hi:ow
+                  [
+                    Ir.assign (stmt "conv_init")
+                      ~target:
+                        (Ir.write output
+                           [ idx
+                               [ (k * oh * ow, var "n"); (oh * ow, var "f");
+                                 (ow, var "y"); (1, var "x") ]
+                               0 ])
+                      (Ir.Const 0.0);
+                    loop "c" ~hi:c
+                      [
+                        loop "ry" ~hi:r
+                          [
+                            loop "rx" ~hi:s
+                              [
+                                Ir.assign (stmt "conv_upd")
+                                  ~target:
+                                    (Ir.write output
+                                       [ idx
+                                           [ (k * oh * ow, var "n"); (oh * ow, var "f");
+                                             (ow, var "y"); (1, var "x") ]
+                                           0 ])
+                                  (Ir.Bin
+                                     ( Ir.Add,
+                                       Ir.read output
+                                         [ idx
+                                             [ (k * oh * ow, var "n"); (oh * ow, var "f");
+                                               (ow, var "y"); (1, var "x") ]
+                                             0 ],
+                                       Ir.Bin
+                                         ( Ir.Mul,
+                                           Ir.read input
+                                             [ idx
+                                                 [ (c * h * w, var "n"); (h * w, var "c");
+                                                   (w, var "y"); (w, var "ry");
+                                                   (1, var "x"); (1, var "rx") ]
+                                                 0 ],
+                                           Ir.read filter
+                                             [ idx
+                                                 [ (c * r * s, var "f"); (r * s, var "c");
+                                                   (s, var "ry"); (1, var "rx") ]
+                                                 0 ] ) ));
+                              ];
+                          ];
+                      ];
+                  ];
+              ];
+          ];
+      ]
+  | Dialect.L_scale { elems; factor; buf } ->
+    loop "i" ~hi:elems
+      [
+        Ir.assign (stmt "scale")
+          ~target:(Ir.write buf [ idx [ (1, var "i") ] 0 ])
+          (Ir.Bin (Ir.Mul, Ir.read buf [ idx [ (1, var "i") ] 0 ], Ir.Const factor));
+      ]
+  | Dialect.L_exp { elems; src; dst } ->
+    loop "i" ~hi:elems
+      [
+        Ir.assign (stmt "exp")
+          ~target:(Ir.write dst [ idx [ (1, var "i") ] 0 ])
+          (Ir.Exp (Ir.read src [ idx [ (1, var "i") ] 0 ]));
+      ]
+  | Dialect.L_rowsum { rows; cols; src; dst } ->
+    loop "r" ~hi:rows
+      [
+        Ir.assign (stmt "rs_init")
+          ~target:(Ir.write dst [ idx [ (1, var "r") ] 0 ])
+          (Ir.Const 0.0);
+        loop "c" ~hi:cols
+          [
+            Ir.assign (stmt "rs_upd")
+              ~target:(Ir.write dst [ idx [ (1, var "r") ] 0 ])
+              (Ir.Bin
+                 ( Ir.Add,
+                   Ir.read dst [ idx [ (1, var "r") ] 0 ],
+                   Ir.read src [ idx [ (cols, var "r"); (1, var "c") ] 0 ] ));
+          ];
+      ]
+  | Dialect.L_rowdiv { rows; cols; buf; divisor } ->
+    loop "r" ~hi:rows
+      [
+        loop "c" ~hi:cols
+          [
+            Ir.assign (stmt "rdiv")
+              ~target:(Ir.write buf [ idx [ (cols, var "r"); (1, var "c") ] 0 ])
+              (Ir.Bin
+                 ( Ir.Div,
+                   Ir.read buf [ idx [ (cols, var "r"); (1, var "c") ] 0 ],
+                   Ir.read divisor [ idx [ (1, var "r") ] 0 ] ));
+          ];
+      ]
+  | Dialect.L_relu { elems; buf } ->
+    loop "i" ~hi:elems
+      [
+        Ir.assign (stmt "relu")
+          ~target:(Ir.write buf [ idx [ (1, var "i") ] 0 ])
+          (Ir.Bin (Ir.Max, Ir.read buf [ idx [ (1, var "i") ] 0 ], Ir.Const 0.0));
+      ]
+  | Dialect.L_add { elems; a; b; dst } ->
+    loop "i" ~hi:elems
+      [
+        Ir.assign (stmt "add")
+          ~target:(Ir.write dst [ idx [ (1, var "i") ] 0 ])
+          (Ir.Bin
+             ( Ir.Add,
+               Ir.read a [ idx [ (1, var "i") ] 0 ],
+               Ir.read b [ idx [ (1, var "i") ] 0 ] ));
+      ]
+  | Dialect.L_transpose { rows; cols; src; dst } ->
+    loop "i" ~hi:rows
+      [
+        loop "j" ~hi:cols
+          [
+            Ir.assign (stmt "transp")
+              ~target:(Ir.write dst [ idx [ (rows, var "j"); (1, var "i") ] 0 ])
+              (Ir.read src [ idx [ (cols, var "i"); (1, var "j") ] 0 ]);
+          ];
+      ]
+
+let linalg_to_affine ?(tile = true) ?(tile_size = 32) (m : Dialect.t) =
+  let nest_id = ref 0 in
+  let ops =
+    List.map
+      (function
+        | Dialect.Linalg_op l ->
+          incr nest_id;
+          let item = lower_linalg_op ~nest_id:!nest_id l in
+          let item =
+            if tile then begin
+              let prog =
+                {
+                  Ir.prog_name = "nest";
+                  params = [];
+                  arrays = m.Dialect.arrays;
+                  body = [ item ];
+                }
+              in
+              match (Tiling.tile ~tile_size prog).Tiling.tiled.Ir.body with
+              | [ tiled ] -> tiled
+              | _ -> fail "tiling changed the nest count"
+            end
+            else item
+          in
+          Dialect.Affine_nest item
+        | Dialect.Torch_op (p, _) ->
+          fail "linalg-to-affine: torch op '%s' not yet lowered" p
+        | op -> op)
+      m.Dialect.ops
+  in
+  { m with Dialect.ops }
+
+let affine_to_scf (m : Dialect.t) =
+  {
+    m with
+    Dialect.ops =
+      List.map
+        (function
+          | Dialect.Affine_nest i -> Dialect.Scf_nest i
+          | op -> op)
+        m.Dialect.ops;
+  }
+
+(* ---------- pass manager ---------- *)
+
+type pass = { pass_name : string; run : Dialect.t -> Dialect.t }
+
+let pass_torch_to_linalg = { pass_name = "torch-to-linalg"; run = torch_to_linalg }
+
+let pass_linalg_to_affine ?tile ?tile_size () =
+  { pass_name = "linalg-to-affine"; run = linalg_to_affine ?tile ?tile_size }
+
+let pass_affine_to_scf = { pass_name = "affine-to-scf"; run = affine_to_scf }
+
+let run_pipeline passes m =
+  List.fold_left
+    (fun m p ->
+      try p.run m
+      with
+      | Lowering_error e -> fail "pass %s: %s" p.pass_name e
+      | Invalid_argument e -> fail "pass %s: %s" p.pass_name e)
+    m passes
+
+let default_pipeline ?tile ?tile_size () =
+  [
+    pass_torch_to_linalg;
+    pass_linalg_to_affine ?tile ?tile_size ();
+    pass_affine_to_scf;
+  ]
+
+(* ---------- flattening ---------- *)
+
+let rec root_var = function
+  | Ir.Loop l -> l.Ir.var
+  | Ir.Stmt s -> s.Ir.stmt_name
+  | Ir.If b -> (
+    match b.Ir.then_ @ b.Ir.else_ with i :: _ -> root_var i | [] -> "if")
+
+let to_program (m : Dialect.t) =
+  let items = ref [] and caps = ref [] in
+  let pending_cap = ref None in
+  List.iter
+    (function
+      | Dialect.Affine_nest i | Dialect.Scf_nest i ->
+        (match !pending_cap with
+        | Some f ->
+          caps := (root_var i, f) :: !caps;
+          pending_cap := None
+        | None -> ());
+        items := i :: !items
+      | Dialect.Set_uncore_cap f -> pending_cap := Some f
+      | Dialect.Torch_op (p, _) -> fail "to_program: unlowered torch op '%s'" p
+      | Dialect.Linalg_op l ->
+        fail "to_program: unlowered linalg op '%s'" (Dialect.linalg_name l))
+    m.Dialect.ops;
+  let prog =
+    {
+      Ir.prog_name = m.Dialect.module_name;
+      params = [];
+      arrays = m.Dialect.arrays;
+      body = List.rev !items;
+    }
+  in
+  (match Ir.validate prog with
+  | Ok () -> ()
+  | Error e -> fail "to_program: %s" e);
+  (prog, List.rev !caps)
+
+let nest_program (m : Dialect.t) op =
+  match op with
+  | Dialect.Affine_nest i | Dialect.Scf_nest i ->
+    {
+      Ir.prog_name = m.Dialect.module_name ^ "_nest";
+      params = [];
+      arrays = m.Dialect.arrays;
+      body = [ i ];
+    }
+  | _ -> fail "nest_program: not a loop nest"

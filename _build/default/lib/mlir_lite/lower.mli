@@ -1,0 +1,47 @@
+(** Progressive lowering between dialects, and the pass manager.
+
+    Mirrors the paper's pipeline (Fig. 2/3): [torch-to-linalg] decomposes
+    named network ops into structured ops, [linalg-to-affine] emits loop
+    nests (optionally Pluto-tiled and parallelized, the polygeist-opt +
+    Pluto stage), [affine-to-scf] finalizes for codegen.  {!to_program}
+    flattens a fully-lowered module into a {!Poly_ir.Ir.t} program plus the
+    cap schedule read off the inserted [set_uncore_cap] calls. *)
+
+exception Lowering_error of string
+
+val torch_to_linalg : Dialect.t -> Dialect.t
+(** Decompose every torch op; other ops pass through unchanged.
+    [sdpa] becomes batch_matmul(QKᵀ) · scale · exp · rowsum · rowdiv ·
+    batch_matmul(PV) — the CB → BB* → CB phase chain of Fig. 5. *)
+
+val linalg_to_affine : ?tile:bool -> ?tile_size:int -> Dialect.t -> Dialect.t
+(** Emit one affine loop nest per linalg op, registering its buffers in the
+    module's array table.  With [tile] (default true), each nest is run
+    through the Pluto-style tiler. *)
+
+val affine_to_scf : Dialect.t -> Dialect.t
+(** Convert affine nests to scf nests (the final codegen dialect). *)
+
+type pass = { pass_name : string; run : Dialect.t -> Dialect.t }
+
+val pass_torch_to_linalg : pass
+val pass_linalg_to_affine : ?tile:bool -> ?tile_size:int -> unit -> pass
+val pass_affine_to_scf : pass
+
+val run_pipeline : pass list -> Dialect.t -> Dialect.t
+(** Apply passes in order; raises {!Lowering_error} with the failing pass
+    name on error. *)
+
+val default_pipeline : ?tile:bool -> ?tile_size:int -> unit -> pass list
+(** torch→linalg→affine→scf. *)
+
+val to_program : Dialect.t -> Poly_ir.Ir.t * (string * float) list
+(** Flatten a fully-lowered module (affine/scf ops only).  Returns the
+    program and the cap schedule: each [set_uncore_cap f] applies to the
+    next loop nest (keyed by its outermost loop variable).
+    Raises {!Lowering_error} if torch or linalg ops remain. *)
+
+val nest_program : Dialect.t -> Dialect.op -> Poly_ir.Ir.t
+(** Wrap a single affine/scf nest as a standalone program over the
+    module's arrays (used for per-op characterization).
+    Raises {!Lowering_error} on other op kinds. *)

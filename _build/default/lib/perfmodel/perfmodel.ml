@@ -1,0 +1,118 @@
+type profile = {
+  omega : float;
+  level_hits : float array;
+  miss_llc : float;
+  q_dram_bytes : float;
+  oi : float;
+}
+
+let profile_of_cm (r : Cache_model.Model.result) =
+  {
+    omega = float_of_int r.Cache_model.Model.flops;
+    level_hits =
+      Array.map
+        (fun (c : Cache_model.Model.level_counts) ->
+          float_of_int c.Cache_model.Model.demand_hits)
+        r.Cache_model.Model.levels;
+    miss_llc = r.Cache_model.Model.miss_llc;
+    q_dram_bytes = r.Cache_model.Model.q_dram_bytes;
+    oi = r.Cache_model.Model.oi;
+  }
+
+type estimate = {
+  f_c : float;
+  time_s : float;
+  t_comp_s : float;
+  t_mem_s : float;
+  perf_gflops : float;
+  bw_gbps : float;
+  power_w : float;
+  peak_power_w : float;
+  energy_j : float;
+  edp : float;
+  boundedness : Roofline.boundedness;
+}
+
+let estimate (k : Roofline.constants) p ~f_c =
+  let open Roofline in
+  (* Eqn. 3: computation time *)
+  let t_comp_ns = p.omega *. k.t_fpu_ns in
+  (* Eqn. 4: memory time — hit terms plus the f_c-dependent DRAM term *)
+  let hit_ns = ref 0.0 in
+  Array.iteri
+    (fun i h -> hit_ns := !hit_ns +. (h *. k.hit_cost_ns.(i)))
+    p.level_hits;
+  let miss_ns = p.miss_llc *. miss_latency_ns k ~f_u:f_c in
+  let t_mem_ns = !hit_ns +. miss_ns in
+  let time_ns = t_comp_ns +. t_mem_ns in
+  let time_s = time_ns *. 1e-9 in
+  (* Eqns. 5–6 *)
+  let perf_gflops = if time_ns > 0.0 then p.omega /. time_ns else 0.0 in
+  let bw_gbps = if time_ns > 0.0 then p.q_dram_bytes /. time_ns else 0.0 in
+  let bd = characterize k ~oi:p.oi in
+  (* Eqn. 10: total average power with the CB/BB split.  The uncore power
+     has a clock component U(f) = α_P·f + γ_P (paid regardless of
+     activity — the source of the CB over-provisioning waste) and a memory
+     activity component proportional to achieved bandwidth; the paper's
+     (B^t/I) scaling of the CB branch appears here through
+     BW = Q/T ∝ 1/I.  The core component is p̂_FPU, scaled by compute
+     utilization I/B^t in the BB branch as in Eqn. 10. *)
+  let u_clk = uncore_power_at k ~f_u:f_c in
+  let ratio = p.oi /. k.b_dram_t in
+  let mem_activity_w = bw_gbps *. k.dram_w_per_gbps in
+  let power_w =
+    match bd with
+    | CB -> k.p_con_w +. u_clk +. mem_activity_w +. k.p_fpu_hat_w
+    | BB ->
+      k.p_con_w +. u_clk +. mem_activity_w
+      +. (k.p_fpu_hat_w *. Float.min 1.0 ratio)
+  in
+  (* Eqn. 8: peak power ceiling — replaces achieved bandwidth by the
+     capability P̂_DRAM(f) = U(f) + BW(f)·w_per_GBps, scaled by B^t/I for
+     CB kernels as I grows beyond B^t *)
+  let p_dram_hat =
+    u_clk +. (dram_bw_at k ~f_u:f_c *. k.dram_w_per_gbps)
+  in
+  let peak_power_w =
+    match bd with
+    | CB -> k.p_con_w +. (p_dram_hat /. Float.max 1.0 ratio) +. k.p_fpu_hat_w
+    | BB -> k.p_con_w +. p_dram_hat +. (k.p_fpu_hat_w *. Float.min 1.0 ratio)
+  in
+  (* Eqn. 11 in integrated form (cf. footnote 6: the classic energy
+     roofline): E = T · P(f_c, I) *)
+  let energy_j = time_s *. power_w in
+  {
+    f_c;
+    time_s;
+    t_comp_s = t_comp_ns *. 1e-9;
+    t_mem_s = t_mem_ns *. 1e-9;
+    perf_gflops;
+    bw_gbps;
+    power_w;
+    peak_power_w;
+    energy_j;
+    edp = energy_j *. time_s;
+    boundedness = bd;
+  }
+
+let sweep k p =
+  List.map (fun f -> estimate k p ~f_c:f)
+    (Hwsim.Machine.uncore_freqs k.Roofline.machine)
+
+let metric_value m e =
+  match m with `Edp -> e.edp | `Energy -> e.energy_j | `Time -> e.time_s
+
+let best_by ~metric = function
+  | [] -> invalid_arg "Perfmodel.best_by: empty sweep"
+  | e :: rest ->
+    List.fold_left
+      (fun best x ->
+        if metric_value metric x < metric_value metric best then x else best)
+      e rest
+
+let pp_estimate ppf e =
+  Format.fprintf ppf
+    "f_c=%.1f GHz: T=%.4g s (comp %.3g + mem %.3g) perf=%.2f GF/s bw=%.2f \
+     GB/s P=%.1f W (peak %.1f) E=%.4g J EDP=%.4g [%a]"
+    e.f_c e.time_s e.t_comp_s e.t_mem_s e.perf_gflops e.bw_gbps e.power_w
+    e.peak_power_w e.energy_j e.edp Roofline.pp_boundedness e.boundedness

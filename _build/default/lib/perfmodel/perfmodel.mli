@@ -1,0 +1,52 @@
+(** The parametric performance / power / energy model of Sec. V.
+
+    Inputs: the roofline constants (Table I, fitted by
+    {!Roofline.microbench}) and a program profile from PolyUFC-CM
+    (hit counts per level, LLC misses, Q_DRAM, Ω, OI).  Everything is then
+    a closed-form function of the uncore frequency cap [f_c]:
+
+    - execution time (Eqns. 2–4): [T = Ω·t_FPU + Σ_i hits_i·H_i +
+      Miss_LLC · M{^t}(f_c)], with [M{^t}(f) = a/f + b];
+    - performance and bandwidth (Eqns. 5–6);
+    - total average power (Eqn. 10), specialized by boundedness:
+      CB: [p_con + U(f_c)·(B{^t}/I) + p̂_FPU],
+      BB: [p_con + U(f_c) + p̂_FPU·(I/B{^t})], with [U(f) = α_P·f + γ_P]
+      the uncore power under full memory load;
+    - peak power ceiling (Eqn. 8);
+    - energy (Eqn. 11): [E = Ω·e_FPU + T{^Q}·P(f_c, I)]; and EDP. *)
+
+type profile = {
+  omega : float;  (** Ω: total flops *)
+  level_hits : float array;  (** demand hits per cache level (Eqn. 4) *)
+  miss_llc : float;
+  q_dram_bytes : float;
+  oi : float;
+}
+
+val profile_of_cm : Cache_model.Model.result -> profile
+(** Extract the model inputs from a PolyUFC-CM analysis. *)
+
+type estimate = {
+  f_c : float;
+  time_s : float;
+  t_comp_s : float;
+  t_mem_s : float;
+  perf_gflops : float;  (** Eqn. 5 *)
+  bw_gbps : float;  (** Eqn. 6 *)
+  power_w : float;  (** Eqn. 10 *)
+  peak_power_w : float;  (** Eqn. 8 *)
+  energy_j : float;  (** Eqn. 11 *)
+  edp : float;
+  boundedness : Roofline.boundedness;
+}
+
+val estimate : Roofline.constants -> profile -> f_c:float -> estimate
+
+val sweep : Roofline.constants -> profile -> estimate list
+(** One estimate per admissible cap frequency of the machine. *)
+
+val best_by :
+  metric:[ `Edp | `Energy | `Time ] -> estimate list -> estimate
+(** The estimate minimising the metric; raises [Invalid_argument] on []. *)
+
+val pp_estimate : Format.formatter -> estimate -> unit

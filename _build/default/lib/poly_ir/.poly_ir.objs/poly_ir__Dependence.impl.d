@@ -1,0 +1,1 @@
+lib/poly_ir/dependence.ml: Array Bset Format Fun Ir List Poly Presburger Printf Pset Scop Space String

@@ -1,0 +1,1 @@
+lib/poly_ir/dependence.mli: Bset Format Ir Presburger Pset Scop

@@ -1,0 +1,1 @@
+lib/poly_ir/interp.ml: Array Float Ir Layout List

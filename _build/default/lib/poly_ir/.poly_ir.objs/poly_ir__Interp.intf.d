@@ -1,0 +1,1 @@
+lib/poly_ir/interp.mli: Ir Layout

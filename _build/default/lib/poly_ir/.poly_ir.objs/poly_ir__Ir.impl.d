@@ -1,0 +1,1 @@
+lib/poly_ir/ir.ml: Float Format Hashtbl List Option Result String

@@ -1,0 +1,1 @@
+lib/poly_ir/layout.mli: Ir

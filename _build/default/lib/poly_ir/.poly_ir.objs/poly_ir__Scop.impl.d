@@ -1,0 +1,1 @@
+lib/poly_ir/scop.ml: Array Bset Count Format Ir List Presburger Printf Space String

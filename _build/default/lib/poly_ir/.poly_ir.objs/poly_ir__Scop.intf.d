@@ -1,0 +1,1 @@
+lib/poly_ir/scop.mli: Bset Count Format Ir Presburger

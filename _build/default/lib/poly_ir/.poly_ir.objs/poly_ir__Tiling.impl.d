@@ -1,0 +1,1 @@
+lib/poly_ir/tiling.ml: Dependence Format Ir List Scop

@@ -1,0 +1,260 @@
+open Presburger
+
+type kind = Raw | War | Waw
+
+type t = {
+  kind : kind;
+  src : Scop.stmt_info;
+  dst : Scop.stmt_info;
+  src_access : Ir.access;
+  dst_access : Ir.access;
+  common : int;
+  rel : Bset.t list;
+}
+
+let fix_info_domain (info : Scop.stmt_info) ~param_values =
+  let sp = Bset.space info.Scop.domain in
+  let values =
+    Array.map
+      (fun p ->
+        match List.assoc_opt p param_values with
+        | Some v -> v
+        | None -> invalid_arg ("Dependence: missing parameter " ^ p))
+      sp.Space.params
+  in
+  Bset.fix_params info.Scop.domain values
+
+(* combined relation space: ins = src iters, outs = dst iters (params
+   already fixed); divs = src divs then dst divs *)
+let combined_universe src_dom dst_dom =
+  let ds = Space.n_outs (Bset.space src_dom) in
+  let dt = Space.n_outs (Bset.space dst_dom) in
+  let dvs = Bset.n_div src_dom and dvt = Bset.n_div dst_dom in
+  let space =
+    Space.map_space ~in_name:"Src" ~out_name:"Dst"
+      (List.init ds (Printf.sprintf "i%d"))
+      (List.init dt (Printf.sprintf "j%d"))
+  in
+  let total = ds + dt + dvs + dvt in
+  let pa =
+    Poly.remap src_dom.Bset.poly total (fun i ->
+        if i < ds then i else ds + dt + (i - ds))
+  in
+  let pb =
+    Poly.remap dst_dom.Bset.poly total (fun i ->
+        if i < dt then ds + i else ds + dt + dvs + (i - dt))
+  in
+  Bset.of_poly space ~n_div:(dvs + dvt) (Poly.append pa pb)
+
+(* affine index expression as Bset.aff over the combined space *)
+let index_aff b (info : Scop.stmt_info) ~side ~param_values (a : Ir.aff) =
+  let pos i = match side with `Src -> Bset.in_pos b i | `Dst -> Bset.out_pos b i in
+  let var_col v =
+    let rec idx k = function
+      | [] -> invalid_arg ("Dependence: unbound variable " ^ v)
+      | w :: _ when String.equal w v -> k
+      | _ :: r -> idx (k + 1) r
+    in
+    pos (idx 0 info.Scop.iter_vars)
+  in
+  let const =
+    List.fold_left
+      (fun acc (p, c) ->
+        match List.assoc_opt p param_values with
+        | Some v -> acc + (c * v)
+        | None -> invalid_arg ("Dependence: missing parameter " ^ p))
+      a.Ir.const a.Ir.param_coefs
+  in
+  { Bset.coefs = List.map (fun (v, c) -> (c, var_col v)) a.Ir.var_coefs; const }
+
+let aff_sub (a : Bset.aff) (b : Bset.aff) =
+  {
+    Bset.coefs = a.Bset.coefs @ List.map (fun (c, v) -> (-c, v)) b.Bset.coefs;
+    const = a.Bset.const - b.Bset.const;
+  }
+
+(* order disjuncts: src instance scheduled strictly before dst instance *)
+let order_disjuncts b (src : Scop.stmt_info) (dst : Scop.stmt_info) common =
+  let eq_prefix b k =
+    let rec go b j =
+      if j = k then b
+      else
+        go
+          (Bset.add_eq b
+             {
+               Bset.coefs = [ (1, Bset.in_pos b j); (-1, Bset.out_pos b j) ];
+               const = 0;
+             })
+          (j + 1)
+    in
+    go b 0
+  in
+  let carried k =
+    (* i_0..i_(k-1) = j_0..j_(k-1), i_k < j_k *)
+    Bset.add_ge (eq_prefix b k)
+      {
+        Bset.coefs = [ (1, Bset.out_pos b k); (-1, Bset.in_pos b k) ];
+        const = -1;
+      }
+  in
+  let loop_disjuncts = List.init common carried in
+  (* textual order at the split level: all common dims equal, and the
+     source's position constant is smaller *)
+  let beta_s = List.nth src.Scop.beta common
+  and beta_t = List.nth dst.Scop.beta common in
+  if beta_s < beta_t then eq_prefix b common :: loop_disjuncts
+  else loop_disjuncts
+
+let classify (a : Ir.access) (b : Ir.access) =
+  match (a.Ir.kind, b.Ir.kind) with
+  | Ir.Write, Ir.Read -> Some Raw
+  | Ir.Read, Ir.Write -> Some War
+  | Ir.Write, Ir.Write -> Some Waw
+  | Ir.Read, Ir.Read -> None
+
+let analyze (scop : Scop.t) ~param_values =
+  let infos = Array.of_list scop.Scop.stmt_infos in
+  let fixed = Array.map (fun i -> fix_info_domain i ~param_values) infos in
+  let deps = ref [] in
+  Array.iteri
+    (fun si src ->
+      Array.iteri
+        (fun ti dst ->
+          let common = Scop.common_depth src dst in
+          List.iter
+            (fun (sa, _) ->
+              List.iter
+                (fun (da, _) ->
+                  if String.equal sa.Ir.array da.Ir.array then
+                    match classify sa da with
+                    | None -> ()
+                    | Some kind ->
+                      let b0 = combined_universe fixed.(si) fixed.(ti) in
+                      (* same element *)
+                      let b0 =
+                        List.fold_left2
+                          (fun b ia id ->
+                            let asrc =
+                              index_aff b src ~side:`Src ~param_values ia
+                            in
+                            let adst =
+                              index_aff b dst ~side:`Dst ~param_values id
+                            in
+                            Bset.add_eq b (aff_sub asrc adst))
+                          b0 sa.Ir.indices da.Ir.indices
+                      in
+                      let disjuncts = order_disjuncts b0 src dst common in
+                      let nonempty =
+                        List.filter (fun d -> not (Bset.is_empty d)) disjuncts
+                      in
+                      if nonempty <> [] then
+                        deps :=
+                          {
+                            kind;
+                            src;
+                            dst;
+                            src_access = sa;
+                            dst_access = da;
+                            common;
+                            rel = nonempty;
+                          }
+                          :: !deps)
+                dst.Scop.access_maps)
+            src.Scop.access_maps)
+        infos)
+    infos;
+  List.rev !deps
+
+(* restrict a relation disjunct to the first [k] input/output dims by
+   pushing the deeper dims into the div block, then take deltas *)
+let restrict_to_common (b : Bset.t) k =
+  let sp = Bset.space b in
+  let ni = Space.n_ins sp and no = Space.n_outs sp in
+  let nd = Bset.n_div b in
+  let extra = ni - k + (no - k) in
+  let total = k + k + extra + nd in
+  let perm i =
+    if i < k then i (* kept ins *)
+    else if i < ni then k + k + (i - k) (* dropped ins -> divs *)
+    else if i < ni + k then k + (i - ni) (* kept outs *)
+    else if i < ni + no then k + k + (ni - k) + (i - ni - k) (* dropped outs *)
+    else k + k + extra + (i - ni - no)
+  in
+  let space =
+    Space.map_space ~in_name:"Src" ~out_name:"Dst"
+      (List.init k (Printf.sprintf "i%d"))
+      (List.init k (Printf.sprintf "j%d"))
+  in
+  Bset.of_poly space ~n_div:(extra + nd) (Poly.remap b.Bset.poly total perm)
+
+let distance_set d =
+  let k = d.common in
+  let space = Space.set_space ~name:"delta" (List.init k (Printf.sprintf "d%d")) in
+  if k = 0 then Pset.empty space
+  else begin
+    let ds =
+      List.map (fun b -> Bset.deltas (restrict_to_common b k)) d.rel
+    in
+    match ds with
+    | [] -> Pset.empty space
+    | b :: _ -> Pset.of_bsets (Bset.space b) ds
+  end
+
+let carried_at d k =
+  assert (k < d.common);
+  let delta = distance_set d in
+  (* δ_0..δ_(k-1) = 0 and δ_k != 0 *)
+  let constrain (b : Bset.t) =
+    let b =
+      List.fold_left
+        (fun b j -> Bset.add_eq b { Bset.coefs = [ (1, Bset.out_pos b j) ]; const = 0 })
+        b (List.init k Fun.id)
+    in
+    let pos = Bset.add_ge b { Bset.coefs = [ (1, Bset.out_pos b k) ]; const = -1 } in
+    let neg = Bset.add_ge b { Bset.coefs = [ (-1, Bset.out_pos b k) ]; const = -1 } in
+    (not (Bset.is_empty pos)) || not (Bset.is_empty neg)
+  in
+  List.exists constrain (Pset.disjuncts delta)
+
+let nonneg_at d k =
+  if k >= d.common then true
+  else begin
+    let delta = distance_set d in
+    List.for_all
+      (fun b ->
+        let witness =
+          Bset.add_ge b { Bset.coefs = [ (-1, Bset.out_pos b k) ]; const = -1 }
+        in
+        Bset.is_empty witness)
+      (Pset.disjuncts delta)
+  end
+
+let permutable_prefix deps =
+  let depth =
+    List.fold_left
+      (fun acc d -> if d.common > 0 then min acc d.common else acc)
+      max_int deps
+  in
+  let depth = if depth = max_int then 0 else depth in
+  let rec go k =
+    if k >= depth then k
+    else if List.for_all (fun d -> nonneg_at d k) deps then go (k + 1)
+    else k
+  in
+  go 0
+
+let loop_parallel deps k =
+  List.for_all (fun d -> k >= d.common || not (carried_at d k)) deps
+
+let pp_kind ppf = function
+  | Raw -> Format.fprintf ppf "RAW"
+  | War -> Format.fprintf ppf "WAR"
+  | Waw -> Format.fprintf ppf "WAW"
+
+let pp ppf d =
+  Format.fprintf ppf "%a %s[%s] -> %s[%s] on %s (common=%d, %d disjunct(s))"
+    pp_kind d.kind d.src.Scop.stmt.Ir.stmt_name
+    (String.concat "," d.src.Scop.iter_vars)
+    d.dst.Scop.stmt.Ir.stmt_name
+    (String.concat "," d.dst.Scop.iter_vars)
+    d.src_access.Ir.array d.common (List.length d.rel)

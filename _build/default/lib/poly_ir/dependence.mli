@@ -1,0 +1,52 @@
+(** Polyhedral dependence analysis.
+
+    Dependences between statement instances are computed exactly from the
+    extracted SCoP: two accesses conflict when they touch the same array
+    element, at least one writes, and the source instance is scheduled
+    before the destination (by the 2d+1 order).
+
+    Emptiness and distance-set queries are evaluated at concrete parameter
+    values supplied by the caller (the kernels evaluated in the paper have
+    quasi-uniform dependences, for which sampled sizes are decisive; this
+    is our stand-in for isl's parametric emptiness test). *)
+
+open Presburger
+
+type kind = Raw | War | Waw
+
+type t = {
+  kind : kind;
+  src : Scop.stmt_info;
+  dst : Scop.stmt_info;
+  src_access : Ir.access;
+  dst_access : Ir.access;
+  common : int;  (** loops shared by source and destination *)
+  rel : Bset.t list;
+      (** non-empty disjuncts of the dependence relation
+          [src iteration -> dst iteration], parameters fixed *)
+}
+
+val analyze : Scop.t -> param_values:(string * int) list -> t list
+(** All non-empty dependences of the program at the given sizes. *)
+
+val distance_set : t -> Pset.t
+(** The set of distance vectors [j − i] projected on the [common] loops. *)
+
+val carried_at : t -> int -> bool
+(** [carried_at d k]: some instance pair has [δ_0 = … = δ_(k-1) = 0] and
+    [δ_k ≠ 0] (the dependence is carried by loop [k] of the common nest).
+    [k] must be [< common]. *)
+
+val permutable_prefix : t list -> int
+(** Length of the longest loop-band prefix [0 .. b-1] such that every
+    dependence distance is non-negative in each of those dimensions — the
+    Pluto full-permutability condition for rectangular tiling. The
+    result is capped by the smallest [common] among dependences that have
+    common loops. *)
+
+val loop_parallel : t list -> int -> bool
+(** [loop_parallel deps k]: no dependence is carried at level [k]
+    (OpenMP-parallelism test for the loop at depth [k]). *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp : Format.formatter -> t -> unit

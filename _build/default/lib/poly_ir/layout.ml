@@ -1,0 +1,69 @@
+type array_layout = {
+  decl : Ir.array_decl;
+  extents : int array;
+  strides : int array;
+  base : int;
+  size_bytes : int;
+}
+
+type t = {
+  arrays : (string * array_layout) list;
+  footprint : int;
+  align : int;
+}
+
+let eval_aff (a : Ir.aff) ~vars ~params =
+  List.fold_left (fun acc (v, c) -> acc + (c * vars v)) a.Ir.const a.Ir.var_coefs
+  + List.fold_left (fun acc (p, c) -> acc + (c * params p)) 0 a.Ir.param_coefs
+
+let of_program ?(align = 64) prog ~param_values =
+  let params p =
+    match List.assoc_opt p param_values with
+    | Some v -> v
+    | None -> invalid_arg ("Layout: missing parameter " ^ p)
+  in
+  let no_vars v = invalid_arg ("Layout: loop variable in array extent: " ^ v) in
+  let next_base = ref 0 in
+  let arrays =
+    List.map
+      (fun (d : Ir.array_decl) ->
+        let extents =
+          Array.of_list
+            (List.map (fun e -> eval_aff e ~vars:no_vars ~params) d.Ir.extents)
+        in
+        Array.iter
+          (fun e ->
+            if e <= 0 then
+              invalid_arg
+                (Printf.sprintf "Layout: non-positive extent %d for array %s" e
+                   d.Ir.array_name))
+          extents;
+        let n = Array.length extents in
+        let strides = Array.make n 1 in
+        for i = n - 2 downto 0 do
+          strides.(i) <- strides.(i + 1) * extents.(i + 1)
+        done;
+        let elems = if n = 0 then 1 else strides.(0) * extents.(0) in
+        let size_bytes = elems * d.Ir.elem_size in
+        let base = !next_base in
+        next_base := (base + size_bytes + align - 1) / align * align;
+        (d.Ir.array_name, { decl = d; extents; strides; base; size_bytes }))
+      prog.Ir.arrays
+  in
+  { arrays; footprint = !next_base; align }
+
+let find t name =
+  match List.assoc_opt name t.arrays with
+  | Some a -> a
+  | None -> invalid_arg ("Layout: unknown array " ^ name)
+
+let linear_index al idx =
+  assert (Array.length idx = Array.length al.extents);
+  let acc = ref 0 in
+  for i = 0 to Array.length idx - 1 do
+    assert (idx.(i) >= 0 && idx.(i) < al.extents.(i));
+    acc := !acc + (idx.(i) * al.strides.(i))
+  done;
+  !acc
+
+let address al idx = al.base + (linear_index al idx * al.decl.Ir.elem_size)

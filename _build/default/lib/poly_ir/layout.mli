@@ -1,0 +1,33 @@
+(** Concrete memory layout of a program's arrays at fixed parameter values.
+
+    Arrays are laid out row-major, packed sequentially in declaration order,
+    each base aligned to [align] bytes (default 64, one cache line), mirroring
+    what the paper's generated LLVM-IR binaries see. *)
+
+type array_layout = {
+  decl : Ir.array_decl;
+  extents : int array;  (** evaluated dimension sizes *)
+  strides : int array;  (** row-major element strides *)
+  base : int;  (** byte address of element 0 *)
+  size_bytes : int;
+}
+
+type t = {
+  arrays : (string * array_layout) list;
+  footprint : int;  (** total bytes *)
+  align : int;
+}
+
+val of_program : ?align:int -> Ir.t -> param_values:(string * int) list -> t
+(** Raises [Invalid_argument] on a missing parameter value or a
+    non-positive extent. *)
+
+val find : t -> string -> array_layout
+val address : array_layout -> int array -> int
+(** Byte address of the element at the given index vector. *)
+
+val linear_index : array_layout -> int array -> int
+(** Row-major element offset (bounds-checked with [assert]). *)
+
+val eval_aff : Ir.aff -> vars:(string -> int) -> params:(string -> int) -> int
+(** Evaluate an affine expression with the given environments. *)

@@ -1,0 +1,38 @@
+(** Loop tiling and parallelization — the Pluto substitute.
+
+    Rectangular tiling of the outermost fully-permutable band of each
+    top-level loop nest (paper baseline: Pluto v0.11.4, default tile size
+    32), with OpenMP-style parallel marking of the outermost tile loop when
+    no dependence is carried there.
+
+    Legality is the standard condition: a band of loops may be tiled iff
+    every dependence distance is non-negative in each band dimension (full
+    permutability).  Bands that fail shrink to their largest permutable
+    prefix; bands of length < 2 are left untiled (tiling a single loop has
+    no locality benefit).
+
+    Assumption (satisfied by all paper benchmarks): loop lower bounds are
+    non-negative, so tile loops may start at 0. *)
+
+type nest_report = {
+  nest_root : string;  (** variable of the outermost loop of the nest *)
+  band : int;  (** loops actually tiled *)
+  parallel : bool;  (** outermost (tile) loop marked parallel *)
+  n_deps : int;
+}
+
+type report = { tiled : Ir.t; nests : nest_report list }
+
+val tile :
+  ?tile_size:int ->
+  ?legality_sizes:int list ->
+  Ir.t ->
+  report
+(** [tile prog] tiles every top-level nest.  Dependences are tested at the
+    given sample sizes for each parameter (default [[6; 9]]); a nest is
+    transformed only if legal at all samples. *)
+
+val tile_program : ?tile_size:int -> Ir.t -> Ir.t
+(** Convenience: [ (tile prog).tiled ]. *)
+
+val pp_report : Format.formatter -> report -> unit

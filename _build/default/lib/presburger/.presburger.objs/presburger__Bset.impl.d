@@ -1,0 +1,1 @@
+lib/presburger/bset.ml: Array Format List Option Poly Space

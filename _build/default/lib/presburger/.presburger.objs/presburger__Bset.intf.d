@@ -1,0 +1,1 @@
+lib/presburger/bset.mli: Format Poly Space

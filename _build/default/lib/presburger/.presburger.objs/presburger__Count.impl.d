@@ -1,0 +1,1 @@
+lib/presburger/count.ml: Array Bset Fit Format Fun Hashtbl Ints Linalg List Option Q

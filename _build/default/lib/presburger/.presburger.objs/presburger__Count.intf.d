@@ -1,0 +1,1 @@
+lib/presburger/count.mli: Bset Format Linalg

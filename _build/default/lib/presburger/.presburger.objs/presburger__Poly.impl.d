@@ -1,0 +1,1 @@
+lib/presburger/poly.ml: Array Format Hashtbl Ints Linalg List

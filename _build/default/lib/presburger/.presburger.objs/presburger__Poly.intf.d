@@ -1,0 +1,1 @@
+lib/presburger/poly.mli: Format

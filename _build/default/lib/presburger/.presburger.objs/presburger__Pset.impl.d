@@ -1,0 +1,1 @@
+lib/presburger/pset.ml: Array Bset Format Fun Hashtbl List Poly Printf Space

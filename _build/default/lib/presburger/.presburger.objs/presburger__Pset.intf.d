@@ -1,0 +1,1 @@
+lib/presburger/pset.mli: Bset Format Space

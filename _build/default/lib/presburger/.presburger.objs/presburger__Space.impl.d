@@ -1,0 +1,1 @@
+lib/presburger/space.ml: Array Format String

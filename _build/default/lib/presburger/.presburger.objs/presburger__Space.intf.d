@@ -1,0 +1,1 @@
+lib/presburger/space.mli: Format

@@ -1,0 +1,1 @@
+lib/presburger/syntax.ml: Array Bset Format List Map Poly Printf Pset Space String

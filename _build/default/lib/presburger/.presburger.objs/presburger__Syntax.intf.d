@@ -1,0 +1,1 @@
+lib/presburger/syntax.mli: Bset Format Pset

@@ -1,0 +1,100 @@
+open Linalg
+
+type quasi_poly = { period : int; polys : Q.t array array }
+
+let degree qp =
+  Array.fold_left
+    (fun d poly ->
+      let rec top i = if i < 0 then -1 else if Q.is_zero poly.(i) then top (i - 1) else i in
+      max d (top (Array.length poly - 1)))
+    0 qp.polys
+
+let eval qp n =
+  let r = Ints.fmod n qp.period in
+  let v = Fit.eval_exact_poly qp.polys.(r) (Q.of_int n) in
+  if not (Q.is_integer v) then
+    invalid_arg "Count.eval: non-integer value (inconsistent fit)";
+  Q.to_int_exn v
+
+let pp ppf qp =
+  let pp_poly ppf poly =
+    let printed = ref false in
+    Array.iteri
+      (fun i c ->
+        if not (Q.is_zero c) then begin
+          if !printed then Format.fprintf ppf " + ";
+          (match i with
+          | 0 -> Format.fprintf ppf "%a" Q.pp c
+          | 1 -> Format.fprintf ppf "%a·n" Q.pp c
+          | _ -> Format.fprintf ppf "%a·n^%d" Q.pp c i);
+          printed := true
+        end)
+      poly;
+    if not !printed then Format.fprintf ppf "0"
+  in
+  if qp.period = 1 then pp_poly ppf qp.polys.(0)
+  else begin
+    Format.fprintf ppf "@[<v>";
+    Array.iteri
+      (fun r poly ->
+        Format.fprintf ppf "[n ≡ %d mod %d] %a@," r qp.period pp_poly poly)
+      qp.polys;
+    Format.fprintf ppf "@]"
+  end
+
+let interpolate ?(max_degree = 6) ?(max_period = 8) ?(base = 4) ~count () =
+  (* memoize the (possibly expensive) counts *)
+  let cache = Hashtbl.create 32 in
+  let count n =
+    match Hashtbl.find_opt cache n with
+    | Some c -> c
+    | None ->
+      let c = count n in
+      Hashtbl.add cache n c;
+      c
+  in
+  let try_fit degree period =
+    (* for each residue class we need degree+1 fitting points plus
+       2 validation points *)
+    let fit_class r =
+      (* parameter values >= base congruent to r mod period *)
+      let first = base + Ints.fmod (r - base) period in
+      (* fit on degree+1 consecutive class members, then validate on two
+         adjacent and two far-out samples — far samples reject low-degree /
+         low-period fits that merely match a locally flat region *)
+      let ks =
+        List.init (degree + 3) Fun.id
+        @ [ 2 * (degree + 3); (4 * (degree + 3)) + 1 ]
+      in
+      let pts =
+        List.map
+          (fun k ->
+            let n = first + (k * period) in
+            (Q.of_int n, Q.of_int (count n)))
+          ks
+      in
+      Fit.exact_polynomial ~degree pts
+    in
+    let classes = List.init period fit_class in
+    if List.for_all Option.is_some classes then
+      Some
+        {
+          period;
+          polys = Array.of_list (List.map Option.get classes);
+        }
+    else None
+  in
+  let rec search degree period =
+    if degree > max_degree then None
+    else if period > max_period then search (degree + 1) 1
+    else
+      match try_fit degree period with
+      | Some qp -> Some qp
+      | None -> search degree (period + 1)
+  in
+  search 0 1
+
+let card_poly ?max_degree ?max_period ?base instance =
+  interpolate ?max_degree ?max_period ?base
+    ~count:(fun n -> Bset.cardinality (instance n))
+    ()

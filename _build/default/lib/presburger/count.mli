@@ -1,0 +1,46 @@
+(** Symbolic counting of parametric integer sets — the barvinok substitute.
+
+    For an affine set parametric in one size parameter [n], the number of
+    integer points is an {e Ehrhart quasi-polynomial}: a polynomial in [n]
+    whose coefficients depend periodically on [n mod p] for some period [p].
+    We recover it by counting concrete instances at sampled parameter values
+    (using the exact enumerator of {!Bset}) and interpolating with exact
+    rational arithmetic, validating the fit on held-out samples. *)
+
+type quasi_poly = private {
+  period : int;
+  polys : Linalg.Q.t array array;
+      (** [polys.(r)] are the coefficients (low degree first) applying when
+          [n mod period = r]. *)
+}
+
+val eval : quasi_poly -> int -> int
+(** Value at a concrete parameter; raises [Invalid_argument] if the
+    quasi-polynomial yields a non-integer there (a fit bug). *)
+
+val degree : quasi_poly -> int
+
+val pp : Format.formatter -> quasi_poly -> unit
+
+val interpolate :
+  ?max_degree:int ->
+  ?max_period:int ->
+  ?base:int ->
+  count:(int -> int) ->
+  unit ->
+  quasi_poly option
+(** [interpolate ~count ()] samples [count n] at parameter values
+    [base, base+1, ...] and returns the smallest-degree, smallest-period
+    quasi-polynomial consistent with all samples (degrees up to
+    [max_degree], default 6; periods up to [max_period], default 8; [base]
+    default 4).  Each candidate is validated on extra held-out samples.
+    [None] if nothing fits. *)
+
+val card_poly :
+  ?max_degree:int ->
+  ?max_period:int ->
+  ?base:int ->
+  (int -> Bset.t) ->
+  quasi_poly option
+(** [card_poly instance] interpolates the cardinality of the family
+    [instance n] (each instance must have its parameters already fixed). *)

@@ -1,0 +1,413 @@
+open Linalg
+
+type cstr = { coef : int array; const : int; eq : bool }
+type t = { nvar : int; cstrs : cstr list }
+
+exception Infeasible
+exception Unbounded
+
+let ge coef const = { coef = Array.copy coef; const; eq = false }
+let eq coef const = { coef = Array.copy coef; const; eq = true }
+let false_cstr nvar = { coef = Array.make nvar 0; const = -1; eq = false }
+let coef_gcd c = Array.fold_left (fun g a -> Ints.gcd g a) 0 c.coef
+
+let is_trivial c =
+  Array.for_all (fun a -> a = 0) c.coef
+  && if c.eq then c.const = 0 else c.const >= 0
+
+(* gcd reduction; inequalities get integer tightening of the constant.
+   Raises [Infeasible] on a constantly-false constraint, returns [None] for
+   a constantly-true one. *)
+let normalize c =
+  let g = coef_gcd c in
+  if g = 0 then
+    if (c.eq && c.const <> 0) || ((not c.eq) && c.const < 0) then
+      raise Infeasible
+    else None
+  else if c.eq then
+    if c.const mod g <> 0 then raise Infeasible
+    else begin
+      (* canonical sign: first non-zero coefficient positive *)
+      let coef = Array.map (fun a -> a / g) c.coef in
+      let const = c.const / g in
+      let flip =
+        match Array.find_opt (fun a -> a <> 0) coef with
+        | Some a -> a < 0
+        | None -> false
+      in
+      let coef = if flip then Array.map (fun a -> -a) coef else coef in
+      let const = if flip then -const else const in
+      Some { coef; const; eq = true }
+    end
+  else
+    Some { coef = Array.map (fun a -> a / g) c.coef; const = Ints.fdiv c.const g; eq = false }
+
+(* deduplicate: same coefficient vector keeps the strongest form *)
+let dedup cstrs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let key = (Array.to_list c.coef, c.eq) in
+      match Hashtbl.find_opt tbl key with
+      | None -> Hashtbl.add tbl key c
+      | Some c' ->
+        if c.eq then begin
+          if c.const <> c'.const then raise Infeasible
+        end
+        else if c.const < c'.const then Hashtbl.replace tbl key c)
+    cstrs;
+  Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
+
+let normalize_all cstrs = dedup (List.filter_map normalize cstrs)
+
+let make nvar cstrs =
+  List.iter
+    (fun c ->
+      if Array.length c.coef <> nvar then
+        invalid_arg "Poly.make: constraint arity mismatch")
+    cstrs;
+  match normalize_all cstrs with
+  | cstrs -> { nvar; cstrs }
+  | exception Infeasible -> { nvar; cstrs = [ false_cstr nvar ] }
+
+let universe nvar = { nvar; cstrs = [] }
+let nvar t = t.nvar
+let constraints t = t.cstrs
+let add_constraints t cs = make t.nvar (cs @ t.cstrs)
+
+let append a b =
+  if a.nvar <> b.nvar then invalid_arg "Poly.append: arity mismatch";
+  make a.nvar (a.cstrs @ b.cstrs)
+
+let eval c point =
+  let acc = ref c.const in
+  for i = 0 to Array.length c.coef - 1 do
+    acc := Ints.add !acc (Ints.mul c.coef.(i) point.(i))
+  done;
+  !acc
+
+let sat c point =
+  let v = eval c point in
+  if c.eq then v = 0 else v >= 0
+
+let mem t point =
+  Array.length point = t.nvar && List.for_all (fun c -> sat c point) t.cstrs
+
+let insert_vars t ~at ~count =
+  let shift c =
+    let coef = Array.make (t.nvar + count) 0 in
+    Array.iteri
+      (fun i a -> coef.(if i < at then i else i + count) <- a)
+      c.coef;
+    { c with coef }
+  in
+  { nvar = t.nvar + count; cstrs = List.map shift t.cstrs }
+
+let remap t nvar' perm =
+  let move c =
+    let coef = Array.make nvar' 0 in
+    Array.iteri (fun i a -> if a <> 0 then coef.(perm i) <- a) c.coef;
+    { c with coef }
+  in
+  make nvar' (List.map move t.cstrs)
+
+let fix_vars t value =
+  let kept = ref [] in
+  for i = t.nvar - 1 downto 0 do
+    if value i = None then kept := i :: !kept
+  done;
+  let kept = Array.of_list !kept in
+  let nvar' = Array.length kept in
+  let convert c =
+    let coef = Array.make nvar' 0 in
+    Array.iteri (fun j i -> coef.(j) <- c.coef.(i)) kept;
+    let const = ref c.const in
+    Array.iteri
+      (fun i a ->
+        match value i with
+        | Some v when a <> 0 -> const := Ints.add !const (Ints.mul a v)
+        | _ -> ())
+      c.coef;
+    { coef; const = !const; eq = c.eq }
+  in
+  make nvar' (List.map convert t.cstrs)
+
+(* --- Fourier–Motzkin --- *)
+
+(* [combine a ca b cb] is [ca·a + cb·b] (both inequalities, [ca, cb > 0]) *)
+let combine a ca b cb =
+  {
+    coef =
+      Array.init (Array.length a.coef) (fun i ->
+          Ints.add (Ints.mul ca a.coef.(i)) (Ints.mul cb b.coef.(i)));
+    const = Ints.add (Ints.mul ca a.const) (Ints.mul cb b.const);
+    eq = false;
+  }
+
+(* substitute using equality [e] (with [e.coef.(v) <> 0]) into [c] *)
+let substitute_eq v e c =
+  let a = e.coef.(v) in
+  let b = c.coef.(v) in
+  if b = 0 then c
+  else begin
+    let s = if a > 0 then 1 else -1 in
+    let coef =
+      Array.init (Array.length c.coef) (fun i ->
+          Ints.sub (Ints.mul (abs a) c.coef.(i)) (Ints.mul (Ints.mul b s) e.coef.(i)))
+    in
+    let const =
+      Ints.sub (Ints.mul (abs a) c.const) (Ints.mul (Ints.mul b s) e.const)
+    in
+    { coef; const; eq = c.eq }
+  end
+
+let eliminate_var_exn t v =
+  let has c = c.coef.(v) <> 0 in
+  let eqs = List.filter (fun c -> c.eq && has c) t.cstrs in
+  let cstrs =
+    match eqs with
+    | e :: _ ->
+      (* pivot on an equality: exact substitution *)
+      List.filter_map
+        (fun c -> if c == e then None else Some (substitute_eq v e c))
+        t.cstrs
+    | [] ->
+      let lowers, uppers, rest =
+        List.fold_left
+          (fun (lo, up, rest) c ->
+            if not (has c) then (lo, up, c :: rest)
+            else if c.coef.(v) > 0 then (c :: lo, up, rest)
+            else (lo, c :: up, rest))
+          ([], [], []) t.cstrs
+      in
+      let pairs =
+        List.concat_map
+          (fun l ->
+            List.map (fun u -> combine l (-u.coef.(v)) u l.coef.(v)) uppers)
+          lowers
+      in
+      pairs @ rest
+  in
+  { nvar = t.nvar; cstrs = normalize_all cstrs }
+
+let eliminate_var t v =
+  match eliminate_var_exn t v with
+  | t' -> t'
+  | exception Infeasible -> { nvar = t.nvar; cstrs = [ false_cstr t.nvar ] }
+
+let eliminate_from t k =
+  let r = ref t in
+  for v = t.nvar - 1 downto k do
+    r := eliminate_var !r v
+  done;
+  !r
+
+let rational_feasible t =
+  match
+    let r = ref t in
+    for v = t.nvar - 1 downto 0 do
+      r := eliminate_var_exn !r v
+    done;
+    !r
+  with
+  | r -> List.for_all is_trivial r.cstrs
+  | exception Infeasible -> false
+
+(* --- Lexicographic scanning --- *)
+
+(* elim.(k): system with variables [k .. nvar-1] eliminated, so that the
+   constraints mentioning variable [k] in elim.(k+1) give its bounds as a
+   function of variables [< k]. *)
+let elimination_tower t =
+  let n = t.nvar in
+  let tower = Array.make (n + 1) t in
+  for k = n - 1 downto 0 do
+    tower.(k) <- eliminate_var tower.(k + 1) k
+  done;
+  tower
+
+(* bounds on variable [k] given the partial assignment [x] of vars [< k] *)
+let level_bounds tower k x =
+  let lo = ref None and hi = ref None in
+  let tighten_lo v = match !lo with None -> lo := Some v | Some w -> if v > w then lo := Some v in
+  let tighten_hi v = match !hi with None -> hi := Some v | Some w -> if v < w then hi := Some v in
+  let feasible = ref true in
+  List.iter
+    (fun c ->
+      let a = c.coef.(k) in
+      if a <> 0 then begin
+        (* value of the constraint restricted to assigned variables *)
+        let v = ref c.const in
+        for j = 0 to k - 1 do
+          if c.coef.(j) <> 0 then v := Ints.add !v (Ints.mul c.coef.(j) x.(j))
+        done;
+        (* a·x_k + v {>=,=} 0 *)
+        if c.eq then
+          if !v mod a <> 0 then feasible := false
+          else begin
+            let e = - !v / a in
+            tighten_lo e;
+            tighten_hi e
+          end
+        else if a > 0 then tighten_lo (Ints.cdiv (- !v) a)
+        else tighten_hi (Ints.fdiv !v (-a))
+      end
+      else if c.eq || k = 0 then begin
+        (* ground-level constraints with no scanned variable must hold *)
+        let relevant = ref true in
+        for j = k to Array.length c.coef - 1 do
+          if c.coef.(j) <> 0 then relevant := false
+        done;
+        if !relevant then begin
+          let v = ref c.const in
+          for j = 0 to k - 1 do
+            if c.coef.(j) <> 0 then v := Ints.add !v (Ints.mul c.coef.(j) x.(j))
+          done;
+          if (c.eq && !v <> 0) || ((not c.eq) && !v < 0) then feasible := false
+        end
+      end)
+    tower.(k + 1).cstrs;
+  if !feasible then Some (!lo, !hi) else None
+
+let definitely_false t =
+  List.exists
+    (fun c ->
+      Array.for_all (fun a -> a = 0) c.coef
+      && if c.eq then c.const <> 0 else c.const < 0)
+    t.cstrs
+
+let fold_points ?n_scan t ~init ~f =
+  let s = match n_scan with None -> t.nvar | Some s -> s in
+  assert (s >= 0 && s <= t.nvar);
+  if definitely_false t then init
+  else begin
+    let tower = elimination_tower t in
+    let x = Array.make t.nvar 0 in
+    (* existence check over the suffix [k .. nvar-1] *)
+    let rec exists_suffix k =
+      if k = t.nvar then true
+      else
+        match level_bounds tower k x with
+        | None -> false
+        | Some (lo, hi) ->
+          (match (lo, hi) with
+          | Some lo, Some hi ->
+            let rec try_val v =
+              if v > hi then false
+              else begin
+                x.(k) <- v;
+                exists_suffix (k + 1) || try_val (v + 1)
+              end
+            in
+            try_val lo
+          | _ -> raise Unbounded)
+    in
+    let prefix = Array.sub x 0 s in
+    let rec scan k acc =
+      if k = s then
+        if s = t.nvar || exists_suffix s then begin
+          Array.blit x 0 prefix 0 s;
+          f acc prefix
+        end
+        else acc
+      else
+        match level_bounds tower k x with
+        | None -> acc
+        | Some (lo, hi) ->
+          (match (lo, hi) with
+          | Some lo, Some hi ->
+            let acc = ref acc in
+            for v = lo to hi do
+              x.(k) <- v;
+              acc := scan (k + 1) !acc
+            done;
+            !acc
+          | _ -> raise Unbounded)
+    in
+    (* an empty scan prefix degenerates to a single existence test *)
+    if s = 0 then if exists_suffix 0 then f init prefix else init
+    else scan 0 init
+  end
+
+let iter_points ?n_scan t ~f = fold_points ?n_scan t ~init:() ~f:(fun () p -> f p)
+
+let count_points ?n_scan t =
+  fold_points ?n_scan t ~init:0 ~f:(fun n _ -> n + 1)
+
+exception Found of int array
+
+let first_point ?n_scan t =
+  match
+    fold_points ?n_scan t ~init:() ~f:(fun () p -> raise (Found (Array.copy p)))
+  with
+  | () -> None
+  | exception Found p -> Some p
+
+let sample t = first_point t
+
+let is_empty t =
+  if definitely_false t then true
+  else if not (rational_feasible t) then true
+  else sample t = None
+
+let lexmin ?n_scan t = first_point ?n_scan t
+
+(* lexmax: scan with all variables negated *)
+let negate_vars t =
+  { nvar = t.nvar; cstrs = List.map (fun c -> { c with coef = Array.map (fun a -> -a) c.coef }) t.cstrs }
+
+let lexmax ?n_scan t =
+  match first_point ?n_scan (negate_vars t) with
+  | None -> None
+  | Some p -> Some (Array.map (fun v -> -v) p)
+
+let var_bounds t v =
+  (* eliminate every variable except [v], then read the bounds *)
+  let r = ref t in
+  for j = t.nvar - 1 downto 0 do
+    if j <> v then r := eliminate_var !r j
+  done;
+  let lo = ref None and hi = ref None in
+  List.iter
+    (fun c ->
+      let a = c.coef.(v) in
+      if a <> 0 then begin
+        if c.eq || a > 0 then begin
+          let b = Ints.cdiv (-c.const) a in
+          match !lo with None -> lo := Some b | Some w -> if b > w then lo := Some b
+        end;
+        if c.eq || a < 0 then begin
+          let b = if c.eq then Ints.fdiv (-c.const) a else Ints.fdiv c.const (-a) in
+          match !hi with None -> hi := Some b | Some w -> if b < w then hi := Some b
+        end
+      end)
+    !r.cstrs;
+  (!lo, !hi)
+
+let pp_cstr ppf c =
+  let first = ref true in
+  Array.iteri
+    (fun i a ->
+      if a <> 0 then begin
+        if !first then begin
+          if a = 1 then Format.fprintf ppf "x%d" i
+          else if a = -1 then Format.fprintf ppf "-x%d" i
+          else Format.fprintf ppf "%dx%d" a i;
+          first := false
+        end
+        else if a > 0 then
+          if a = 1 then Format.fprintf ppf " + x%d" i
+          else Format.fprintf ppf " + %dx%d" a i
+        else if a = -1 then Format.fprintf ppf " - x%d" i
+        else Format.fprintf ppf " - %dx%d" (-a) i
+      end)
+    c.coef;
+  if !first then Format.fprintf ppf "%d" c.const
+  else if c.const > 0 then Format.fprintf ppf " + %d" c.const
+  else if c.const < 0 then Format.fprintf ppf " - %d" (-c.const);
+  Format.fprintf ppf (if c.eq then " = 0" else " >= 0")
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>{nvar=%d;@ %a}@]" t.nvar
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " and@ ") pp_cstr)
+    t.cstrs

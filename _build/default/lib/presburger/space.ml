@@ -1,0 +1,76 @@
+type t = {
+  params : string array;
+  in_name : string;
+  ins : string array;
+  out_name : string;
+  outs : string array;
+}
+
+let set_space ?(params = []) ?(name = "") dims =
+  {
+    params = Array.of_list params;
+    in_name = "";
+    ins = [||];
+    out_name = name;
+    outs = Array.of_list dims;
+  }
+
+let map_space ?(params = []) ?(in_name = "") ?(out_name = "") ins outs =
+  {
+    params = Array.of_list params;
+    in_name;
+    ins = Array.of_list ins;
+    out_name;
+    outs = Array.of_list outs;
+  }
+
+let n_params s = Array.length s.params
+let n_ins s = Array.length s.ins
+let n_outs s = Array.length s.outs
+let n_vars s = n_params s + n_ins s + n_outs s
+let is_set s = n_ins s = 0 && s.in_name = ""
+
+let domain s =
+  { s with in_name = ""; ins = [||]; out_name = s.in_name; outs = s.ins }
+
+let range s = { s with in_name = ""; ins = [||] }
+
+let reverse s =
+  {
+    s with
+    in_name = s.out_name;
+    ins = s.outs;
+    out_name = s.in_name;
+    outs = s.ins;
+  }
+
+let compose a b =
+  if n_outs a <> n_ins b then
+    invalid_arg "Space.compose: intermediate arity mismatch";
+  if not (Array.for_all2 String.equal a.params b.params) then
+    invalid_arg "Space.compose: parameter mismatch";
+  {
+    params = a.params;
+    in_name = a.in_name;
+    ins = a.ins;
+    out_name = b.out_name;
+    outs = b.outs;
+  }
+
+let same_params a b =
+  Array.length a.params = Array.length b.params
+  && Array.for_all2 String.equal a.params b.params
+
+let equal a b =
+  same_params a b && n_ins a = n_ins b && n_outs a = n_outs b
+
+let pp_tuple ppf (name, dims) =
+  Format.fprintf ppf "%s[%s]" name (String.concat ", " (Array.to_list dims))
+
+let pp ppf s =
+  if n_params s > 0 then
+    Format.fprintf ppf "[%s] -> " (String.concat ", " (Array.to_list s.params));
+  Format.fprintf ppf "{ ";
+  if not (is_set s) then
+    Format.fprintf ppf "%a -> " pp_tuple (s.in_name, s.ins);
+  Format.fprintf ppf "%a }" pp_tuple (s.out_name, s.outs)

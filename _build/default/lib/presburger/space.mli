@@ -1,0 +1,56 @@
+(** Variable spaces for Presburger sets and relations.
+
+    A space fixes the parameter names and the named input/output tuples.
+    Sets use only the output tuple (input tuple empty); relations (maps) use
+    both.  The variable order in every constraint vector of this library is
+    [params @ ins @ outs @ divs], with existentially-quantified division
+    variables last. *)
+
+type t = private {
+  params : string array;
+  in_name : string;
+  ins : string array;
+  out_name : string;
+  outs : string array;
+}
+
+val set_space : ?params:string list -> ?name:string -> string list -> t
+(** [set_space ~params ~name dims] is the space of a set with tuple [name]
+    and dimensions [dims]. *)
+
+val map_space :
+  ?params:string list ->
+  ?in_name:string ->
+  ?out_name:string ->
+  string list ->
+  string list ->
+  t
+(** [map_space ins outs] is the space of a relation. *)
+
+val n_params : t -> int
+val n_ins : t -> int
+val n_outs : t -> int
+val n_vars : t -> int
+(** Parameters + ins + outs (no divs: those belong to each basic set). *)
+
+val is_set : t -> bool
+
+val domain : t -> t
+(** Space of the domain of a map (a set space over the input tuple). *)
+
+val range : t -> t
+(** Space of the range of a map. *)
+
+val reverse : t -> t
+(** Swap input and output tuples. *)
+
+val compose : t -> t -> t
+(** [compose a b] for [a : X -> Y] and [b : Y -> Z] is [X -> Z].
+    Raises [Invalid_argument] if arities disagree. *)
+
+val equal : t -> t -> bool
+(** Structural equality on dimensions and parameter count (names of tuple
+    dims are not significant, parameter names are). *)
+
+val same_params : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,551 @@
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ---------- tokens ---------- *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | LBRACK | RBRACK | LBRACE | RBRACE | LPAREN | RPAREN
+  | COMMA | SEMI | COLON | ARROW
+  | LE | LT | GE | GT | EQ | NE
+  | PLUS | MINUS | STAR | SLASH
+  | AND | OR | MOD | FLOOR | EXISTS
+  | EOF
+
+let token_name = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | LBRACK -> "[" | RBRACK -> "]" | LBRACE -> "{" | RBRACE -> "}"
+  | LPAREN -> "(" | RPAREN -> ")"
+  | COMMA -> "," | SEMI -> ";" | COLON -> ":" | ARROW -> "->"
+  | LE -> "<=" | LT -> "<" | GE -> ">=" | GT -> ">" | EQ -> "=" | NE -> "!="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/"
+  | AND -> "and" | OR -> "or" | MOD -> "mod" | FLOOR -> "floor"
+  | EXISTS -> "exists"
+  | EOF -> "<eof>"
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      push (INT (int_of_string (String.sub s !i (!j - !i))));
+      i := !j
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let j = ref !i in
+      let idc c =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9') || c = '_' || c = '\''
+      in
+      while !j < n && idc s.[!j] do incr j done;
+      let word = String.sub s !i (!j - !i) in
+      i := !j;
+      push
+        (match word with
+        | "and" -> AND
+        | "or" -> OR
+        | "mod" -> MOD
+        | "floor" -> FLOOR
+        | "exists" -> EXISTS
+        | w -> IDENT w)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "->" -> push ARROW; i := !i + 2
+      | "<=" -> push LE; i := !i + 2
+      | ">=" -> push GE; i := !i + 2
+      | "!=" -> push NE; i := !i + 2
+      | _ ->
+        (match c with
+        | '[' -> push LBRACK | ']' -> push RBRACK
+        | '{' -> push LBRACE | '}' -> push RBRACE
+        | '(' -> push LPAREN | ')' -> push RPAREN
+        | ',' -> push COMMA | ';' -> push SEMI | ':' -> push COLON
+        | '<' -> push LT | '>' -> push GT | '=' -> push EQ
+        | '+' -> push PLUS | '-' -> push MINUS
+        | '*' -> push STAR | '/' -> push SLASH
+        | c -> fail "unexpected character %C" c);
+        incr i
+    end
+  done;
+  push EOF;
+  List.rev !toks
+
+(* ---------- AST ---------- *)
+
+type expr =
+  | E_int of int
+  | E_var of string
+  | E_add of expr * expr
+  | E_sub of expr * expr
+  | E_neg of expr
+  | E_mul of expr * expr
+  | E_floordiv of expr * expr
+  | E_mod of expr * expr
+
+type rel = R_le | R_lt | R_ge | R_gt | R_eq | R_ne
+
+type cond =
+  | C_chain of expr * (rel * expr) list
+  | C_and of cond * cond
+  | C_or of cond * cond
+
+type tuple = { t_name : string; t_args : expr list }
+
+type disjunct = { d_in : tuple option; d_out : tuple; d_cond : cond option }
+
+type ast = { a_params : string list; a_disjuncts : disjunct list }
+
+(* ---------- parser (recursive descent over a token stream) ---------- *)
+
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let expect st t =
+  if peek st = t then advance st
+  else fail "expected '%s' but found '%s'" (token_name t) (token_name (peek st))
+
+let parse_ident st =
+  match peek st with
+  | IDENT s -> advance st; s
+  | t -> fail "expected identifier, found '%s'" (token_name t)
+
+let rec parse_expr st =
+  let lhs = parse_term st in
+  let rec loop acc =
+    match peek st with
+    | PLUS -> advance st; loop (E_add (acc, parse_term st))
+    | MINUS -> advance st; loop (E_sub (acc, parse_term st))
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  let rec loop acc =
+    match peek st with
+    | STAR -> advance st; loop (E_mul (acc, parse_factor st))
+    | MOD -> advance st; loop (E_mod (acc, parse_factor st))
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_factor st =
+  match peek st with
+  | INT n -> advance st; E_int n
+  | IDENT s -> advance st; E_var s
+  | MINUS -> advance st; E_neg (parse_factor st)
+  | LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st RPAREN;
+    e
+  | FLOOR ->
+    advance st;
+    expect st LPAREN;
+    let num = parse_expr st in
+    expect st SLASH;
+    let den = parse_expr st in
+    expect st RPAREN;
+    E_floordiv (num, den)
+  | t -> fail "expected expression, found '%s'" (token_name t)
+
+let parse_rel st =
+  match peek st with
+  | LE -> advance st; Some R_le
+  | LT -> advance st; Some R_lt
+  | GE -> advance st; Some R_ge
+  | GT -> advance st; Some R_gt
+  | EQ -> advance st; Some R_eq
+  | NE -> advance st; Some R_ne
+  | _ -> None
+
+let rec parse_cond st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if peek st = OR then begin
+    advance st;
+    C_or (lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_atom st in
+  if peek st = AND then begin
+    advance st;
+    C_and (lhs, parse_and st)
+  end
+  else lhs
+
+and parse_atom st =
+  (* a parenthesized condition vs a parenthesized expression starting a
+     chain: parse as condition tentatively by lookahead on the token after
+     the matching paren is hard; instead try condition first only when the
+     paren directly encloses a condition.  We resolve by attempting to
+     parse an expression chain, falling back to a grouped condition. *)
+  match peek st with
+  | LPAREN ->
+    let saved = st.toks in
+    (try
+       let e = parse_expr st in
+       match parse_rel st with
+       | Some r ->
+         let e2 = parse_expr st in
+         let rec more acc =
+           match parse_rel st with
+           | Some r -> more ((r, parse_expr st) :: acc)
+           | None -> List.rev acc
+         in
+         C_chain (e, (r, e2) :: more [])
+       | None -> fail "not a chain"
+     with Parse_error _ ->
+       st.toks <- saved;
+       advance st;
+       let c = parse_cond st in
+       expect st RPAREN;
+       c)
+  | _ ->
+    let e = parse_expr st in
+    (match parse_rel st with
+    | None -> fail "expected comparison after expression"
+    | Some r ->
+      let e2 = parse_expr st in
+      let rec more acc =
+        match parse_rel st with
+        | Some r -> more ((r, parse_expr st) :: acc)
+        | None -> List.rev acc
+      in
+      C_chain (e, (r, e2) :: more []))
+
+let parse_tuple st =
+  let name = match peek st with IDENT s -> advance st; s | _ -> "" in
+  expect st LBRACK;
+  let args =
+    if peek st = RBRACK then []
+    else begin
+      let rec loop acc =
+        let e = parse_expr st in
+        if peek st = COMMA then begin
+          advance st;
+          loop (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      loop []
+    end
+  in
+  expect st RBRACK;
+  { t_name = name; t_args = args }
+
+let parse_disjunct st =
+  let t1 = parse_tuple st in
+  let d_in, d_out =
+    if peek st = ARROW then begin
+      advance st;
+      (Some t1, parse_tuple st)
+    end
+    else (None, t1)
+  in
+  let d_cond =
+    if peek st = COLON then begin
+      advance st;
+      Some (parse_cond st)
+    end
+    else None
+  in
+  { d_in; d_out; d_cond }
+
+let parse_ast s =
+  let st = { toks = tokenize s } in
+  let a_params =
+    if peek st = LBRACK then begin
+      advance st;
+      let rec loop acc =
+        let id = parse_ident st in
+        if peek st = COMMA then begin
+          advance st;
+          loop (id :: acc)
+        end
+        else List.rev (id :: acc)
+      in
+      let ps = if peek st = RBRACK then [] else loop [] in
+      expect st RBRACK;
+      expect st ARROW;
+      ps
+    end
+    else []
+  in
+  expect st LBRACE;
+  let a_disjuncts =
+    if peek st = RBRACE then []
+    else begin
+      let rec loop acc =
+        let d = parse_disjunct st in
+        if peek st = SEMI then begin
+          advance st;
+          loop (d :: acc)
+        end
+        else List.rev (d :: acc)
+      in
+      loop []
+    end
+  in
+  expect st RBRACE;
+  expect st EOF;
+  { a_params; a_disjuncts }
+
+(* ---------- elaboration into Bset ---------- *)
+
+(* linear form over named variables, before column resolution *)
+module Env = Map.Make (String)
+
+(* an affine value during elaboration: coefficient per column + constant;
+   elaboration may extend the bset with divs, so it threads the bset *)
+let rec elab_expr env b e =
+  match e with
+  | E_int n -> (b, { Bset.coefs = []; const = n })
+  | E_var v -> (
+    match Env.find_opt v env with
+    | Some col -> (b, { Bset.coefs = [ (1, col) ]; const = 0 })
+    | None -> fail "unbound variable '%s'" v)
+  | E_add (x, y) ->
+    let b, ax = elab_expr env b x in
+    let b, ay = elab_expr env b y in
+    (b, { Bset.coefs = ax.Bset.coefs @ ay.Bset.coefs; const = ax.Bset.const + ay.Bset.const })
+  | E_sub (x, y) ->
+    let b, ax = elab_expr env b x in
+    let b, ay = elab_expr env b y in
+    ( b,
+      {
+        Bset.coefs = ax.Bset.coefs @ List.map (fun (c, v) -> (-c, v)) ay.Bset.coefs;
+        const = ax.Bset.const - ay.Bset.const;
+      } )
+  | E_neg x ->
+    let b, ax = elab_expr env b x in
+    (b, { Bset.coefs = List.map (fun (c, v) -> (-c, v)) ax.Bset.coefs; const = -ax.Bset.const })
+  | E_mul (x, y) ->
+    let b, ax = elab_expr env b x in
+    let b, ay = elab_expr env b y in
+    let scale k a =
+      { Bset.coefs = List.map (fun (c, v) -> (k * c, v)) a.Bset.coefs; const = k * a.Bset.const }
+    in
+    if ax.Bset.coefs = [] then (b, scale ax.Bset.const ay)
+    else if ay.Bset.coefs = [] then (b, scale ay.Bset.const ax)
+    else fail "non-affine product"
+  | E_floordiv (num, den) ->
+    let b, anum = elab_expr env b num in
+    let b, aden = elab_expr env b den in
+    if aden.Bset.coefs <> [] || aden.Bset.const <= 0 then
+      fail "floor denominator must be a positive constant";
+    let b, q = Bset.add_div b ~num:anum ~den:aden.Bset.const in
+    (b, { Bset.coefs = [ (1, q) ]; const = 0 })
+  | E_mod (x, m) ->
+    let b, ax = elab_expr env b x in
+    let b, am = elab_expr env b m in
+    if am.Bset.coefs <> [] || am.Bset.const <= 0 then
+      fail "mod divisor must be a positive constant";
+    let d = am.Bset.const in
+    let b, q = Bset.add_div b ~num:ax ~den:d in
+    (* x mod d = x - d*q *)
+    (b, { Bset.coefs = ax.Bset.coefs @ [ (-d, q) ]; const = ax.Bset.const })
+
+let aff_sub a1 a2 =
+  {
+    Bset.coefs = a1.Bset.coefs @ List.map (fun (c, v) -> (-c, v)) a2.Bset.coefs;
+    const = a1.Bset.const - a2.Bset.const;
+  }
+
+(* apply one comparison; returns the list of alternative bsets (NE splits) *)
+let apply_rel env b r e1 e2 =
+  let b, a1 = elab_expr env b e1 in
+  let b, a2 = elab_expr env b e2 in
+  match r with
+  | R_le -> [ Bset.add_ge b (aff_sub a2 a1) ]
+  | R_ge -> [ Bset.add_ge b (aff_sub a1 a2) ]
+  | R_lt -> [ Bset.add_ge b { (aff_sub a2 a1) with Bset.const = (aff_sub a2 a1).Bset.const - 1 } ]
+  | R_gt -> [ Bset.add_ge b { (aff_sub a1 a2) with Bset.const = (aff_sub a1 a2).Bset.const - 1 } ]
+  | R_eq -> [ Bset.add_eq b (aff_sub a1 a2) ]
+  | R_ne ->
+    let d12 = aff_sub a1 a2 in
+    let d21 = aff_sub a2 a1 in
+    [
+      Bset.add_ge b { d12 with Bset.const = d12.Bset.const - 1 };
+      Bset.add_ge b { d21 with Bset.const = d21.Bset.const - 1 };
+    ]
+
+let rec elab_cond env bs c =
+  match c with
+  | C_and (x, y) -> elab_cond env (elab_cond env bs x) y
+  | C_or (x, y) -> elab_cond env bs x @ elab_cond env bs y
+  | C_chain (e0, links) ->
+    let apply_chain b =
+      let rec go b lhs links acc =
+        match links with
+        | [] -> acc
+        | (r, rhs) :: rest ->
+          let alts = apply_rel env b r lhs rhs in
+          (match rest with
+          | [] -> List.concat_map (fun b -> [ b ]) alts @ acc
+          | _ ->
+            List.concat_map (fun b -> go b rhs rest []) alts @ acc)
+      in
+      go b e0 links []
+    in
+    List.concat_map apply_chain bs
+
+let elab_disjunct params d =
+  let in_args = match d.d_in with None -> [] | Some t -> t.t_args in
+  let out_args = d.d_out.t_args in
+  let fresh_dim_names prefix args =
+    List.mapi
+      (fun i e -> match e with E_var v -> v | _ -> Printf.sprintf "%s%d" prefix i)
+      args
+  in
+  let in_dims = fresh_dim_names "i" in_args in
+  let out_dims = fresh_dim_names "o" out_args in
+  let space =
+    match d.d_in with
+    | None ->
+      Space.set_space ~params ~name:d.d_out.t_name out_dims
+    | Some t ->
+      Space.map_space ~params ~in_name:t.t_name ~out_name:d.d_out.t_name
+        in_dims out_dims
+  in
+  let b = Bset.universe space in
+  (* environment: params, then tuple dims; a plain variable in a tuple
+     position binds the dimension; repeated names or complex expressions
+     generate equality constraints *)
+  let env = ref Env.empty in
+  List.iteri (fun i p -> env := Env.add p (Bset.param_pos b i) !env) params;
+  let bind_args b args pos =
+    List.fold_left
+      (fun (b, i) e ->
+        let col = pos b i in
+        match e with
+        | E_var v when not (Env.mem v !env) ->
+          env := Env.add v col !env;
+          (b, i + 1)
+        | _ ->
+          (* dim = expr *)
+          let b, a = elab_expr !env b e in
+          let b =
+            Bset.add_eq b
+              { Bset.coefs = (1, col) :: List.map (fun (c, v) -> (-c, v)) a.Bset.coefs;
+                const = -a.Bset.const }
+          in
+          (b, i + 1))
+      (b, 0) args
+    |> fst
+  in
+  let b = bind_args b in_args Bset.in_pos in
+  let b = bind_args b out_args Bset.out_pos in
+  match d.d_cond with
+  | None -> [ b ]
+  | Some c -> elab_cond !env [ b ] c
+
+let pset_of_string s =
+  let ast = parse_ast s in
+  match ast.a_disjuncts with
+  | [] -> fail "empty braces: cannot infer the space"
+  | ds ->
+    let bsets = List.concat_map (elab_disjunct ast.a_params) ds in
+    (match bsets with
+    | [] -> fail "no disjuncts"
+    | b :: _ -> Pset.of_bsets (Bset.space b) bsets)
+
+let bset_of_string s =
+  match Pset.disjuncts (pset_of_string s) with
+  | [ b ] -> b
+  | l -> fail "expected a single basic set, got %d disjuncts" (List.length l)
+
+(* ---------- printing ---------- *)
+
+let var_name sp nd i =
+  let np = Space.n_params sp in
+  let ni = Space.n_ins sp in
+  let no = Space.n_outs sp in
+  if i < np then sp.Space.params.(i)
+  else if i < np + ni then sp.Space.ins.(i - np)
+  else if i < np + ni + no then sp.Space.outs.(i - np - ni)
+  else begin
+    assert (i < np + ni + no + nd);
+    Printf.sprintf "e%d" (i - np - ni - no)
+  end
+
+let pp_linear ppf (sp, nd, coef, const) =
+  let printed = ref false in
+  Array.iteri
+    (fun i c ->
+      if c <> 0 then begin
+        let name = var_name sp nd i in
+        if !printed then
+          if c > 0 then Format.fprintf ppf " + " else Format.fprintf ppf " - "
+        else if c < 0 then Format.fprintf ppf "-";
+        let a = abs c in
+        if a = 1 then Format.fprintf ppf "%s" name
+        else Format.fprintf ppf "%d%s" a name;
+        printed := true
+      end)
+    coef;
+  if const <> 0 || not !printed then begin
+    if !printed then
+      if const > 0 then Format.fprintf ppf " + %d" const
+      else Format.fprintf ppf " - %d" (-const)
+    else Format.fprintf ppf "%d" const
+  end
+
+let pp_bset ppf b =
+  let sp = Bset.space b in
+  let nd = Bset.n_div b in
+  let pp_tuple ppf (name, dims) =
+    Format.fprintf ppf "%s[%s]" name (String.concat ", " (Array.to_list dims))
+  in
+  if Space.n_params sp > 0 then
+    Format.fprintf ppf "[%s] -> "
+      (String.concat ", " (Array.to_list sp.Space.params));
+  Format.fprintf ppf "{ ";
+  if not (Space.is_set sp) then
+    Format.fprintf ppf "%a -> " pp_tuple (sp.Space.in_name, sp.Space.ins);
+  pp_tuple ppf (sp.Space.out_name, sp.Space.outs);
+  let cstrs = Poly.constraints b.Bset.poly in
+  if cstrs <> [] || nd > 0 then begin
+    Format.fprintf ppf " : ";
+    if nd > 0 then
+      Format.fprintf ppf "exists (%s : "
+        (String.concat ", " (List.init nd (Printf.sprintf "e%d")));
+    let first = ref true in
+    List.iter
+      (fun (c : Poly.cstr) ->
+        if not !first then Format.fprintf ppf " and ";
+        first := false;
+        pp_linear ppf (sp, nd, c.Poly.coef, c.Poly.const);
+        Format.fprintf ppf (if c.Poly.eq then " = 0" else " >= 0"))
+      cstrs;
+    if !first then Format.fprintf ppf "true";
+    if nd > 0 then Format.fprintf ppf ")"
+  end;
+  Format.fprintf ppf " }"
+
+let pp_pset ppf p =
+  match Pset.disjuncts p with
+  | [] -> Format.fprintf ppf "{ }"
+  | ds ->
+    Format.pp_print_list
+      ~pp_sep:(fun f () -> Format.fprintf f ";@ ")
+      pp_bset ppf ds
+
+let to_string p = Format.asprintf "%a" pp_pset p
+let bset_to_string b = Format.asprintf "%a" pp_bset b

@@ -1,0 +1,32 @@
+(** Parser and printer for the isl-like textual notation.
+
+    Supported input syntax (a practical subset of isl's):
+
+    {v
+      [n, m] -> { S[i, j] -> A[i + j, 2*j] :
+                  0 <= i < n and 0 <= j < m and (i + j) mod 2 = 0 }
+      { [i] : 0 <= i <= 10 and i != 4 ; [i] : i = 42 }
+    v}
+
+    - parameters in a leading [\[..\] ->] block;
+    - an optional input tuple makes the object a map;
+    - conditions combine chained comparisons ([0 <= i < n]) with [and] /
+      [or], parentheses, [e mod k] and [floor(e / k)] (introducing
+      existential division variables), and [!=] (expanded to a
+      disjunction);
+    - [;] separates top-level disjuncts. *)
+
+exception Parse_error of string
+
+val pset_of_string : string -> Pset.t
+(** Parse a set or map.  Raises {!Parse_error} with a message pointing at
+    the offending token. *)
+
+val bset_of_string : string -> Bset.t
+(** Like {!pset_of_string} but requires the result to be a single basic
+    set/map. *)
+
+val to_string : Pset.t -> string
+val bset_to_string : Bset.t -> string
+val pp_pset : Format.formatter -> Pset.t -> unit
+val pp_bset : Format.formatter -> Bset.t -> unit

@@ -1,0 +1,289 @@
+open Poly_ir
+
+type constants = {
+  machine : Hwsim.Machine.t;
+  t_fpu_ns : float;
+  e_fpu_nj : float;
+  p_fpu_hat_w : float;
+  p_con_w : float;
+  peak_gflops : float;
+  peak_bw_gbps : float;
+  b_dram_t : float;
+  hit_cost_ns : float array;
+  miss_lat_a : float;
+  miss_lat_b : float;
+  alpha_p : float;
+  gamma_p : float;
+  bw_per_ghz : float;
+  bw_sat_gbps : float;
+  dram_w_per_gbps : float;
+}
+
+type boundedness = CB | BB
+
+let v = Ir.aff_var
+let c = Ir.aff_const
+
+let f64 name extent =
+  { Ir.array_name = name; extents = [ c extent ]; elem_size = 8 }
+
+(* A[i] = ((A[i] * 1.0001 + 0.25) * 0.9999 + ...): [flops_per_elem] ops *)
+let flop_chain depth load =
+  let rec build d acc =
+    if d = 0 then acc
+    else if d mod 2 = 0 then build (d - 1) (Ir.Bin (Ir.Mul, acc, Ir.Const 1.0001))
+    else build (d - 1) (Ir.Bin (Ir.Add, acc, Ir.Const 0.25))
+  in
+  build depth load
+
+(* repeated parallel sweeps over an array with [flops] ops per element *)
+let sweep_kernel ~name ~elems ~reps ~flops =
+  {
+    Ir.prog_name = name;
+    params = [];
+    arrays = [ f64 "A" elems ];
+    body =
+      [
+        Ir.loop ~parallel:true "r" ~lo:(c 0) ~hi:(c reps)
+          [
+            Ir.loop "i" ~lo:(c 0) ~hi:(c elems)
+              [
+                Ir.assign "s"
+                  ~target:(Ir.write "A" [ v "i" ])
+                  (flop_chain flops (Ir.read "A" [ v "i" ]));
+              ];
+          ];
+      ];
+  }
+
+(* streaming triad over arrays far larger than the LLC *)
+let triad_kernel ~elems ~reps =
+  {
+    Ir.prog_name = "triad";
+    params = [];
+    arrays = [ f64 "A" elems; f64 "B" elems; f64 "C" elems ];
+    body =
+      [
+        Ir.loop ~parallel:true "r" ~lo:(c 0) ~hi:(c reps)
+          [
+            Ir.loop "i" ~lo:(c 0) ~hi:(c elems)
+              [
+                Ir.assign "s"
+                  ~target:(Ir.write "A" [ v "i" ])
+                  (Ir.Bin
+                     ( Ir.Add,
+                       Ir.read "B" [ v "i" ],
+                       Ir.Bin (Ir.Mul, Ir.Const 3.0, Ir.read "C" [ v "i" ]) ));
+              ];
+          ];
+      ];
+  }
+
+(* line-strided walk: every access is an LLC miss (array >> LLC) *)
+let chase_kernel ~lines ~reps ~line_elems =
+  {
+    Ir.prog_name = "chase";
+    params = [];
+    arrays = [ f64 "A" (lines * line_elems) ];
+    body =
+      [
+        Ir.loop ~parallel:true "r" ~lo:(c 0) ~hi:(c reps)
+          [
+            Ir.loop "i" ~lo:(c 0) ~hi:(c lines)
+              [
+                Ir.assign "s"
+                  ~target:(Ir.write "A" [ Ir.aff_scale line_elems (v "i") ])
+                  (Ir.Bin
+                     ( Ir.Add,
+                       Ir.read "A" [ Ir.aff_scale line_elems (v "i") ],
+                       Ir.Const 1.0 ));
+              ];
+          ];
+      ];
+  }
+
+let run m ~f_u prog =
+  Hwsim.Sim.run ~machine:m ~uncore:(`Fixed f_u) prog ~param_values:[]
+
+let microbench (m : Hwsim.Machine.t) =
+  let fmax = m.Hwsim.Machine.uncore_max_ghz in
+  let line = Hwsim.Machine.line_bytes m in
+  let line_elems = line / 8 in
+  let caches = Array.of_list m.Hwsim.Machine.caches in
+  let n_levels = Array.length caches in
+  let llc_bytes = caches.(n_levels - 1).Hwsim.Machine.size_bytes in
+  (* --- flop kernel: tiny footprint, deep flop chains --- *)
+  let flop_prog =
+    sweep_kernel ~name:"flops" ~elems:(caches.(0).Hwsim.Machine.size_bytes / 16)
+      ~reps:512 ~flops:16
+  in
+  let fo = run m ~f_u:fmax flop_prog in
+  let omega = float_of_int fo.Hwsim.Sim.flops in
+  let t_fpu_ns = fo.Hwsim.Sim.time_s *. 1e9 /. omega in
+  let e_fpu_nj = fo.Hwsim.Sim.energy_j *. 1e9 /. omega in
+  let p_con_w = fo.Hwsim.Sim.zones.Hwsim.Sim.static_j /. fo.Hwsim.Sim.time_s in
+  let p_fpu_hat_w = fo.Hwsim.Sim.avg_power_w -. p_con_w in
+  let peak_gflops = fo.Hwsim.Sim.achieved_gflops in
+  (* --- streaming kernel swept over uncore frequencies --- *)
+  let triad =
+    triad_kernel ~elems:(4 * llc_bytes / 8) ~reps:2
+  in
+  let freqs = Hwsim.Machine.uncore_freqs m in
+  let sweep =
+    List.map
+      (fun f ->
+        let o = run m ~f_u:f triad in
+        (f, o))
+      freqs
+  in
+  let bws = List.map (fun (f, o) -> (f, o.Hwsim.Sim.achieved_bw_gbps)) sweep in
+  let peak_bw_gbps =
+    List.fold_left (fun acc (_, bw) -> Float.max acc bw) 0.0 bws
+  in
+  (* bandwidth curve: slope from the sub-saturation region *)
+  let knee = 0.9 *. peak_bw_gbps in
+  let low_pts =
+    List.filter_map (fun (f, bw) -> if bw < knee then Some (f, bw) else None) bws
+  in
+  let bw_per_ghz, _ =
+    match low_pts with
+    | _ :: _ :: _ -> Linalg.Fit.linear low_pts
+    | _ -> (peak_bw_gbps /. fmax, 0.0)
+  in
+  let bw_sat_gbps = peak_bw_gbps in
+  (* DRAM transfer power per achieved GB/s (RAPL dram zone on the triad) *)
+  let dram_w_per_gbps, _ =
+    Linalg.Fit.linear
+      (List.map
+         (fun (_f, o) ->
+           ( o.Hwsim.Sim.achieved_bw_gbps,
+             o.Hwsim.Sim.zones.Hwsim.Sim.dram_j /. o.Hwsim.Sim.time_s ))
+         sweep)
+  in
+  (* uncore power fit (RAPL uncore zone) *)
+  let alpha_p, gamma_p =
+    Linalg.Fit.linear
+      (List.map
+         (fun (f, o) ->
+           (f, o.Hwsim.Sim.zones.Hwsim.Sim.uncore_j /. o.Hwsim.Sim.time_s))
+         sweep)
+  in
+  (* --- miss penalty curve M^t(f) = a/f + b from the line chase --- *)
+  let chase = chase_kernel ~lines:(4 * llc_bytes / line) ~reps:2 ~line_elems in
+  let chase_pts =
+    List.filter_map
+      (fun f ->
+        let o = run m ~f_u:f chase in
+        let misses = float_of_int o.Hwsim.Sim.dram_lines in
+        if misses > 0.0 then
+          (* remove the compute component *)
+          let per_miss =
+            ((o.Hwsim.Sim.time_s *. 1e9)
+            -. (float_of_int o.Hwsim.Sim.flops *. t_fpu_ns))
+            /. misses
+          in
+          Some (f, per_miss)
+        else None)
+      [ m.Hwsim.Machine.uncore_min_ghz;
+        (m.Hwsim.Machine.uncore_min_ghz +. fmax) /. 2.0;
+        fmax ]
+  in
+  let miss_lat_a, miss_lat_b = Linalg.Fit.inverse_plus_const chase_pts in
+  (* --- per-level hit costs ---
+     Line-strided sweep over a footprint resident in the target level,
+     accumulating into a scalar: per iteration the accesses are
+     read S (L1), read A[line·i] (target level), write S (L1), so the
+     measured per-access cost m_i satisfies m_i = (2·t_L1 + t_i) / 3 and
+     the chain is solved level by level. *)
+  let level_sweep ~lines ~reps =
+    {
+      Ir.prog_name = "hitcost";
+      params = [];
+      arrays = [ f64 "A" (lines * line_elems); f64 "S" 1 ];
+      body =
+        [
+          Ir.loop ~parallel:true "r" ~lo:(c 0) ~hi:(c reps)
+            [
+              Ir.loop "i" ~lo:(c 0) ~hi:(c lines)
+                [
+                  Ir.assign "s"
+                    ~target:(Ir.write "S" [ c 0 ])
+                    (Ir.Bin
+                       ( Ir.Add,
+                         Ir.read "S" [ c 0 ],
+                         Ir.read "A" [ Ir.aff_scale line_elems (v "i") ] ));
+                ];
+            ];
+        ];
+    }
+  in
+  let measured =
+    Array.init n_levels (fun i ->
+        let level_lines g = g.Hwsim.Machine.size_bytes / line in
+        let lines =
+          if i = 0 then max 4 (level_lines caches.(0) / 2)
+          else
+            min (level_lines caches.(i) / 2) (2 * level_lines caches.(i - 1))
+        in
+        let reps = max 4 (400_000 / lines) in
+        let o = run m ~f_u:fmax (level_sweep ~lines ~reps) in
+        let accesses = float_of_int (3 * reps * lines) in
+        let t_mem =
+          (o.Hwsim.Sim.time_s *. 1e9)
+          -. (float_of_int o.Hwsim.Sim.flops *. t_fpu_ns)
+        in
+        t_mem /. accesses)
+  in
+  let hit_cost_ns = Array.make n_levels 0.0 in
+  let t_l1 = measured.(0) in
+  hit_cost_ns.(0) <- Float.max 0.005 t_l1;
+  for i = 1 to n_levels - 1 do
+    hit_cost_ns.(i) <-
+      Float.max hit_cost_ns.(i - 1) ((3.0 *. measured.(i)) -. (2.0 *. t_l1))
+  done;
+  let b_dram_t = peak_gflops /. peak_bw_gbps in
+  {
+    machine = m;
+    t_fpu_ns;
+    e_fpu_nj;
+    p_fpu_hat_w;
+    p_con_w;
+    peak_gflops;
+    peak_bw_gbps;
+    b_dram_t;
+    hit_cost_ns;
+    miss_lat_a;
+    miss_lat_b;
+    alpha_p;
+    gamma_p;
+    bw_per_ghz;
+    bw_sat_gbps;
+    dram_w_per_gbps;
+  }
+
+let characterize consts ~oi = if oi >= consts.b_dram_t then CB else BB
+
+let dram_bw_at consts ~f_u =
+  Float.min consts.bw_sat_gbps (consts.bw_per_ghz *. f_u)
+
+let miss_latency_ns consts ~f_u = (consts.miss_lat_a /. f_u) +. consts.miss_lat_b
+let uncore_power_at consts ~f_u = (consts.alpha_p *. f_u) +. consts.gamma_p
+
+let pp_boundedness ppf = function
+  | CB -> Format.fprintf ppf "CB"
+  | BB -> Format.fprintf ppf "BB"
+
+let pp ppf k =
+  Format.fprintf ppf
+    "@[<v>rooflines for %s:@,\
+     t_FPU=%.4f ns  e_FPU=%.3f nJ  p̂_FPU=%.2f W  p_con=%.2f W@,\
+     peak=%.2f GFLOP/s  peak BW=%.2f GB/s  B^t_DRAM=%.3f FpB@,\
+     M^t(f)=%.1f/f+%.1f ns  P_unc(f)=%.2f·f+%.2f W  BW(f)=min(%.2f·f, %.2f)@,\
+     hit costs: %a ns@]"
+    k.machine.Hwsim.Machine.name k.t_fpu_ns k.e_fpu_nj k.p_fpu_hat_w k.p_con_w
+    k.peak_gflops k.peak_bw_gbps k.b_dram_t k.miss_lat_a k.miss_lat_b
+    k.alpha_p k.gamma_p k.bw_per_ghz k.bw_sat_gbps
+    (Format.pp_print_array
+       ~pp_sep:(fun f () -> Format.fprintf f ", ")
+       (fun f x -> Format.fprintf f "%.2f" x))
+    k.hit_cost_ns

@@ -1,0 +1,50 @@
+(** Performance and power rooflines (Table I) via one-time
+    micro-benchmarking.
+
+    The paper fits its roofline constants with PAPI counters over synthetic
+    kernels of controlled operational intensity (footnote 14); we do the
+    same against the simulated machine: a flop-dense kernel for
+    [t_FPU]/[e_FPU]/[p̂_FPU], a streaming kernel swept over uncore
+    frequencies for the bandwidth curve, the DRAM miss-penalty curve
+    [M{^t}(f) = a/f + b], and the uncore-power linear fits
+    [α·f + γ] (Eqn. 8/10).  Per-level hit costs are measured with
+    footprint-sized sweeps so that the analytical model (Eqn. 4) inherits
+    the machine's memory-level parallelism. *)
+
+type constants = {
+  machine : Hwsim.Machine.t;
+  t_fpu_ns : float;  (** measured time per flop (all threads active) *)
+  e_fpu_nj : float;  (** energy per flop *)
+  p_fpu_hat_w : float;  (** peak power of the flop-only workload minus p_con *)
+  p_con_w : float;  (** constant power *)
+  peak_gflops : float;
+  peak_bw_gbps : float;  (** at max uncore frequency *)
+  b_dram_t : float;  (** B{^t}_DRAM = peak flops / peak DRAM bytes (FpB) *)
+  hit_cost_ns : float array;  (** effective per-access cost per cache level *)
+  miss_lat_a : float;  (** M{^t}(f) = a/f + b, per LLC-miss cost in ns *)
+  miss_lat_b : float;
+  alpha_p : float;  (** uncore power fit slope (W per GHz) under load *)
+  gamma_p : float;  (** uncore power fit intercept (W) *)
+  bw_per_ghz : float;  (** fitted achieved-bandwidth slope (GB/s per GHz) *)
+  bw_sat_gbps : float;  (** fitted bandwidth saturation level *)
+  dram_w_per_gbps : float;
+      (** DRAM transfer power per unit of achieved bandwidth (for the peak
+          power ceiling, Eqn. 8) *)
+}
+
+type boundedness = CB | BB
+
+val microbench : Hwsim.Machine.t -> constants
+(** Run the microbenchmark campaign on the given machine (deterministic;
+    takes a few hundred milliseconds of simulation). *)
+
+val characterize : constants -> oi:float -> boundedness
+(** Sec. IV-D: CB iff [I >= B{^t}_DRAM]. *)
+
+val dram_bw_at : constants -> f_u:float -> float
+(** Fitted achieved bandwidth (GB/s) at an uncore frequency. *)
+
+val miss_latency_ns : constants -> f_u:float -> float
+val uncore_power_at : constants -> f_u:float -> float
+val pp_boundedness : Format.formatter -> boundedness -> unit
+val pp : Format.formatter -> constants -> unit

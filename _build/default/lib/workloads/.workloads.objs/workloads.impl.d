@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Dialect List Lower Mlir_lite Poly_ir Polybench Polylang Roofline String

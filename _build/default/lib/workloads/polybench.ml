@@ -1,0 +1,458 @@
+(* The 22 PolyBench kernels evaluated in the paper (Sec. VII-C / Table IV),
+   written in the Polylang affine language.  Loop structures follow
+   PolyBench 4.2; initialization loops are included where the kernel reads
+   otherwise-undefined data flows (the interpreter pre-fills arrays with a
+   deterministic pattern, so separate init kernels are only needed when the
+   original defines them as part of the benchmark).
+
+   Problem sizes are chosen for the scaled machines of this reproduction
+   (cf. DESIGN.md): working-set-to-LLC ratios, and hence the CB/BB
+   character, match the paper's LARGE datasets on real hardware. *)
+
+let gemm =
+  {|
+program gemm(n) {
+  arrays { A[n][n] : f64; B[n][n] : f64; C[n][n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      C[i][j] = C[i][j] * 1.2;
+      for (k = 0; k < n; k++) {
+        C[i][j] = C[i][j] + 1.5 * A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+|}
+
+let two_mm =
+  {|
+program two_mm(n) {
+  arrays { A[n][n] : f64; B[n][n] : f64; C[n][n] : f64; tmp[n][n] : f64; D[n][n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      tmp[i][j] = 0.0;
+      for (k = 0; k < n; k++) {
+        tmp[i][j] = tmp[i][j] + 1.5 * A[i][k] * B[k][j];
+      }
+    }
+  }
+  for (i2 = 0; i2 < n; i2++) {
+    for (j2 = 0; j2 < n; j2++) {
+      D[i2][j2] = D[i2][j2] * 1.2;
+      for (k2 = 0; k2 < n; k2++) {
+        D[i2][j2] = D[i2][j2] + tmp[i2][k2] * C[k2][j2];
+      }
+    }
+  }
+}
+|}
+
+let three_mm =
+  {|
+program three_mm(n) {
+  arrays { A[n][n] : f64; B[n][n] : f64; C[n][n] : f64; D[n][n] : f64;
+           E[n][n] : f64; F[n][n] : f64; G[n][n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      E[i][j] = 0.0;
+      for (k = 0; k < n; k++) {
+        E[i][j] = E[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+  for (i2 = 0; i2 < n; i2++) {
+    for (j2 = 0; j2 < n; j2++) {
+      F[i2][j2] = 0.0;
+      for (k2 = 0; k2 < n; k2++) {
+        F[i2][j2] = F[i2][j2] + C[i2][k2] * D[k2][j2];
+      }
+    }
+  }
+  for (i3 = 0; i3 < n; i3++) {
+    for (j3 = 0; j3 < n; j3++) {
+      G[i3][j3] = 0.0;
+      for (k3 = 0; k3 < n; k3++) {
+        G[i3][j3] = G[i3][j3] + E[i3][k3] * F[k3][j3];
+      }
+    }
+  }
+}
+|}
+
+let atax =
+  {|
+program atax(n) {
+  arrays { A[n][n] : f64; x[n] : f64; y[n] : f64; tmp[n] : f64; }
+  for (i0 = 0; i0 < n; i0++) {
+    y[i0] = 0.0;
+  }
+  for (i = 0; i < n; i++) {
+    tmp[i] = 0.0;
+    for (j = 0; j < n; j++) {
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    }
+    for (j2 = 0; j2 < n; j2++) {
+      y[j2] = y[j2] + A[i][j2] * tmp[i];
+    }
+  }
+}
+|}
+
+let bicg =
+  {|
+program bicg(n) {
+  arrays { A[n][n] : f64; s[n] : f64; q[n] : f64; p[n] : f64; r[n] : f64; }
+  for (i0 = 0; i0 < n; i0++) {
+    s[i0] = 0.0;
+  }
+  for (i = 0; i < n; i++) {
+    q[i] = 0.0;
+    for (j = 0; j < n; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}
+|}
+
+let mvt =
+  {|
+program mvt(n) {
+  arrays { A[n][n] : f64; x1[n] : f64; x2[n] : f64; y1[n] : f64; y2[n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      x1[i] = x1[i] + A[i][j] * y1[j];
+    }
+  }
+  for (i2 = 0; i2 < n; i2++) {
+    for (j2 = 0; j2 < n; j2++) {
+      x2[i2] = x2[i2] + A[j2][i2] * y2[j2];
+    }
+  }
+}
+|}
+
+let gemver =
+  {|
+program gemver(n) {
+  arrays { A[n][n] : f64; u1[n] : f64; v1[n] : f64; u2[n] : f64; v2[n] : f64;
+           w[n] : f64; x[n] : f64; y[n] : f64; z[n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+    }
+  }
+  for (i2 = 0; i2 < n; i2++) {
+    for (j2 = 0; j2 < n; j2++) {
+      x[i2] = x[i2] + 1.2 * A[j2][i2] * y[j2];
+    }
+  }
+  for (i3 = 0; i3 < n; i3++) {
+    x[i3] = x[i3] + z[i3];
+  }
+  for (i4 = 0; i4 < n; i4++) {
+    for (j4 = 0; j4 < n; j4++) {
+      w[i4] = w[i4] + 1.5 * A[i4][j4] * x[j4];
+    }
+  }
+}
+|}
+
+let gesummv =
+  {|
+program gesummv(n) {
+  arrays { A[n][n] : f64; B[n][n] : f64; x[n] : f64; y[n] : f64; tmp[n] : f64; }
+  for (i = 0; i < n; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (j = 0; j < n; j++) {
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+      y[i] = y[i] + B[i][j] * x[j];
+    }
+    y[i] = 1.5 * tmp[i] + 1.2 * y[i];
+  }
+}
+|}
+
+let trisolv =
+  {|
+program trisolv(n) {
+  arrays { L[n][n] : f64; x[n] : f64; b[n] : f64; }
+  for (i = 0; i < n; i++) {
+    x[i] = b[i];
+    for (j = 0; j < i; j++) {
+      x[i] = x[i] - L[i][j] * x[j];
+    }
+    x[i] = x[i] / L[i][i];
+  }
+}
+|}
+
+let trmm =
+  {|
+program trmm(n) {
+  arrays { A[n][n] : f64; B[n][n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      for (k = i + 1; k < n; k++) {
+        B[i][j] = B[i][j] + A[k][i] * B[k][j];
+      }
+      B[i][j] = 1.5 * B[i][j];
+    }
+  }
+}
+|}
+
+let symm =
+  {|
+program symm(n) {
+  arrays { A[n][n] : f64; B[n][n] : f64; C[n][n] : f64; tmp[1] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      tmp[0] = 0.0;
+      for (k = 0; k < i; k++) {
+        C[k][j] = C[k][j] + 1.5 * B[i][j] * A[i][k];
+        tmp[0] = tmp[0] + B[k][j] * A[i][k];
+      }
+      C[i][j] = 1.2 * C[i][j] + 1.5 * B[i][j] * A[i][i] + 1.5 * tmp[0];
+    }
+  }
+}
+|}
+
+let syrk =
+  {|
+program syrk(n) {
+  arrays { A[n][n] : f64; C[n][n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < i + 1; j++) {
+      C[i][j] = C[i][j] * 1.2;
+      for (k = 0; k < n; k++) {
+        C[i][j] = C[i][j] + 1.5 * A[i][k] * A[j][k];
+      }
+    }
+  }
+}
+|}
+
+let syr2k =
+  {|
+program syr2k(n) {
+  arrays { A[n][n] : f64; B[n][n] : f64; C[n][n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < i + 1; j++) {
+      C[i][j] = C[i][j] * 1.2;
+      for (k = 0; k < n; k++) {
+        C[i][j] = C[i][j] + 1.5 * A[j][k] * B[i][k] + 1.5 * B[j][k] * A[i][k];
+      }
+    }
+  }
+}
+|}
+
+let cholesky =
+  {|
+program cholesky(n) {
+  arrays { A[n][n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < i; j++) {
+      for (k = 0; k < j; k++) {
+        A[i][j] = A[i][j] - A[i][k] * A[j][k];
+      }
+      A[i][j] = A[i][j] / A[j][j];
+    }
+    for (k2 = 0; k2 < i; k2++) {
+      A[i][i] = A[i][i] - A[i][k2] * A[i][k2];
+    }
+    A[i][i] = sqrt(A[i][i] + 100.0);
+  }
+}
+|}
+
+let durbin =
+  {|
+program durbin(n) {
+  arrays { r[n] : f64; y[n] : f64; z[n] : f64; alpha[1] : f64; beta[1] : f64; sum[1] : f64; }
+  y[0] = 0.0 - r[0];
+  beta[0] = 1.0;
+  alpha[0] = 0.0 - r[0];
+  for (k = 1; k < n; k++) {
+    beta[0] = (1.0 - alpha[0] * alpha[0]) * beta[0];
+    sum[0] = 0.0;
+    for (i = 0; i < k; i++) {
+      sum[0] = sum[0] + r[k - i - 1] * y[i];
+    }
+    alpha[0] = 0.0 - (r[k] + sum[0]) / beta[0];
+    for (i2 = 0; i2 < k; i2++) {
+      z[i2] = y[i2] + alpha[0] * y[k - i2 - 1];
+    }
+    for (i3 = 0; i3 < k; i3++) {
+      y[i3] = z[i3];
+    }
+    y[k] = alpha[0];
+  }
+}
+|}
+
+let lu =
+  {|
+program lu(n) {
+  arrays { A[n][n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < i; j++) {
+      for (k = 0; k < j; k++) {
+        A[i][j] = A[i][j] - A[i][k] * A[k][j];
+      }
+      A[i][j] = A[i][j] / (A[j][j] + 2.0);
+    }
+    for (j2 = i; j2 < n; j2++) {
+      for (k2 = 0; k2 < i; k2++) {
+        A[i][j2] = A[i][j2] - A[i][k2] * A[k2][j2];
+      }
+    }
+  }
+}
+|}
+
+let doitgen =
+  {|
+program doitgen(n) {
+  arrays { A[n][n][n] : f64; C4[n][n] : f64; sum[n] : f64; }
+  for (r = 0; r < n; r++) {
+    for (q = 0; q < n; q++) {
+      for (p = 0; p < n; p++) {
+        sum[p] = 0.0;
+        for (s = 0; s < n; s++) {
+          sum[p] = sum[p] + A[r][q][s] * C4[s][p];
+        }
+      }
+      for (p2 = 0; p2 < n; p2++) {
+        A[r][q][p2] = sum[p2];
+      }
+    }
+  }
+}
+|}
+
+let jacobi_1d =
+  {|
+program jacobi1d(n, tsteps) {
+  arrays { A[n] : f64; B[n] : f64; }
+  for (t = 0; t < tsteps; t++) {
+    for (i = 1; i < n - 1; i++) {
+      B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+    }
+    for (i2 = 1; i2 < n - 1; i2++) {
+      A[i2] = 0.33333 * (B[i2 - 1] + B[i2] + B[i2 + 1]);
+    }
+  }
+}
+|}
+
+let jacobi_2d =
+  {|
+program jacobi2d(n, tsteps) {
+  arrays { A[n][n] : f64; B[n][n] : f64; }
+  for (t = 0; t < tsteps; t++) {
+    for (i = 1; i < n - 1; i++) {
+      for (j = 1; j < n - 1; j++) {
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i + 1][j] + A[i - 1][j]);
+      }
+    }
+    for (i2 = 1; i2 < n - 1; i2++) {
+      for (j2 = 1; j2 < n - 1; j2++) {
+        A[i2][j2] = 0.2 * (B[i2][j2] + B[i2][j2 - 1] + B[i2][j2 + 1] + B[i2 + 1][j2] + B[i2 - 1][j2]);
+      }
+    }
+  }
+}
+|}
+
+let adi =
+  (* simplified alternating-direction implicit sweeps: column sweep then
+     row sweep per time step, with the PolyBench data-flow shape *)
+  {|
+program adi(n, tsteps) {
+  arrays { u[n][n] : f64; v[n][n] : f64; p[n][n] : f64; q[n][n] : f64; }
+  for (t = 0; t < tsteps; t++) {
+    for (i = 1; i < n - 1; i++) {
+      for (j = 1; j < n - 1; j++) {
+        p[i][j] = 0.25 * (p[i][j - 1] + 1.0);
+        q[i][j] = 0.25 * (u[j][i - 1] - u[j][i] * 1.5 + u[j][i + 1] - q[i][j - 1]);
+      }
+      for (j2 = 1; j2 < n - 1; j2++) {
+        v[n - 1 - j2][i] = p[i][n - 1 - j2] * v[n - j2][i] + q[i][n - 1 - j2];
+      }
+    }
+    for (i2 = 1; i2 < n - 1; i2++) {
+      for (j3 = 1; j3 < n - 1; j3++) {
+        p[i2][j3] = 0.25 * (p[i2][j3 - 1] + 1.0);
+        q[i2][j3] = 0.25 * (v[j3 - 1][i2] - v[j3][i2] * 1.5 + v[j3 + 1][i2] - q[i2][j3 - 1]);
+      }
+      for (j4 = 1; j4 < n - 1; j4++) {
+        u[i2][n - 1 - j4] = p[i2][n - 1 - j4] * u[i2][n - j4] + q[i2][n - 1 - j4];
+      }
+    }
+  }
+}
+|}
+
+let deriche =
+  (* the horizontal passes of Deriche edge detection: forward and backward
+     IIR filters over rows, then the combination pass *)
+  {|
+program deriche(w, h) {
+  arrays { img[w][h] : f64; y1[w][h] : f64; y2[w][h] : f64; out[w][h] : f64; }
+  for (i = 0; i < w; i++) {
+    for (j = 2; j < h; j++) {
+      y1[i][j] = 0.5 * img[i][j] + 0.25 * img[i][j - 1] + 0.3 * y1[i][j - 1] + 0.1 * y1[i][j - 2];
+    }
+  }
+  for (i2 = 0; i2 < w; i2++) {
+    for (j2 = 2; j2 < h; j2++) {
+      y2[i2][h - 1 - j2] = 0.25 * img[i2][h - j2] + 0.3 * y2[i2][h - j2] + 0.1 * y2[i2][h + 1 - j2];
+    }
+  }
+  for (i3 = 0; i3 < w; i3++) {
+    for (j3 = 0; j3 < h; j3++) {
+      out[i3][j3] = y1[i3][j3] + y2[i3][j3];
+    }
+  }
+}
+|}
+
+let correlation =
+  {|
+program correlation(n, m) {
+  arrays { data[n][m] : f64; corr[m][m] : f64; mean[m] : f64; stddev[m] : f64; }
+  for (j = 0; j < m; j++) {
+    mean[j] = 0.0;
+    for (i = 0; i < n; i++) {
+      mean[j] = mean[j] + data[i][j];
+    }
+    mean[j] = mean[j] * 0.002;  // 1/n at the default size
+  }
+  for (j2 = 0; j2 < m; j2++) {
+    stddev[j2] = 0.0;
+    for (i2 = 0; i2 < n; i2++) {
+      stddev[j2] = stddev[j2] + (data[i2][j2] - mean[j2]) * (data[i2][j2] - mean[j2]);
+    }
+    stddev[j2] = sqrt(stddev[j2] * 0.002) + 0.1;
+  }
+  for (i3 = 0; i3 < n; i3++) {
+    for (j3 = 0; j3 < m; j3++) {
+      data[i3][j3] = (data[i3][j3] - mean[j3]) / stddev[j3];
+    }
+  }
+  for (k = 0; k < m; k++) {
+    corr[k][k] = 1.0;
+    for (j4 = k + 1; j4 < m; j4++) {
+      corr[k][j4] = 0.0;
+      for (i4 = 0; i4 < n; i4++) {
+        corr[k][j4] = corr[k][j4] + data[i4][k] * data[i4][j4];
+      }
+      corr[j4][k] = corr[k][j4];
+    }
+  }
+}
+|}

@@ -1,0 +1,151 @@
+open Mlir_lite
+
+type kind = Polybench | Ml_kernel
+
+type source = Lang of string | Torch of (unit -> Dialect.t)
+
+type t = {
+  name : string;
+  kind : kind;
+  source : source;
+  sizes : (string * int) list;
+  expected : Roofline.boundedness option;
+  description : string;
+}
+
+let pb name src sizes ?expected description =
+  { name; kind = Polybench; source = Lang src; sizes; expected; description }
+
+let torch_module name ops () =
+  { Dialect.module_name = name; arrays = []; ops }
+
+let ml name builder ?expected description =
+  {
+    name;
+    kind = Ml_kernel;
+    source = Torch builder;
+    sizes = [];
+    expected;
+    description;
+  }
+
+let polybench =
+  [
+    pb "gemm" Polybench.gemm [ ("n", 180) ] ~expected:Roofline.CB
+      "general matrix multiply (blas)";
+    pb "2mm" Polybench.two_mm [ ("n", 150) ] ~expected:Roofline.CB
+      "two chained matrix multiplies";
+    pb "3mm" Polybench.three_mm [ ("n", 130) ] "three chained matrix multiplies";
+    pb "atax" Polybench.atax [ ("n", 700) ] "AᵀAx matrix-vector product";
+    pb "bicg" Polybench.bicg [ ("n", 700) ] "BiCG sub-kernel (two matvecs)";
+    pb "mvt" Polybench.mvt [ ("n", 700) ] ~expected:Roofline.BB
+      "matrix-vector product and transpose";
+    pb "gemver" Polybench.gemver [ ("n", 600) ] ~expected:Roofline.BB
+      "vector multiplication and matrix addition";
+    pb "gesummv" Polybench.gesummv [ ("n", 600) ]
+      "scalar, vector and matrix multiplication";
+    pb "trisolv" Polybench.trisolv [ ("n", 700) ] ~expected:Roofline.BB
+      "triangular solver";
+    pb "trmm" Polybench.trmm [ ("n", 160) ] "triangular matrix multiply";
+    pb "symm" Polybench.symm [ ("n", 160) ] "symmetric matrix multiply";
+    pb "syrk" Polybench.syrk [ ("n", 170) ] "symmetric rank-k update";
+    pb "syr2k" Polybench.syr2k [ ("n", 150) ] "symmetric rank-2k update";
+    pb "cholesky" Polybench.cholesky [ ("n", 220) ] "Cholesky decomposition";
+    pb "durbin" Polybench.durbin [ ("n", 900) ] ~expected:Roofline.CB
+      "Toeplitz solver (Levinson-Durbin)";
+    pb "lu" Polybench.lu [ ("n", 200) ] "LU decomposition";
+    pb "doitgen" Polybench.doitgen [ ("n", 48) ]
+      "multi-resolution analysis kernel";
+    pb "jacobi-1d" Polybench.jacobi_1d
+      [ ("n", 20000); ("tsteps", 60) ]
+      ~expected:Roofline.CB "1-d Jacobi stencil (low-bandwidth)";
+    pb "jacobi-2d" Polybench.jacobi_2d
+      [ ("n", 250); ("tsteps", 20) ]
+      "2-d Jacobi stencil";
+    pb "adi" Polybench.adi
+      [ ("n", 200); ("tsteps", 15) ]
+      ~expected:Roofline.BB "alternating-direction implicit solver";
+    pb "deriche" Polybench.deriche
+      [ ("w", 400); ("h", 400) ]
+      ~expected:Roofline.BB "Deriche recursive edge filter";
+    pb "correlation" Polybench.correlation
+      [ ("n", 240); ("m", 200) ]
+      ~expected:Roofline.CB "correlation matrix (data mining)";
+  ]
+
+let ml_kernels =
+  [
+    ml "conv2d-alexnet"
+      (torch_module "conv2d_alexnet"
+         [
+           Dialect.Torch_op
+             ("conv", Dialect.T_conv2d { n = 1; c = 3; h = 40; w = 40; k = 16; r = 7; s = 7 });
+         ])
+      "AlexNet first conv layer (scaled: 1x3x40x40, 16x3x7x7)";
+    ml "conv2d-convnext"
+      (torch_module "conv2d_convnext"
+         [
+           Dialect.Torch_op
+             ("conv", Dialect.T_conv2d { n = 1; c = 64; h = 14; w = 14; k = 128; r = 2; s = 2 });
+         ])
+      ~expected:Roofline.CB
+      "ConvNeXt downsampling conv (scaled: 1x64x14x14, 128x64x2x2)";
+    ml "conv2d-wideresnet"
+      (torch_module "conv2d_wideresnet"
+         [
+           Dialect.Torch_op
+             ("conv", Dialect.T_conv2d { n = 2; c = 128; h = 7; w = 7; k = 256; r = 1; s = 1 });
+         ])
+      "WideResNet bottleneck 1x1 conv (scaled: 2x128x7x7, 256x128x1x1)";
+    ml "sdpa-bert"
+      (torch_module "sdpa_bert"
+         [
+           Dialect.Torch_op
+             ("attn", Dialect.T_sdpa { batch = 1; heads = 8; seq = 96; dim = 48 });
+         ])
+      ~expected:Roofline.CB
+      "BERT scaled dot-product attention (scaled: 1x8x96x48)";
+    ml "sdpa-gemma2"
+      (torch_module "sdpa_gemma2"
+         [
+           Dialect.Torch_op
+             ("attn", Dialect.T_sdpa { batch = 1; heads = 16; seq = 32; dim = 128 });
+         ])
+      "Gemma-2 attention, short sequence (scaled: 1x16x32x128)";
+    ml "lm-head-gpt2"
+      (torch_module "lm_head_gpt2"
+         [
+           Dialect.Torch_op ("mm", Dialect.T_matmul { m = 4; k = 256; n = 6144 });
+         ])
+      "GPT-2 language-model head matmul (scaled: 4x256x6144)";
+    ml "lm-head-llama2"
+      (torch_module "lm_head_llama2"
+         [
+           Dialect.Torch_op ("mm", Dialect.T_matmul { m = 4; k = 384; n = 6144 });
+         ])
+      ~expected:Roofline.BB
+      "LLaMA-2 language-model head matmul (scaled: 4x384x6144)";
+  ]
+
+let all = polybench @ ml_kernels
+
+let find name = List.find (fun w -> String.equal w.name name) all
+
+let lower_torch ~tile ?tile_size builder =
+  let m =
+    Lower.run_pipeline (Lower.default_pipeline ~tile ?tile_size ()) (builder ())
+  in
+  fst (Lower.to_program m)
+
+let program w =
+  match w.source with
+  | Lang src -> Polylang.parse src
+  | Torch b -> lower_torch ~tile:false b
+
+let tiled_program ?tile_size w =
+  match w.source with
+  | Lang src ->
+    Poly_ir.Tiling.tile_program ?tile_size (Polylang.parse src)
+  | Torch b -> lower_torch ~tile:true ?tile_size b
+
+let param_values w = w.sizes

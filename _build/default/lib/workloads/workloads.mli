@@ -1,0 +1,46 @@
+(** The evaluation benchmark suite (Sec. VII-C, Table II).
+
+    22 PolyBench kernels plus the vision/NLP kernels the paper draws from
+    real models: [conv2d] configurations from AlexNet / ConvNeXt /
+    WideResNet, [sdpa] from BERT / Gemma-2, and the language-modeling-head
+    [matmul] from GPT-2 / LLaMA-2.  ML kernels are expressed as torch-level
+    modules and lowered through the mlir_lite pipeline; PolyBench kernels
+    are Polylang sources.
+
+    Problem sizes are scaled together with the simulated machines' cache
+    capacities (see DESIGN.md): each kernel keeps the paper's working-set /
+    LLC ratio, which determines its CB/BB character. *)
+
+type kind = Polybench | Ml_kernel
+
+type source =
+  | Lang of string  (** Polylang source text *)
+  | Torch of (unit -> Mlir_lite.Dialect.t)  (** torch-level module builder *)
+
+type t = {
+  name : string;
+  kind : kind;
+  source : source;
+  sizes : (string * int) list;  (** default (scaled) problem sizes *)
+  expected : Roofline.boundedness option;
+      (** the paper's classification, where it states one explicitly *)
+  description : string;
+}
+
+val all : t list
+val polybench : t list
+val ml_kernels : t list
+
+val find : string -> t
+(** Raises [Not_found]. *)
+
+val program : t -> Poly_ir.Ir.t
+(** The kernel as an (untiled) affine program.  Torch workloads are lowered
+    through torch→linalg→affine without tiling. *)
+
+val tiled_program : ?tile_size:int -> t -> Poly_ir.Ir.t
+(** The Pluto-optimized form (the paper's compiler baseline). *)
+
+val param_values : t -> (string * int) list
+(** The default sizes as interpreter bindings (empty for torch kernels,
+    whose shapes are baked in). *)

@@ -1,0 +1,1 @@
+test/test_cache_model.ml: Alcotest Array Cache_model Float Hwsim Ir Layout List Model Poly_ir Polylang Presburger Printf QCheck QCheck_alcotest Scop Tiling

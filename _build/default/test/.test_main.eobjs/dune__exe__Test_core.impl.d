@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Cache_model Core_scaling Flow Hwsim Lazy List Perfmodel Poly_ir Polylang Polyufc_core Printf Roofline Search Test_support

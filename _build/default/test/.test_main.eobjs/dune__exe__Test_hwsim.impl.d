@@ -1,0 +1,1 @@
+test/test_hwsim.ml: Alcotest Array Cache Float Hwsim List Machine Poly_ir Polylang QCheck QCheck_alcotest Sim

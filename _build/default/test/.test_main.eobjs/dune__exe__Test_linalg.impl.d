@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Fit Float Ints Linalg List Mat Q QCheck QCheck_alcotest Vec

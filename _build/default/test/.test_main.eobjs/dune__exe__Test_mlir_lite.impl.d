@@ -1,0 +1,1 @@
+test/test_mlir_lite.ml: Alcotest Dialect Float Hwsim Lazy List Lower Mlir_lite Poly_ir Polyufc_core Test_support

@@ -1,0 +1,1 @@
+test/test_perfmodel.ml: Alcotest Cache_model Float Hwsim Lazy List Perfmodel Poly_ir Polylang Printf Roofline Test_support

@@ -1,0 +1,1 @@
+test/test_poly_ir.ml: Alcotest Array Dependence Float Interp Ir Layout List Poly_ir Presburger Printf QCheck QCheck_alcotest Scop String Tiling

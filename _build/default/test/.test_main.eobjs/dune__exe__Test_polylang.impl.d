@@ -1,0 +1,1 @@
+test/test_polylang.ml: Alcotest Cache_model Hwsim Interp Ir List Poly_ir Polylang Scop Tiling

@@ -1,0 +1,1 @@
+test/test_presburger.ml: Alcotest Array Bset Buffer Count List Presburger Printf Pset QCheck QCheck_alcotest Space String Syntax

@@ -1,0 +1,1 @@
+test/test_roofline.ml: Alcotest Array Float Hwsim Lazy Roofline Test_support

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cache_model Hwsim Lazy List Poly_ir Roofline Test_support Workloads

@@ -1,0 +1,324 @@
+(* Tests for PolyUFC-CM: the reuse-distance-based set-associative cache
+   model of Sec. IV. *)
+
+open Cache_model
+open Poly_ir
+
+(* a small machine with easily hand-checked geometry:
+   L1 = 512 B, 2-way, 64 B lines -> 8 lines, 4 sets
+   LLC = 2048 B, 4-way -> 32 lines, 8 sets *)
+let tiny =
+  {
+    Hwsim.Machine.bdw with
+    Hwsim.Machine.name = "TINY";
+    caches =
+      [
+        { Hwsim.Machine.level_name = "L1"; size_bytes = 512; line_bytes = 64; assoc = 2; hit_latency_ns = 1.0 };
+        { Hwsim.Machine.level_name = "LLC"; size_bytes = 2048; line_bytes = 64; assoc = 4; hit_latency_ns = 8.0 };
+      ];
+  }
+
+let parse = Polylang.parse
+
+let stream_src =
+  {|
+program stream(n) {
+  arrays { A[n] : f64; B[n] : f64; }
+  for (i = 0; i < n; i++) {
+    B[i] = A[i] + 1.0;
+  }
+}
+|}
+
+let sweep2_src =
+  (* two sweeps over one array *)
+  {|
+program sweep2(n) {
+  arrays { A[n] : f64; S[1] : f64; }
+  for (i = 0; i < n; i++) {
+    S[0] = S[0] + A[i];
+  }
+  for (j = 0; j < n; j++) {
+    S[0] = S[0] + A[j];
+  }
+}
+|}
+
+let test_stream_cold () =
+  (* n = 64 doubles = 8 lines per array *)
+  let r = Model.analyze ~machine:tiny (parse stream_src) ~param_values:[ ("n", 64) ] in
+  let l1 = r.Model.levels.(0) in
+  (* 16 distinct lines touched (A and B), all cold at L1 *)
+  Alcotest.(check int) "L1 cold" 16 l1.Model.cold;
+  Alcotest.(check int) "L1 presented" (64 * 2) l1.Model.presented;
+  (* LLC (write-through): sees L1 misses + all writes *)
+  let llc = r.Model.levels.(1) in
+  Alcotest.(check int) "LLC cold" 16 llc.Model.cold;
+  (* L1 misses (16, including the 8 write misses) + the 56 write hits *)
+  Alcotest.(check int) "LLC presented" (16 + 56) llc.Model.presented
+
+let test_sweep_capacity () =
+  (* array of 64 lines streams through a 32-line LLC twice: the second
+     sweep re-misses every line (capacity) *)
+  let n = 64 * 8 in
+  let r = Model.analyze ~machine:tiny (parse sweep2_src) ~param_values:[ ("n", n) ] in
+  let llc = r.Model.levels.(1) in
+  Alcotest.(check int) "LLC cold = 64 A-lines + 1 S-line" 65 llc.Model.cold;
+  Alcotest.(check bool) "second sweep misses again" true
+    (llc.Model.capacity_conflict >= 60)
+
+let test_small_fits () =
+  (* array of 8 lines fits in the 32-line LLC: second sweep all hits *)
+  let n = 8 * 8 in
+  let r = Model.analyze ~machine:tiny (parse sweep2_src) ~param_values:[ ("n", n) ] in
+  let llc = r.Model.levels.(1) in
+  Alcotest.(check int) "no capacity misses" 0 llc.Model.capacity_conflict
+
+let conflict_src =
+  (* touch lines 0, 8, 16 of a same-set stride repeatedly: with 8 LLC sets
+     and stride 8 lines these collide in one set *)
+  {|
+program conflict(t) {
+  arrays { A[2048] : f64; }
+  for (r = 0; r < t; r++) {
+    for (i = 0; i < 5; i++) {
+      A[i * 64] = A[i * 64] + 1.0;
+    }
+  }
+}
+|}
+
+let test_conflict_set_vs_full () =
+  (* 5 lines, all mapping to LLC set 0 (stride 64 doubles = 8 lines = n_sets);
+     associativity 4 < 5 -> set-assoc model thrashes, fully-assoc fits *)
+  let prog = parse conflict_src in
+  let sa =
+    Model.analyze ~mode:Model.Set_associative ~machine:tiny prog
+      ~param_values:[ ("t", 10) ]
+  in
+  let fa =
+    Model.analyze ~mode:Model.Fully_associative ~machine:tiny prog
+      ~param_values:[ ("t", 10) ]
+  in
+  let llc_sa = sa.Model.levels.(1) and llc_fa = fa.Model.levels.(1) in
+  Alcotest.(check bool) "set-assoc sees conflicts" true
+    (llc_sa.Model.capacity_conflict > 0);
+  Alcotest.(check int) "fully-assoc sees none" 0 llc_fa.Model.capacity_conflict;
+  Alcotest.(check int) "same cold count" llc_sa.Model.cold llc_fa.Model.cold
+
+let test_oi_values () =
+  (* stream: 1 flop per iter, 2 lines per 8 iters -> OI = 8 flops / 128 B *)
+  let r =
+    Model.analyze ~machine:tiny (parse stream_src) ~param_values:[ ("n", 512) ]
+  in
+  Alcotest.(check (float 0.02)) "stream OI" (512.0 /. (128.0 *. 64.0)) r.Model.oi;
+  Alcotest.(check int) "flops" 512 r.Model.flops
+
+let gemm_src =
+  {|
+program gemm(n) {
+  arrays { A[n][n] : f64; B[n][n] : f64; C[n][n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      C[i][j] = 0.0;
+      for (k = 0; k < n; k++) {
+        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+|}
+
+let test_gemm_oi_higher_than_stream () =
+  let gemm = Model.analyze ~machine:Hwsim.Machine.bdw
+      (Tiling.tile_program ~tile_size:32 (parse gemm_src))
+      ~param_values:[ ("n", 96) ]
+  in
+  let stream = Model.analyze ~machine:Hwsim.Machine.bdw (parse stream_src)
+      ~param_values:[ ("n", 100_000) ]
+  in
+  Alcotest.(check bool) "gemm OI >> stream OI" true (gemm.Model.oi > 10.0 *. stream.Model.oi)
+
+let test_thread_heuristic () =
+  let prog = parse stream_src in
+  let par =
+    match prog.Ir.body with
+    | [ Ir.Loop l ] -> { prog with Ir.body = [ Ir.Loop { l with Ir.parallel = true } ] }
+    | _ -> Alcotest.fail "loop expected"
+  in
+  let seq = Model.analyze ~machine:tiny prog ~param_values:[ ("n", 512) ] in
+  let p = Model.analyze ~machine:tiny par ~param_values:[ ("n", 512) ] in
+  Alcotest.(check int) "divisor 1 sequential" 1 seq.Model.threads_divisor;
+  Alcotest.(check int) "divisor = threads parallel" tiny.Hwsim.Machine.threads
+    p.Model.threads_divisor;
+  Alcotest.(check (float 1e-9)) "misses divided"
+    (seq.Model.miss_llc /. float_of_int tiny.Hwsim.Machine.threads)
+    p.Model.miss_llc;
+  let off =
+    Model.analyze ~apply_thread_heuristic:false ~machine:tiny par
+      ~param_values:[ ("n", 512) ]
+  in
+  Alcotest.(check int) "heuristic can be disabled" 1 off.Model.threads_divisor
+
+let test_ratios_sum () =
+  let r = Model.analyze ~machine:tiny (parse gemm_src) ~param_values:[ ("n", 24) ] in
+  Array.iteri
+    (fun i h ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "level %d ratios sum to 1" i)
+        1.0
+        (h +. r.Model.miss_ratios.(i)))
+    r.Model.hit_ratios
+
+(* ---------- symbolic paths ---------- *)
+
+let test_cold_symbolic () =
+  (* stream cold misses at L1: ceil(n/8) lines for A plus for B *)
+  match Model.cold_misses_symbolic ~machine:tiny ~level:0 (parse stream_src) with
+  | None -> Alcotest.fail "expected symbolic cold-miss fit"
+  | Some qp ->
+    Alcotest.(check int) "n=800" 200 (Presburger.Count.eval qp 800);
+    Alcotest.(check int) "n=804 (partial lines)" 202 (Presburger.Count.eval qp 804)
+
+let test_access_map_cache_dims () =
+  let prog = parse stream_src in
+  let scop = Scop.extract prog in
+  let info = List.hd scop.Scop.stmt_infos in
+  let layout = Layout.of_program prog ~param_values:[ ("n", 64) ] in
+  (* the read of A: A[i] at byte 8i (A is at base 0); line = floor(8i/64) *)
+  let acc = List.hd (Ir.accesses_of_stmt info.Scop.stmt) in
+  Alcotest.(check string) "read of A" "A" acc.Ir.array;
+  let m =
+    Model.access_map_with_cache_dims ~machine:tiny ~level:0 info acc ~layout
+      ~param_values:[ ("n", 64) ]
+  in
+  (* i=9 -> byte 72 -> line 1 -> set 1 (4 sets at L1) *)
+  Alcotest.(check bool) "i=9 -> (line 1, set 1)" true (Presburger.Bset.mem m [| 9; 1; 1 |]);
+  Alcotest.(check bool) "i=9 not line 2" false (Presburger.Bset.mem m [| 9; 2; 2 |]);
+  (* i=35 -> byte 280 -> line 4 -> set 0 *)
+  Alcotest.(check bool) "i=35 -> (line 4, set 0)" true (Presburger.Bset.mem m [| 35; 4; 0 |]);
+  (* cardinality of the range in the line dimension = distinct lines of A = 8;
+     range over (line,set) pairs likewise 8 *)
+  Alcotest.(check int) "distinct (line,set) pairs" 8
+    (Presburger.Bset.cardinality (Presburger.Bset.range m));
+  (* domain restricted to 0 <= i < 64 *)
+  Alcotest.(check bool) "domain bound" false (Presburger.Bset.mem m [| 64; 8; 0 |])
+
+(* the paper's COLDMISS cardinality = our enumerated cold count *)
+let test_coldmiss_equivalence () =
+  let prog = parse stream_src in
+  let scop = Scop.extract prog in
+  let info = List.hd scop.Scop.stmt_infos in
+  let layout = Layout.of_program prog ~param_values:[ ("n", 40) ] in
+  let distinct_lines acc =
+    Presburger.Bset.cardinality
+      (Presburger.Bset.range
+         (Model.access_map_with_cache_dims ~machine:tiny ~level:0 info acc
+            ~layout ~param_values:[ ("n", 40) ]))
+  in
+  let reads = Ir.accesses_of_stmt info.Scop.stmt in
+  let total =
+    List.fold_left (fun acc a -> acc + distinct_lines a) 0 reads
+  in
+  (* A and B each touch ceil(40/8) = 5 lines *)
+  Alcotest.(check int) "lexmin-style cold count" 10 total;
+  let r = Model.analyze ~machine:tiny prog ~param_values:[ ("n", 40) ] in
+  Alcotest.(check int) "matches enumerated cold" r.Model.levels.(0).Model.cold total
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"cold misses = distinct lines (stream)" ~count:20
+      (QCheck.make QCheck.Gen.(int_range 1 300))
+      (fun n ->
+        let r =
+          Model.analyze ~machine:tiny (parse stream_src)
+            ~param_values:[ ("n", n) ]
+        in
+        let lines x = (x + 7) / 8 in
+        (* B may share no lines with A: layout is 64-aligned *)
+        r.Model.levels.(0).Model.cold = lines n + lines n);
+    QCheck.Test.make ~name:"assoc modes agree on cold misses" ~count:10
+      (QCheck.make QCheck.Gen.(int_range 8 128))
+      (fun n ->
+        (* cold misses are footprint-determined: identical across modes;
+           total misses never exceed presented accesses in either mode *)
+        let prog = parse sweep2_src in
+        let sa =
+          Model.analyze ~mode:Model.Set_associative ~machine:tiny prog
+            ~param_values:[ ("n", n * 8) ]
+        in
+        let fa =
+          Model.analyze ~mode:Model.Fully_associative ~machine:tiny prog
+            ~param_values:[ ("n", n * 8) ]
+        in
+        let ok_level (a : Model.level_counts) (b : Model.level_counts) =
+          a.Model.cold = b.Model.cold
+          && Model.total_misses a <= a.Model.presented
+          && Model.total_misses b <= b.Model.presented
+        in
+        ok_level sa.Model.levels.(0) fa.Model.levels.(0)
+        && ok_level sa.Model.levels.(1) fa.Model.levels.(1));
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "stream cold misses" `Quick test_stream_cold;
+    Alcotest.test_case "sweep capacity misses" `Quick test_sweep_capacity;
+    Alcotest.test_case "small array fits" `Quick test_small_fits;
+    Alcotest.test_case "conflict: set vs full assoc" `Quick test_conflict_set_vs_full;
+    Alcotest.test_case "OI values" `Quick test_oi_values;
+    Alcotest.test_case "gemm OI >> stream OI" `Quick test_gemm_oi_higher_than_stream;
+    Alcotest.test_case "thread heuristic" `Quick test_thread_heuristic;
+    Alcotest.test_case "hit+miss ratios" `Quick test_ratios_sum;
+    Alcotest.test_case "symbolic cold misses" `Quick test_cold_symbolic;
+    Alcotest.test_case "access map with line/set dims" `Quick test_access_map_cache_dims;
+    Alcotest.test_case "COLDMISS equivalence" `Quick test_coldmiss_equivalence;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_tests
+
+(* ---------- Bullseye-style set sampling ---------- *)
+
+let test_set_sampling_accuracy () =
+  let prog = Tiling.tile_program ~tile_size:32 (parse gemm_src) in
+  let exact =
+    Model.analyze ~machine:Hwsim.Machine.bdw ~apply_thread_heuristic:false prog
+      ~param_values:[ ("n", 128) ]
+  in
+  let sampled =
+    Model.analyze ~set_sampling:4 ~machine:Hwsim.Machine.bdw
+      ~apply_thread_heuristic:false prog ~param_values:[ ("n", 128) ]
+  in
+  let rel =
+    Float.abs (sampled.Model.miss_llc -. exact.Model.miss_llc)
+    /. Float.max 1.0 exact.Model.miss_llc
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampled LLC misses within 5%% (got %.1f%%)" (100. *. rel))
+    true (rel < 0.05);
+  Alcotest.(check bool) "OI within 5%" true
+    (Float.abs (sampled.Model.oi -. exact.Model.oi) /. exact.Model.oi < 0.05);
+  (* shallow levels stay exact *)
+  Alcotest.(check int) "L1 counters exact"
+    (Model.total_misses exact.Model.levels.(0))
+    (Model.total_misses sampled.Model.levels.(0))
+
+let test_set_sampling_validation () =
+  (match
+     Model.analyze ~set_sampling:0 ~machine:tiny (parse stream_src)
+       ~param_values:[ ("n", 8) ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sampling 0 must be rejected");
+  (* sampling 1 = exact *)
+  let a = Model.analyze ~set_sampling:1 ~machine:tiny (parse stream_src) ~param_values:[ ("n", 64) ] in
+  let b = Model.analyze ~machine:tiny (parse stream_src) ~param_values:[ ("n", 64) ] in
+  Alcotest.(check int) "sampling 1 identical" (Model.total_misses a.Model.levels.(0))
+    (Model.total_misses b.Model.levels.(0))
+
+let sampling_tests =
+  [
+    Alcotest.test_case "set sampling accuracy" `Quick test_set_sampling_accuracy;
+    Alcotest.test_case "set sampling validation" `Quick test_set_sampling_validation;
+  ]
+
+let tests = tests @ sampling_tests

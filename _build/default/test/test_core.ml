@@ -1,0 +1,210 @@
+(* Tests for POLYUFC-SEARCH and the end-to-end compilation flow. *)
+
+open Polyufc_core
+
+let consts = Test_support.bdw_rooflines
+
+let gemm_src =
+  {|
+program gemm(n) {
+  arrays { A[n][n] : f64; B[n][n] : f64; C[n][n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      C[i][j] = 0.0;
+      for (k = 0; k < n; k++) {
+        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+|}
+
+let mvt_src =
+  {|
+program mvt(n) {
+  arrays { A[n][n] : f64; x1[n] : f64; x2[n] : f64; y1[n] : f64; y2[n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      x1[i] = x1[i] + A[i][j] * y1[j];
+    }
+  }
+  for (i2 = 0; i2 < n; i2++) {
+    for (j2 = 0; j2 < n; j2++) {
+      x2[i2] = x2[i2] + A[j2][i2] * y2[j2];
+    }
+  }
+}
+|}
+
+let profile_of src n =
+  let prog = Poly_ir.Tiling.tile_program ~tile_size:32 (Polylang.parse src) in
+  let cm =
+    Cache_model.Model.analyze ~machine:Hwsim.Machine.bdw
+      ~apply_thread_heuristic:false prog ~param_values:[ ("n", n) ]
+  in
+  Perfmodel.profile_of_cm cm
+
+(* ---------- search ---------- *)
+
+let test_search_cb_low () =
+  let k = Lazy.force consts in
+  let o = Search.run k (profile_of gemm_src 128) in
+  Alcotest.(check bool) "CB" true (o.Search.boundedness = Roofline.CB);
+  Alcotest.(check bool) "cap below 2.0" true (o.Search.cap_ghz < 2.0);
+  Alcotest.(check bool) "chosen EDP <= max-freq EDP" true
+    (o.Search.chosen.Perfmodel.edp <= o.Search.baseline.Perfmodel.edp +. 1e-15)
+
+let test_search_bb_high () =
+  let k = Lazy.force consts in
+  let o = Search.run k (profile_of mvt_src 400) in
+  Alcotest.(check bool) "BB" true (o.Search.boundedness = Roofline.BB);
+  Alcotest.(check bool) "cap in upper range" true (o.Search.cap_ghz >= 2.0)
+
+let test_search_objectives () =
+  let k = Lazy.force consts in
+  let p = profile_of gemm_src 128 in
+  let perf = Search.run ~objective:Search.Performance k p in
+  let energy = Search.run ~objective:Search.Energy k p in
+  (* performance-only never caps below the energy-only choice for CB *)
+  Alcotest.(check bool) "perf cap >= energy cap" true
+    (perf.Search.cap_ghz >= energy.Search.cap_ghz);
+  (* energy-only on CB drives to the bottom of the range *)
+  Alcotest.(check (float 1e-9)) "energy cap = min" 1.2 energy.Search.cap_ghz
+
+let test_search_step_count () =
+  (* binary search: far fewer objective evaluations than the 17-entry grid *)
+  let k = Lazy.force consts in
+  let o = Search.run k (profile_of gemm_src 96) in
+  Alcotest.(check bool) "steps <= 2·log2(grid)" true (o.Search.steps <= 12)
+
+let test_search_epsilon_guard () =
+  let k = Lazy.force consts in
+  let p = profile_of mvt_src 400 in
+  (* a huge ε makes every frequency admissible; a tiny one must not crash *)
+  let loose = Search.run ~epsilon:10.0 k p in
+  let tight = Search.run ~epsilon:1e-9 k p in
+  Alcotest.(check bool) "both in range" true
+    (loose.Search.cap_ghz >= 1.2 && tight.Search.cap_ghz <= 2.8)
+
+(* ---------- flow ---------- *)
+
+let compile_gemm n =
+  Flow.compile ~machine:Hwsim.Machine.bdw ~rooflines:(Lazy.force consts)
+    (Polylang.parse gemm_src) ~param_values:[ ("n", n) ]
+
+let test_flow_gemm () =
+  let c = compile_gemm 128 in
+  Alcotest.(check int) "one region" 1 (List.length c.Flow.decisions);
+  let d = List.hd c.Flow.decisions in
+  Alcotest.(check bool) "region CB" true (d.Flow.region_bound = Roofline.CB);
+  Alcotest.(check bool) "tiled program differs" true
+    (c.Flow.optimized <> c.Flow.source);
+  Alcotest.(check int) "one cap after dedup" 1 (List.length c.Flow.caps);
+  Alcotest.(check bool) "per-stmt decisions present" true (d.Flow.stmts <> []);
+  Alcotest.(check bool) "timing recorded" true (c.Flow.timing.Flow.cm_s > 0.0)
+
+let test_flow_cap_dedup () =
+  (* mvt: two BB regions with the same cap -> single cap call *)
+  let c =
+    Flow.compile ~machine:Hwsim.Machine.bdw ~rooflines:(Lazy.force consts)
+      (Polylang.parse mvt_src) ~param_values:[ ("n", 400) ]
+  in
+  Alcotest.(check int) "two regions" 2 (List.length c.Flow.decisions);
+  let caps = List.map (fun d -> d.Flow.cap_ghz) c.Flow.decisions in
+  if List.length (List.sort_uniq compare caps) = 1 then
+    Alcotest.(check int) "deduped to one cap" 1 (List.length c.Flow.caps)
+
+let test_flow_cb_aggregation () =
+  (* the region cap is the min over statement caps for a CB region *)
+  let c = compile_gemm 128 in
+  let d = List.hd c.Flow.decisions in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "region cap <= stmt cap" true
+        (d.Flow.cap_ghz <= s.Flow.stmt_cap +. 1e-9))
+    d.Flow.stmts
+
+let test_flow_evaluate_gemm_gains () =
+  (* PolyUFC beats the UFS-governor baseline on EDP for a CB kernel at a
+     realistic runtime (the paper's headline direction) *)
+  let c = compile_gemm 192 in
+  let e =
+    Flow.evaluate ~machine:Hwsim.Machine.bdw c ~param_values:[ ("n", 192) ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "EDP gain positive (got %.1f%%)" (100. *. e.Flow.edp_gain))
+    true (e.Flow.edp_gain > 0.0);
+  Alcotest.(check bool) "energy gain positive" true (e.Flow.energy_gain > 0.0);
+  (* minimal performance loss, as in Sec. VII: ≈7% on CB *)
+  Alcotest.(check bool)
+    (Printf.sprintf "perf loss < 10%% (got %.1f%%)" (-100. *. e.Flow.time_gain))
+    true (e.Flow.time_gain > -0.10)
+
+let test_flow_untiled_option () =
+  let prog = Polylang.parse gemm_src in
+  let pre_tiled = Poly_ir.Tiling.tile_program ~tile_size:32 prog in
+  let c =
+    Flow.compile ~tile:false ~machine:Hwsim.Machine.bdw
+      ~rooflines:(Lazy.force consts) pre_tiled ~param_values:[ ("n", 96) ]
+  in
+  Alcotest.(check bool) "kept as-is" true (c.Flow.optimized == pre_tiled)
+
+let tests =
+  [
+    Alcotest.test_case "search CB caps low" `Quick test_search_cb_low;
+    Alcotest.test_case "search BB caps high" `Quick test_search_bb_high;
+    Alcotest.test_case "search objectives" `Quick test_search_objectives;
+    Alcotest.test_case "search step count" `Quick test_search_step_count;
+    Alcotest.test_case "search epsilon guard" `Quick test_search_epsilon_guard;
+    Alcotest.test_case "flow gemm" `Quick test_flow_gemm;
+    Alcotest.test_case "flow cap dedup" `Quick test_flow_cap_dedup;
+    Alcotest.test_case "flow CB aggregation" `Quick test_flow_cb_aggregation;
+    Alcotest.test_case "flow evaluate gemm gains" `Slow test_flow_evaluate_gemm_gains;
+    Alcotest.test_case "flow untiled option" `Quick test_flow_untiled_option;
+  ]
+
+(* ---------- joint core+uncore extension ---------- *)
+
+let test_with_core_ghz_physics () =
+  let m = Hwsim.Machine.bdw in
+  let fast = Hwsim.Machine.with_core_ghz m (m.Hwsim.Machine.core_ghz *. 2.0) in
+  Alcotest.(check (float 1e-9)) "flop time halves"
+    (m.Hwsim.Machine.flop_ns /. 2.0) fast.Hwsim.Machine.flop_ns;
+  Alcotest.(check bool) "core power superlinear" true
+    (fast.Hwsim.Machine.core_w_active > 2.0 *. m.Hwsim.Machine.core_w_active);
+  let l1 m = (List.hd m.Hwsim.Machine.caches).Hwsim.Machine.hit_latency_ns in
+  Alcotest.(check (float 1e-9)) "hit latency halves" (l1 m /. 2.0) (l1 fast);
+  (* uncore domain untouched *)
+  Alcotest.(check (float 1e-9)) "uncore power unchanged"
+    (Hwsim.Machine.uncore_power_w m ~f_u:2.0)
+    (Hwsim.Machine.uncore_power_w fast ~f_u:2.0)
+
+let test_joint_search () =
+  let prog =
+    Poly_ir.Tiling.tile_program ~tile_size:32 (Polylang.parse gemm_src)
+  in
+  let r =
+    Core_scaling.search ~core_freqs:[ 2.8; 3.5 ] ~machine:Hwsim.Machine.bdw
+      prog ~param_values:[ ("n", 96) ]
+  in
+  Alcotest.(check int) "two points" 2 (List.length r.Core_scaling.points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "best minimal" true
+        (r.Core_scaling.best.Core_scaling.est_edp
+         <= p.Core_scaling.est_edp +. 1e-15))
+    r.Core_scaling.points;
+  (* each point carries caps for its retuned machine *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "caps present" true
+        (p.Core_scaling.compiled.Flow.caps <> []))
+    r.Core_scaling.points
+
+let extension_tests =
+  [
+    Alcotest.test_case "with_core_ghz physics" `Quick test_with_core_ghz_physics;
+    Alcotest.test_case "joint core+uncore search" `Slow test_joint_search;
+  ]
+
+let tests = tests @ extension_tests

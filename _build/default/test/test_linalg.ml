@@ -1,0 +1,221 @@
+(* Unit and property tests for the exact linear-algebra substrate. *)
+
+open Linalg
+
+let q = Alcotest.testable Q.pp Q.equal
+
+let check_q = Alcotest.check q
+
+(* ---------- Ints ---------- *)
+
+let test_gcd () =
+  Alcotest.(check int) "gcd 12 18" 6 (Ints.gcd 12 18);
+  Alcotest.(check int) "gcd 0 0" 0 (Ints.gcd 0 0);
+  Alcotest.(check int) "gcd -12 18" 6 (Ints.gcd (-12) 18);
+  Alcotest.(check int) "gcd 7 0" 7 (Ints.gcd 7 0)
+
+let test_fdiv_cdiv () =
+  Alcotest.(check int) "fdiv 7 2" 3 (Ints.fdiv 7 2);
+  Alcotest.(check int) "fdiv -7 2" (-4) (Ints.fdiv (-7) 2);
+  Alcotest.(check int) "fdiv 7 -2" (-4) (Ints.fdiv 7 (-2));
+  Alcotest.(check int) "cdiv 7 2" 4 (Ints.cdiv 7 2);
+  Alcotest.(check int) "cdiv -7 2" (-3) (Ints.cdiv (-7) 2);
+  Alcotest.(check int) "fmod -7 2" 1 (Ints.fmod (-7) 2);
+  Alcotest.(check int) "fmod 7 2" 1 (Ints.fmod 7 2)
+
+let test_overflow () =
+  Alcotest.check_raises "mul overflow" Ints.Overflow (fun () ->
+      ignore (Ints.mul max_int 2));
+  Alcotest.check_raises "add overflow" Ints.Overflow (fun () ->
+      ignore (Ints.add max_int 1));
+  Alcotest.(check int) "pow 2 10" 1024 (Ints.pow 2 10);
+  Alcotest.(check int) "pow big base" (1 lsl 61) (Ints.pow 2 61);
+  Alcotest.check_raises "pow overflow" Ints.Overflow (fun () ->
+      ignore (Ints.pow 2 63))
+
+let test_binom () =
+  Alcotest.(check int) "C(5,2)" 10 (Ints.binom 5 2);
+  Alcotest.(check int) "C(5,0)" 1 (Ints.binom 5 0);
+  Alcotest.(check int) "C(5,6)" 0 (Ints.binom 5 6);
+  Alcotest.(check int) "C(10,5)" 252 (Ints.binom 10 5)
+
+(* ---------- Q ---------- *)
+
+let test_q_canonical () =
+  check_q "1/2 = 2/4" (Q.make 1 2) (Q.make 2 4);
+  check_q "neg den" (Q.make (-1) 2) (Q.make 1 (-2));
+  check_q "zero" Q.zero (Q.make 0 17);
+  Alcotest.(check int) "den positive" 2 (Q.den (Q.make 3 (-2)))
+
+let test_q_arith () =
+  check_q "1/2 + 1/3" (Q.make 5 6) (Q.add (Q.make 1 2) (Q.make 1 3));
+  check_q "1/2 * 2/3" (Q.make 1 3) (Q.mul (Q.make 1 2) (Q.make 2 3));
+  check_q "div" (Q.make 3 2) (Q.div (Q.make 1 2) (Q.make 1 3));
+  Alcotest.(check int) "floor 7/2" 3 (Q.floor (Q.make 7 2));
+  Alcotest.(check int) "floor -7/2" (-4) (Q.floor (Q.make (-7) 2));
+  Alcotest.(check int) "ceil 7/2" 4 (Q.ceil (Q.make 7 2))
+
+let test_q_float_approx () =
+  check_q "0.5" (Q.make 1 2) (Q.of_float_approx 0.5);
+  check_q "0.25" (Q.make 1 4) (Q.of_float_approx 0.25);
+  check_q "int" (Q.of_int 3) (Q.of_float_approx 3.0);
+  let pi = Q.of_float_approx ~max_den:1000 3.14159265 in
+  Alcotest.(check bool) "pi approx close" true
+    (Float.abs (Q.to_float pi -. 3.14159265) < 1e-5)
+
+let qcheck_q_field =
+  let gen =
+    QCheck.Gen.(
+      map2 (fun n d -> Q.make n d) (int_range (-1000) 1000) (int_range 1 60))
+  in
+  let arb = QCheck.make ~print:Q.to_string gen in
+  [
+    QCheck.Test.make ~name:"Q add commutative" ~count:200
+      (QCheck.pair arb arb)
+      (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a));
+    QCheck.Test.make ~name:"Q mul distributes over add" ~count:200
+      (QCheck.triple arb arb arb)
+      (fun (a, b, c) ->
+        Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)));
+    QCheck.Test.make ~name:"Q sub then add roundtrip" ~count:200
+      (QCheck.pair arb arb)
+      (fun (a, b) -> Q.equal a (Q.add (Q.sub a b) b));
+    QCheck.Test.make ~name:"Q floor <= x < floor+1" ~count:200 arb (fun a ->
+        let f = Q.of_int (Q.floor a) in
+        Q.( <= ) f a && Q.( < ) a (Q.add f Q.one));
+    QCheck.Test.make ~name:"Q compare antisymmetric" ~count:200
+      (QCheck.pair arb arb)
+      (fun (a, b) -> Q.compare a b = -Q.compare b a);
+  ]
+
+(* ---------- Mat / Vec ---------- *)
+
+let test_mat_mul () =
+  let a = Mat.of_int_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = Mat.of_int_rows [ [ 5; 6 ]; [ 7; 8 ] ] in
+  let c = Mat.mul a b in
+  Alcotest.(check bool) "product" true
+    (Mat.equal c (Mat.of_int_rows [ [ 19; 22 ]; [ 43; 50 ] ]))
+
+let test_mat_identity () =
+  let a = Mat.of_int_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  Alcotest.(check bool) "I * a = a" true (Mat.equal (Mat.mul (Mat.identity 2) a) a);
+  Alcotest.(check bool) "a * I = a" true (Mat.equal (Mat.mul a (Mat.identity 2)) a)
+
+let test_mat_rank () =
+  Alcotest.(check int) "full rank" 2 (Mat.rank (Mat.of_int_rows [ [ 1; 2 ]; [ 3; 4 ] ]));
+  Alcotest.(check int) "rank 1" 1 (Mat.rank (Mat.of_int_rows [ [ 1; 2 ]; [ 2; 4 ] ]));
+  Alcotest.(check int) "rank 0" 0 (Mat.rank (Mat.zero 3 3))
+
+let test_mat_solve () =
+  let a = Mat.of_int_rows [ [ 2; 1 ]; [ 1; 3 ] ] in
+  let b = Vec.of_ints [ 5; 10 ] in
+  (match Mat.solve a b with
+  | None -> Alcotest.fail "expected a solution"
+  | Some x -> Alcotest.(check bool) "a x = b" true (Vec.equal (Mat.mul_vec a x) b));
+  (* inconsistent system *)
+  let a2 = Mat.of_int_rows [ [ 1; 1 ]; [ 1; 1 ] ] in
+  let b2 = Vec.of_ints [ 1; 2 ] in
+  Alcotest.(check bool) "inconsistent" true (Mat.solve a2 b2 = None)
+
+let test_mat_inverse () =
+  let a = Mat.of_int_rows [ [ 2; 1 ]; [ 1; 1 ] ] in
+  (match Mat.inverse a with
+  | None -> Alcotest.fail "expected invertible"
+  | Some ai ->
+    Alcotest.(check bool) "a * a⁻¹ = I" true (Mat.equal (Mat.mul a ai) (Mat.identity 2)));
+  Alcotest.(check bool) "singular" true
+    (Mat.inverse (Mat.of_int_rows [ [ 1; 2 ]; [ 2; 4 ] ]) = None)
+
+let test_nullspace () =
+  let a = Mat.of_int_rows [ [ 1; 2; 3 ] ] in
+  let ns = Mat.nullspace a in
+  Alcotest.(check int) "nullspace dim" 2 (List.length ns);
+  List.iter
+    (fun v -> Alcotest.(check bool) "a v = 0" true (Vec.is_zero (Mat.mul_vec a v)))
+    ns
+
+let qcheck_mat =
+  let gen_mat n =
+    QCheck.Gen.(
+      array_size (return n)
+        (array_size (return n) (map Q.of_int (int_range (-9) 9))))
+  in
+  let arb = QCheck.make (gen_mat 3) in
+  [
+    QCheck.Test.make ~name:"Mat solve produces solutions" ~count:100
+      (QCheck.pair arb (QCheck.make QCheck.Gen.(array_size (return 3) (map Q.of_int (int_range (-9) 9)))))
+      (fun (rows, bv) ->
+        let a = Mat.of_rows rows in
+        let b = Vec.of_array bv in
+        match Mat.solve a b with
+        | None -> true (* inconsistency is allowed *)
+        | Some x -> Vec.equal (Mat.mul_vec a x) b);
+    QCheck.Test.make ~name:"Mat rank bounded by dims" ~count:100 arb (fun rows ->
+        let a = Mat.of_rows rows in
+        Mat.rank a <= min (Mat.rows a) (Mat.cols a));
+    QCheck.Test.make ~name:"Mat transpose involutive" ~count:100 arb (fun rows ->
+        let a = Mat.of_rows rows in
+        Mat.equal a (Mat.transpose (Mat.transpose a)));
+  ]
+
+(* ---------- Fit ---------- *)
+
+let test_fit_linear () =
+  let pts = [ (1.0, 3.0); (2.0, 5.0); (3.0, 7.0) ] in
+  let slope, intercept = Fit.linear pts in
+  Alcotest.(check (float 1e-9)) "slope" 2.0 slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1.0 intercept
+
+let test_fit_polynomial () =
+  let f x = (2.0 *. x *. x) -. (3.0 *. x) +. 1.0 in
+  let pts = List.map (fun x -> (x, f x)) [ 0.0; 1.0; 2.0; 3.0; 4.0 ] in
+  let c = Fit.polynomial ~degree:2 pts in
+  Alcotest.(check (float 1e-6)) "c0" 1.0 c.(0);
+  Alcotest.(check (float 1e-6)) "c1" (-3.0) c.(1);
+  Alcotest.(check (float 1e-6)) "c2" 2.0 c.(2);
+  Alcotest.(check (float 1e-6)) "eval" (f 5.0) (Fit.eval_poly c 5.0)
+
+let test_fit_inverse () =
+  (* y = 4/x + 2 exactly *)
+  let pts = List.map (fun x -> (x, (4.0 /. x) +. 2.0)) [ 1.0; 2.0; 4.0; 8.0 ] in
+  let a, b = Fit.inverse_plus_const pts in
+  Alcotest.(check (float 1e-9)) "a" 4.0 a;
+  Alcotest.(check (float 1e-9)) "b" 2.0 b
+
+let test_exact_polynomial () =
+  (* counts of an n×n box: n² *)
+  let pts = List.map (fun n -> (Q.of_int n, Q.of_int (n * n))) [ 1; 2; 3; 4 ] in
+  (match Fit.exact_polynomial ~degree:2 pts with
+  | None -> Alcotest.fail "expected fit"
+  | Some c ->
+    check_q "n² at 10" (Q.of_int 100) (Fit.eval_exact_poly c (Q.of_int 10)));
+  (* inconsistent data must be rejected *)
+  let bad = [ (Q.of_int 1, Q.of_int 1); (Q.of_int 2, Q.of_int 4); (Q.of_int 3, Q.of_int 999) ] in
+  Alcotest.(check bool) "inconsistent rejected" true
+    (Fit.exact_polynomial ~degree:1 bad = None)
+
+let unit_tests =
+  [
+    Alcotest.test_case "ints gcd" `Quick test_gcd;
+    Alcotest.test_case "ints fdiv/cdiv" `Quick test_fdiv_cdiv;
+    Alcotest.test_case "ints overflow" `Quick test_overflow;
+    Alcotest.test_case "ints binom" `Quick test_binom;
+    Alcotest.test_case "q canonical" `Quick test_q_canonical;
+    Alcotest.test_case "q arithmetic" `Quick test_q_arith;
+    Alcotest.test_case "q float approx" `Quick test_q_float_approx;
+    Alcotest.test_case "mat mul" `Quick test_mat_mul;
+    Alcotest.test_case "mat identity" `Quick test_mat_identity;
+    Alcotest.test_case "mat rank" `Quick test_mat_rank;
+    Alcotest.test_case "mat solve" `Quick test_mat_solve;
+    Alcotest.test_case "mat inverse" `Quick test_mat_inverse;
+    Alcotest.test_case "mat nullspace" `Quick test_nullspace;
+    Alcotest.test_case "fit linear" `Quick test_fit_linear;
+    Alcotest.test_case "fit polynomial" `Quick test_fit_polynomial;
+    Alcotest.test_case "fit inverse+const" `Quick test_fit_inverse;
+    Alcotest.test_case "fit exact polynomial" `Quick test_exact_polynomial;
+  ]
+
+let tests =
+  unit_tests
+  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) (qcheck_q_field @ qcheck_mat)

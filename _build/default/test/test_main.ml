@@ -1,0 +1,17 @@
+(* Aggregated alcotest entry point for the whole PolyUFC test suite. *)
+
+let () =
+  Alcotest.run "polyufc"
+    [
+      ("linalg", Test_linalg.tests);
+      ("presburger", Test_presburger.tests);
+      ("poly_ir", Test_poly_ir.tests);
+      ("polylang", Test_polylang.tests);
+      ("hwsim", Test_hwsim.tests);
+      ("cache_model", Test_cache_model.tests);
+      ("roofline", Test_roofline.tests);
+      ("perfmodel", Test_perfmodel.tests);
+      ("core", Test_core.tests);
+      ("mlir_lite", Test_mlir_lite.tests);
+      ("workloads", Test_workloads.tests);
+    ]

@@ -1,0 +1,192 @@
+(* Tests for the multi-dialect IR, its lowerings, and ML-PolyUFC. *)
+
+open Mlir_lite
+
+let consts = Test_support.bdw_rooflines
+let machine = Hwsim.Machine.bdw
+
+let sdpa_module =
+  (* scaled-down BERT-style attention: the phase structure is what matters *)
+  {
+    Dialect.module_name = "sdpa";
+    arrays = [];
+    ops = [ Dialect.Torch_op ("attn", Dialect.T_sdpa { batch = 1; heads = 2; seq = 48; dim = 32 }) ];
+  }
+
+let matmul_module m k n =
+  {
+    Dialect.module_name = "mm";
+    arrays = [];
+    ops = [ Dialect.Torch_op ("mm", Dialect.T_matmul { m; k; n }) ];
+  }
+
+let test_torch_to_linalg_sdpa () =
+  let l = Lower.torch_to_linalg sdpa_module in
+  Alcotest.(check int) "6 linalg ops (Fig. 5 decomposition)" 6
+    (List.length l.Dialect.ops);
+  Alcotest.(check bool) "buffers registered" true (List.length l.Dialect.arrays = 6);
+  match l.Dialect.ops with
+  | Dialect.Linalg_op (Dialect.L_batch_matmul { transpose_b = true; _ }) :: _ -> ()
+  | _ -> Alcotest.fail "first op should be the QK^T batch matmul"
+
+let test_full_pipeline () =
+  let lowered =
+    Lower.run_pipeline (Lower.default_pipeline ~tile:false ()) sdpa_module
+  in
+  Alcotest.(check bool) "all scf" true (Dialect.lowest_dialect lowered = Dialect.Scf);
+  let prog, caps = Lower.to_program lowered in
+  Alcotest.(check int) "no caps yet" 0 (List.length caps);
+  Alcotest.(check int) "6 top-level nests" 6 (List.length prog.Poly_ir.Ir.body);
+  match Poly_ir.Ir.validate prog with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "flattened program invalid: %s" e
+
+let test_sdpa_executes_correctly () =
+  (* softmax rows of the attention matrix must sum to 1 after rowdiv *)
+  let lowered =
+    Lower.run_pipeline (Lower.default_pipeline ~tile:false ()) sdpa_module
+  in
+  let prog, _ = Lower.to_program lowered in
+  let r = Poly_ir.Interp.run prog ~param_values:[] Poly_ir.Interp.null_callbacks in
+  let seq = 48 in
+  let row_sum r0 =
+    let acc = ref 0.0 in
+    for j = 0 to seq - 1 do
+      acc := !acc +. Poly_ir.Interp.array_value r "attn_att" [| (r0 * seq) + j |]
+    done;
+    !acc
+  in
+  Alcotest.(check (float 1e-6)) "row 0 sums to 1" 1.0 (row_sum 0);
+  Alcotest.(check (float 1e-6)) "row 50 sums to 1" 1.0 (row_sum 50)
+
+let test_matmul_lowering_matches_reference () =
+  let lowered =
+    Lower.run_pipeline (Lower.default_pipeline ~tile:false ()) (matmul_module 8 6 7)
+  in
+  let prog, _ = Lower.to_program lowered in
+  let r = Poly_ir.Interp.run prog ~param_values:[] Poly_ir.Interp.null_callbacks in
+  let a i j = Poly_ir.Interp.array_value r "mm_a" [| (i * 6) + j |] in
+  let b i j = Poly_ir.Interp.array_value r "mm_b" [| (i * 7) + j |] in
+  let expect i j =
+    let acc = ref 0.0 in
+    for k = 0 to 5 do
+      acc := !acc +. (a i k *. b k j)
+    done;
+    !acc
+  in
+  Alcotest.(check (float 1e-9)) "C[3][4]" (expect 3 4)
+    (Poly_ir.Interp.array_value r "mm_c" [| (3 * 7) + 4 |])
+
+let test_tiled_pipeline_same_result () =
+  let run tile =
+    let lowered =
+      Lower.run_pipeline (Lower.default_pipeline ~tile ~tile_size:8 ()) (matmul_module 20 20 20)
+    in
+    let prog, _ = Lower.to_program lowered in
+    Poly_ir.Interp.run prog ~param_values:[] Poly_ir.Interp.null_callbacks
+  in
+  let plain = run false and tiled = run true in
+  Alcotest.(check (float 1e-9)) "same C element"
+    (Poly_ir.Interp.array_value plain "mm_c" [| 123 |])
+    (Poly_ir.Interp.array_value tiled "mm_c" [| 123 |])
+
+let test_lowering_errors () =
+  (match Lower.to_program sdpa_module with
+  | exception Lower.Lowering_error _ -> ()
+  | _ -> Alcotest.fail "torch module must not flatten");
+  match Lower.linalg_to_affine sdpa_module with
+  | exception Lower.Lowering_error _ -> ()
+  | _ -> Alcotest.fail "linalg-to-affine on torch op must fail"
+
+(* ---------- ML-PolyUFC ---------- *)
+
+let lowered_sdpa =
+  lazy (Lower.run_pipeline (Lower.default_pipeline ~tile:true ()) sdpa_module)
+
+let test_fig5_phase_pattern () =
+  let k = Lazy.force consts in
+  let phases =
+    Polyufc_core.Ml_polyufc.characterize_nests ~machine ~rooflines:k
+      (Lazy.force lowered_sdpa)
+  in
+  Alcotest.(check int) "6 phases" 6 (List.length phases);
+  let pattern = Polyufc_core.Ml_polyufc.phase_pattern phases in
+  (* the paper's Fig. 5 / Sec. VI-A pattern: CB -> BB* -> CB *)
+  Alcotest.(check string) "CB -> BB* -> CB" "CB -> BB* -> CB" pattern
+
+let test_torch_level_characterization () =
+  let k = Lazy.force consts in
+  let phases =
+    Polyufc_core.Ml_polyufc.characterize_torch_ops ~machine ~rooflines:k
+      sdpa_module
+  in
+  Alcotest.(check int) "one torch op" 1 (List.length phases);
+  (* Sec. VI-A: at torch level the sdpa aggregate hides the CB phases *)
+  let p = List.hd phases in
+  Alcotest.(check bool) "finite OI" true (Float.is_finite p.Polyufc_core.Ml_polyufc.oi)
+
+let test_insert_caps_granularities () =
+  let k = Lazy.force consts in
+  let m = Lazy.force lowered_sdpa in
+  let per_nest, s1 =
+    Polyufc_core.Ml_polyufc.insert_caps ~granularity:Polyufc_core.Ml_polyufc.Per_nest
+      ~machine ~rooflines:k m
+  in
+  let whole, s3 =
+    Polyufc_core.Ml_polyufc.insert_caps
+      ~granularity:Polyufc_core.Ml_polyufc.Whole_module ~machine ~rooflines:k m
+  in
+  let grouped, s2 =
+    Polyufc_core.Ml_polyufc.insert_caps
+      ~granularity:(Polyufc_core.Ml_polyufc.Grouped [ 6 ]) ~machine ~rooflines:k m
+  in
+  Alcotest.(check int) "whole module: one switch" 1 s3;
+  Alcotest.(check int) "single group = one switch" 1 s2;
+  Alcotest.(check bool) "per-nest needs >= as many switches" true (s1 >= s2);
+  (* every produced module still flattens with a consistent cap schedule *)
+  List.iter
+    (fun m' ->
+      let _prog, caps = Lower.to_program m' in
+      Alcotest.(check bool) "caps attached" true (caps <> []))
+    [ per_nest; whole; grouped ];
+  (* finer granularity can only help or match the paper's trade-off:
+     cap values stay inside the machine range *)
+  let _, caps = Lower.to_program per_nest in
+  List.iter
+    (fun (_, f) ->
+      Alcotest.(check bool) "cap in range" true (f >= 1.2 && f <= 2.8))
+    caps
+
+let test_group_size_validation () =
+  let k = Lazy.force consts in
+  let m = Lazy.force lowered_sdpa in
+  match
+    Polyufc_core.Ml_polyufc.insert_caps
+      ~granularity:(Polyufc_core.Ml_polyufc.Grouped [ 2; 2 ]) ~machine
+      ~rooflines:k m
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad group sizes must be rejected"
+
+let test_switch_overhead () =
+  (* cap latencies are scaled 10x with the problem sizes: the paper's 28
+     inter-kernel switches cost ~1 ms (BDW) / ~0.6 ms (RPL); here 98/58.8 us *)
+  Alcotest.(check (float 1e-9)) "28 switches on BDW" 98.0
+    (Polyufc_core.Ml_polyufc.switch_overhead_us Hwsim.Machine.bdw 28);
+  Alcotest.(check (float 1e-9)) "28 switches on RPL" 58.8
+    (Polyufc_core.Ml_polyufc.switch_overhead_us Hwsim.Machine.rpl 28)
+
+let tests =
+  [
+    Alcotest.test_case "torch->linalg sdpa" `Quick test_torch_to_linalg_sdpa;
+    Alcotest.test_case "full pipeline" `Quick test_full_pipeline;
+    Alcotest.test_case "sdpa executes (softmax rows)" `Quick test_sdpa_executes_correctly;
+    Alcotest.test_case "matmul lowering reference" `Quick test_matmul_lowering_matches_reference;
+    Alcotest.test_case "tiled pipeline same result" `Quick test_tiled_pipeline_same_result;
+    Alcotest.test_case "lowering errors" `Quick test_lowering_errors;
+    Alcotest.test_case "Fig.5 phase pattern" `Quick test_fig5_phase_pattern;
+    Alcotest.test_case "torch-level characterization" `Quick test_torch_level_characterization;
+    Alcotest.test_case "insert caps granularities" `Quick test_insert_caps_granularities;
+    Alcotest.test_case "group size validation" `Quick test_group_size_validation;
+    Alcotest.test_case "switch overhead" `Quick test_switch_overhead;
+  ]

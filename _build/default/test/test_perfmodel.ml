@@ -1,0 +1,135 @@
+(* Tests for the parametric performance/power model (Sec. V). *)
+
+let consts = Test_support.bdw_rooflines
+
+let gemm_src =
+  {|
+program gemm(n) {
+  arrays { A[n][n] : f64; B[n][n] : f64; C[n][n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      C[i][j] = 0.0;
+      for (k = 0; k < n; k++) {
+        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+|}
+
+let mvt_src =
+  {|
+program mvt(n) {
+  arrays { A[n][n] : f64; x1[n] : f64; y1[n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      x1[i] = x1[i] + A[i][j] * y1[j];
+    }
+  }
+}
+|}
+
+let profile_of src n =
+  let prog = Poly_ir.Tiling.tile_program ~tile_size:32 (Polylang.parse src) in
+  let cm =
+    Cache_model.Model.analyze ~machine:Hwsim.Machine.bdw
+      ~apply_thread_heuristic:false prog ~param_values:[ ("n", n) ]
+  in
+  (prog, Perfmodel.profile_of_cm cm)
+
+let test_gemm_estimate_accuracy () =
+  (* the paper reports < 7% gap on CB kernels (Sec. VII-D) *)
+  let k = Lazy.force consts in
+  let prog, p = profile_of gemm_src 128 in
+  List.iter
+    (fun f ->
+      let est = Perfmodel.estimate k p ~f_c:f in
+      let hw =
+        Hwsim.Sim.run ~machine:Hwsim.Machine.bdw ~uncore:(`Fixed f) prog
+          ~param_values:[ ("n", 128) ]
+      in
+      let err =
+        Float.abs (est.Perfmodel.time_s -. hw.Hwsim.Sim.time_s) /. hw.Hwsim.Sim.time_s
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "time error < 10%% at f=%.1f (got %.1f%%)" f (100. *. err))
+        true (err < 0.10))
+    [ 1.2; 2.0; 2.8 ]
+
+let test_cb_shape () =
+  let k = Lazy.force consts in
+  let _, p = profile_of gemm_src 128 in
+  let sweep = Perfmodel.sweep k p in
+  let first = List.hd sweep and last = List.nth sweep (List.length sweep - 1) in
+  Alcotest.(check bool) "classified CB" true
+    (first.Perfmodel.boundedness = Roofline.CB);
+  (* CB: time nearly flat, energy increasing in f_c *)
+  Alcotest.(check bool) "time flat (< 6%)" true
+    (Float.abs (first.Perfmodel.time_s -. last.Perfmodel.time_s)
+     /. last.Perfmodel.time_s
+     < 0.06);
+  Alcotest.(check bool) "energy rises with f_c" true
+    (last.Perfmodel.energy_j > first.Perfmodel.energy_j);
+  let best = Perfmodel.best_by ~metric:`Edp sweep in
+  Alcotest.(check bool) "EDP optimum well below max" true
+    (best.Perfmodel.f_c < 2.0)
+
+let test_bb_shape () =
+  let k = Lazy.force consts in
+  let _, p = profile_of mvt_src 400 in
+  let sweep = Perfmodel.sweep k p in
+  let first = List.hd sweep and last = List.nth sweep (List.length sweep - 1) in
+  Alcotest.(check bool) "classified BB" true
+    (first.Perfmodel.boundedness = Roofline.BB);
+  Alcotest.(check bool) "time falls with f_c" true
+    (first.Perfmodel.time_s > 1.2 *. last.Perfmodel.time_s);
+  let best = Perfmodel.best_by ~metric:`Edp sweep in
+  Alcotest.(check bool) "EDP optimum in upper half" true
+    (best.Perfmodel.f_c > 2.0)
+
+let test_perf_bw_definitions () =
+  (* Eqns. 5–6: Perf·T = Ω and BW·T = Q *)
+  let k = Lazy.force consts in
+  let _, p = profile_of gemm_src 64 in
+  let e = Perfmodel.estimate k p ~f_c:2.0 in
+  Alcotest.(check (float 1.0)) "perf * time = omega" p.Perfmodel.omega
+    (e.Perfmodel.perf_gflops *. 1e9 *. e.Perfmodel.time_s);
+  Alcotest.(check (float 1.0)) "bw * time = q_dram" p.Perfmodel.q_dram_bytes
+    (e.Perfmodel.bw_gbps *. 1e9 *. e.Perfmodel.time_s)
+
+let test_power_split () =
+  let k = Lazy.force consts in
+  let _, p = profile_of mvt_src 300 in
+  let lo = Perfmodel.estimate k p ~f_c:1.2 in
+  let hi = Perfmodel.estimate k p ~f_c:2.8 in
+  Alcotest.(check bool) "power rises with f_c" true
+    (hi.Perfmodel.power_w > lo.Perfmodel.power_w);
+  Alcotest.(check bool) "peak >= average shape" true
+    (hi.Perfmodel.peak_power_w > 0.0);
+  Alcotest.(check (float 1e-9)) "edp = e*t"
+    (hi.Perfmodel.energy_j *. hi.Perfmodel.time_s)
+    hi.Perfmodel.edp
+
+let test_best_by () =
+  let k = Lazy.force consts in
+  let _, p = profile_of gemm_src 64 in
+  let sweep = Perfmodel.sweep k p in
+  let by_time = Perfmodel.best_by ~metric:`Time sweep in
+  let by_energy = Perfmodel.best_by ~metric:`Energy sweep in
+  List.iter
+    (fun (e : Perfmodel.estimate) ->
+      Alcotest.(check bool) "time minimal" true
+        (by_time.Perfmodel.time_s <= e.Perfmodel.time_s +. 1e-15);
+      Alcotest.(check bool) "energy minimal" true
+        (by_energy.Perfmodel.energy_j <= e.Perfmodel.energy_j +. 1e-15))
+    sweep
+
+let tests =
+  [
+    Alcotest.test_case "gemm estimate accuracy" `Quick test_gemm_estimate_accuracy;
+    Alcotest.test_case "CB sweep shape" `Quick test_cb_shape;
+    Alcotest.test_case "BB sweep shape" `Quick test_bb_shape;
+    Alcotest.test_case "Perf/BW definitions" `Quick test_perf_bw_definitions;
+    Alcotest.test_case "power split" `Quick test_power_split;
+    Alcotest.test_case "best_by" `Quick test_best_by;
+  ]

@@ -1,0 +1,216 @@
+(* Tests for the affine-language frontend. *)
+
+open Poly_ir
+
+let gemm_src =
+  {|
+program gemm(n) {
+  arrays { A[n][n] : f64; B[n][n] : f64; C[n][n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      C[i][j] = 0.0;
+      for (k = 0; k < n; k++) {
+        C[i][j] = C[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+|}
+
+let test_parse_gemm () =
+  let prog = Polylang.parse gemm_src in
+  Alcotest.(check string) "name" "gemm" prog.Ir.prog_name;
+  Alcotest.(check (list string)) "params" [ "n" ] prog.Ir.params;
+  Alcotest.(check int) "arrays" 3 (List.length prog.Ir.arrays);
+  Alcotest.(check int) "stmts" 2 (List.length (Ir.stmts prog));
+  Alcotest.(check int) "depth" 3 (Ir.loop_depth prog)
+
+let test_gemm_executes () =
+  let prog = Polylang.parse gemm_src in
+  let r = Interp.run prog ~param_values:[ ("n", 4) ] Interp.null_callbacks in
+  Alcotest.(check int) "instances" (16 + 64) r.Interp.instances;
+  (* C = A*B with the deterministic init; check one element by hand *)
+  let a i j = Interp.array_value r "A" [| i; j |] in
+  let b i j = Interp.array_value r "B" [| i; j |] in
+  let expect = (a 1 0 *. b 0 2) +. (a 1 1 *. b 1 2) +. (a 1 2 *. b 2 2) +. (a 1 3 *. b 3 2) in
+  Alcotest.(check (float 1e-9)) "C[1][2]" expect (Interp.array_value r "C" [| 1; 2 |])
+
+let test_minmax_stride_parallel () =
+  let src =
+    {|
+program strided(n) {
+  arrays { A[n] : f64; }
+  parallel for (i = 0; i < n; i += 2) {
+    A[i] = 1.0;
+  }
+  for (j = max(0, 3); j < min(n, 2*n - 4); j++) {
+    A[j] = A[j] + 1.0;
+  }
+}
+|}
+  in
+  let prog = Polylang.parse src in
+  (match prog.Ir.body with
+  | [ Ir.Loop l1; Ir.Loop l2 ] ->
+    Alcotest.(check bool) "parallel" true l1.Ir.parallel;
+    Alcotest.(check int) "step" 2 l1.Ir.step;
+    Alcotest.(check int) "max-list" 2 (List.length l2.Ir.lo);
+    Alcotest.(check int) "min-list" 2 (List.length l2.Ir.hi)
+  | _ -> Alcotest.fail "two loops expected");
+  let r = Interp.run prog ~param_values:[ ("n", 10) ] Interp.null_callbacks in
+  (* even i -> 1.0 written; then j in [3, 10) adds 1 *)
+  Alcotest.(check (float 1e-9)) "A[4]" 2.0 (Interp.array_value r "A" [| 4 |]);
+  Alcotest.(check (float 1e-9)) "A[2]" 1.0 (Interp.array_value r "A" [| 2 |])
+
+let test_errors () =
+  let expect_fail src =
+    match Polylang.parse src with
+    | exception Polylang.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected failure: %s" src
+  in
+  expect_fail "program p { for (i = 0; i < 10; i++) { A[i] = 1.0; } }";
+  (* undeclared array *)
+  expect_fail "program p(n) { arrays { A[n] : f64; } for (i = 0; i < n; i++) { A[i*i] = 1.0; } }";
+  (* non-affine *)
+  expect_fail "program p(n) { arrays { A[n] : f64; } for (i = 0; j < n; i++) { A[i] = 1.0; } }";
+  (* mismatched loop var *)
+  expect_fail "program p(n) { arrays { A[n] : f64; } for (i = 0; i < n; i += 0) { A[i] = 1.0; } }"
+
+let test_roundtrip () =
+  let prog = Polylang.parse gemm_src in
+  let printed = Polylang.to_string prog in
+  let reparsed = Polylang.parse printed in
+  let r1 = Interp.run prog ~param_values:[ ("n", 5) ] Interp.null_callbacks in
+  let r2 = Interp.run reparsed ~param_values:[ ("n", 5) ] Interp.null_callbacks in
+  Alcotest.(check int) "same instance count" r1.Interp.instances r2.Interp.instances;
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      Alcotest.(check (float 1e-9)) "same result"
+        (Interp.array_value r1 "C" [| i; j |])
+        (Interp.array_value r2 "C" [| i; j |])
+    done
+  done
+
+let test_tiled_roundtrip () =
+  (* tiling output (max/min bounds, strides) must print and re-parse *)
+  let prog = Polylang.parse gemm_src in
+  let tiled = Tiling.tile_program ~tile_size:3 prog in
+  let reparsed = Polylang.parse (Polylang.to_string tiled) in
+  let r1 = Interp.run tiled ~param_values:[ ("n", 7) ] Interp.null_callbacks in
+  let r2 = Interp.run reparsed ~param_values:[ ("n", 7) ] Interp.null_callbacks in
+  Alcotest.(check (float 1e-9)) "tiled roundtrip result"
+    (Interp.array_value r1 "C" [| 6; 6 |])
+    (Interp.array_value r2 "C" [| 6; 6 |])
+
+let test_comments_and_floats () =
+  let src =
+    {|
+program p(n) { // a program
+  arrays { A[n] : f32; }
+  // initialize
+  for (i = 0; i < n; i++) {
+    A[i] = 0.5 * 1.25e1;
+  }
+}
+|}
+  in
+  let prog = Polylang.parse src in
+  Alcotest.(check int) "f32 size" 4 (List.hd prog.Ir.arrays).Ir.elem_size;
+  let r = Interp.run prog ~param_values:[ ("n", 3) ] Interp.null_callbacks in
+  Alcotest.(check (float 1e-9)) "value" 6.25 (Interp.array_value r "A" [| 1 |])
+
+let tests =
+  [
+    Alcotest.test_case "parse gemm" `Quick test_parse_gemm;
+    Alcotest.test_case "gemm executes" `Quick test_gemm_executes;
+    Alcotest.test_case "minmax/stride/parallel" `Quick test_minmax_stride_parallel;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "tiled roundtrip" `Quick test_tiled_roundtrip;
+    Alcotest.test_case "comments and floats" `Quick test_comments_and_floats;
+  ]
+
+(* ---------- affine branches (Sec. II-A) ---------- *)
+
+let branch_src =
+  {|
+program tri(n) {
+  arrays { A[n][n] : f64; diag[n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      if (j <= i && i + j >= 2) {
+        A[i][j] = 1.0;
+      } else {
+        A[i][j] = 0.0;
+      }
+      if (i == j) {
+        diag[i] = A[i][j] + diag[i];
+      }
+    }
+  }
+}
+|}
+
+let test_if_parses_and_executes () =
+  let prog = Polylang.parse branch_src in
+  let r = Interp.run prog ~param_values:[ ("n", 6) ] Interp.null_callbacks in
+  (* lower triangle with i+j >= 2 is 1.0 *)
+  Alcotest.(check (float 1e-9)) "A[3][2]" 1.0 (Interp.array_value r "A" [| 3; 2 |]);
+  Alcotest.(check (float 1e-9)) "A[2][3] (upper)" 0.0 (Interp.array_value r "A" [| 2; 3 |]);
+  Alcotest.(check (float 1e-9)) "A[1][0] (i+j<2)" 0.0 (Interp.array_value r "A" [| 1; 0 |]);
+  Alcotest.(check (float 1e-9)) "A[0][0]" 0.0 (Interp.array_value r "A" [| 0; 0 |])
+
+let test_if_domains () =
+  let prog = Polylang.parse branch_src in
+  let scop = Scop.extract prog in
+  (* then-branch statement: j <= i and i+j >= 2 within the 6x6 box *)
+  let then_stmt = List.hd scop.Scop.stmt_infos in
+  let card =
+    Scop.domain_cardinality scop then_stmt ~param_values:[ ("n", 6) ]
+  in
+  let expect = ref 0 in
+  for i = 0 to 5 do
+    for j = 0 to 5 do
+      if j <= i && i + j >= 2 then incr expect
+    done
+  done;
+  Alcotest.(check int) "guarded domain cardinality" !expect card;
+  (* the diagonal statement: i == j -> n points *)
+  let diag =
+    List.find
+      (fun (i : Scop.stmt_info) ->
+        i.Scop.stmt.Ir.target.Ir.array = "diag")
+      scop.Scop.stmt_infos
+  in
+  Alcotest.(check int) "diagonal cardinality" 6
+    (Scop.domain_cardinality scop diag ~param_values:[ ("n", 6) ])
+
+let test_if_roundtrip () =
+  let prog = Polylang.parse branch_src in
+  let reparsed = Polylang.parse (Polylang.to_string prog) in
+  let r1 = Interp.run prog ~param_values:[ ("n", 5) ] Interp.null_callbacks in
+  let r2 = Interp.run reparsed ~param_values:[ ("n", 5) ] Interp.null_callbacks in
+  for i = 0 to 4 do
+    Alcotest.(check (float 1e-9)) "diag same"
+      (Interp.array_value r1 "diag" [| i |])
+      (Interp.array_value r2 "diag" [| i |])
+  done
+
+let test_if_cache_model () =
+  (* the cache model consumes branchy programs through the interpreter *)
+  let prog = Polylang.parse branch_src in
+  let r =
+    Cache_model.Model.analyze ~machine:Hwsim.Machine.bdw
+      ~apply_thread_heuristic:false prog ~param_values:[ ("n", 32) ]
+  in
+  Alcotest.(check bool) "positive misses" true (r.Cache_model.Model.miss_llc > 0.0)
+
+let if_tests =
+  [
+    Alcotest.test_case "if parses and executes" `Quick test_if_parses_and_executes;
+    Alcotest.test_case "if domains (guards in Scop)" `Quick test_if_domains;
+    Alcotest.test_case "if print/parse roundtrip" `Quick test_if_roundtrip;
+    Alcotest.test_case "if through cache model" `Quick test_if_cache_model;
+  ]
+
+let tests = tests @ if_tests

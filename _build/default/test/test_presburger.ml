@@ -1,0 +1,451 @@
+(* Tests for the Presburger (isl-substitute) layer: parsing, set algebra,
+   scanning, lexmin, and Ehrhart counting. *)
+
+open Presburger
+
+let parse = Syntax.pset_of_string
+let parse1 = Syntax.bset_of_string
+
+let card s = Pset.cardinality (parse s)
+
+(* ---------- parsing + cardinality ---------- *)
+
+let test_box_cardinality () =
+  Alcotest.(check int) "10 points" 10 (card "{ [i] : 0 <= i < 10 }");
+  Alcotest.(check int) "2d box" 12 (card "{ [i, j] : 0 <= i < 3 and 0 <= j < 4 }");
+  Alcotest.(check int) "empty" 0 (card "{ [i] : 0 <= i and i < 0 }");
+  Alcotest.(check int) "singleton" 1 (card "{ [i] : i = 5 }")
+
+let test_triangle () =
+  Alcotest.(check int) "triangle n=5" 15 (card "{ [i, j] : 0 <= i < 5 and 0 <= j <= i }")
+
+let test_mod_floor () =
+  Alcotest.(check int) "evens in [0,10)" 5 (card "{ [i] : 0 <= i < 10 and i mod 2 = 0 }");
+  Alcotest.(check int) "floor" 3 (card "{ [i] : 0 <= i < 9 and floor(i / 3) = 1 }");
+  Alcotest.(check int) "diag mod" 8
+    (card "{ [i, j] : 0 <= i < 4 and 0 <= j < 4 and (i + j) mod 2 = 0 }")
+
+let test_ne_and_or () =
+  Alcotest.(check int) "!=" 9 (card "{ [i] : 0 <= i < 10 and i != 4 }");
+  Alcotest.(check int) "or" 6
+    (card "{ [i] : (0 <= i < 3) or (10 <= i < 13) }");
+  Alcotest.(check int) "union via ;" 6
+    (card "{ [i] : 0 <= i < 3 ; [i] : 10 <= i < 13 }")
+
+let test_overlapping_union_dedup () =
+  (* overlapping disjuncts must not double-count *)
+  Alcotest.(check int) "overlap" 8 (card "{ [i] : 0 <= i < 6 ; [i] : 4 <= i < 8 }")
+
+let test_parse_errors () =
+  let expect_fail s =
+    match parse s with
+    | exception Syntax.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  expect_fail "{ [i] : i ** 2 }";
+  expect_fail "{ [i] : i <= }";
+  expect_fail "{ [i] : j <= 3 }";
+  (* unbound var *)
+  expect_fail "{ [i] : i * i <= 3 }" (* non-affine *)
+
+(* ---------- membership, sampling, lexmin ---------- *)
+
+let test_mem () =
+  let s = parse "{ [i, j] : 0 <= i < 3 and 0 <= j <= i }" in
+  Alcotest.(check bool) "in" true (Pset.mem s [| 2; 1 |]);
+  Alcotest.(check bool) "out" false (Pset.mem s [| 1; 2 |])
+
+let test_lexmin_lexmax () =
+  let s = parse "{ [i, j] : 1 <= i < 5 and i <= j < 7 }" in
+  Alcotest.(check (option (array int))) "lexmin" (Some [| 1; 1 |]) (Pset.lexmin_point s);
+  Alcotest.(check (option (array int))) "lexmax" (Some [| 4; 6 |]) (Pset.lexmax_point s);
+  let holes = parse "{ [i] : (3 <= i < 5) or (0 <= i < 2) }" in
+  Alcotest.(check (option (array int))) "lexmin union" (Some [| 0 |]) (Pset.lexmin_point holes)
+
+let test_sample_empty () =
+  Alcotest.(check bool) "empty has no sample" true
+    (Pset.sample (parse "{ [i] : i > 3 and i < 2 }") = None);
+  Alcotest.(check bool) "is_empty" true (Pset.is_empty (parse "{ [i] : 2 <= i and i <= 1 }"));
+  Alcotest.(check bool) "non-empty" false (Pset.is_empty (parse "{ [i] : 0 <= i <= 1 }"))
+
+(* ---------- set algebra ---------- *)
+
+let test_intersect () =
+  let a = parse "{ [i] : 0 <= i < 10 }" in
+  let b = parse "{ [i] : 5 <= i < 15 }" in
+  Alcotest.(check int) "intersection" 5 (Pset.cardinality (Pset.intersect a b))
+
+let test_subtract () =
+  let a = parse "{ [i] : 0 <= i < 10 }" in
+  let b = parse "{ [i] : 3 <= i < 6 }" in
+  let d = Pset.subtract a b in
+  Alcotest.(check int) "difference" 7 (Pset.cardinality d);
+  Alcotest.(check bool) "3 not in" false (Pset.mem d [| 3 |]);
+  Alcotest.(check bool) "2 in" true (Pset.mem d [| 2 |]);
+  Alcotest.(check bool) "a - a empty" true (Pset.is_empty (Pset.subtract a a))
+
+let test_subset_equal () =
+  let a = parse "{ [i] : 0 <= i < 5 }" in
+  let b = parse "{ [i] : 0 <= i < 10 }" in
+  Alcotest.(check bool) "a ⊆ b" true (Pset.is_subset a b);
+  Alcotest.(check bool) "b ⊄ a" false (Pset.is_subset b a);
+  Alcotest.(check bool) "a = a" true (Pset.is_equal a a);
+  let u = parse "{ [i] : 0 <= i < 5 ; [i] : 5 <= i < 10 }" in
+  Alcotest.(check bool) "split union = b" true (Pset.is_equal u b)
+
+(* ---------- maps ---------- *)
+
+let test_map_domain_range () =
+  let m = parse "{ S[i] -> A[i + 1] : 0 <= i < 5 }" in
+  Alcotest.(check int) "domain card" 5 (Pset.cardinality (Pset.domain m));
+  Alcotest.(check int) "range card" 5 (Pset.cardinality (Pset.range m));
+  let r = Pset.range m in
+  Alcotest.(check bool) "range shifted" true (Pset.mem r [| 5 |]);
+  Alcotest.(check bool) "range excludes 0" false (Pset.mem r [| 0 |])
+
+let test_map_inverse () =
+  let m = parse "{ S[i] -> A[2*i] : 0 <= i < 4 }" in
+  let mi = Pset.inverse m in
+  Alcotest.(check bool) "inverse maps back" true (Pset.mem mi [| 6; 3 |]);
+  Alcotest.(check bool) "inverse excludes" false (Pset.mem mi [| 3; 6 |])
+
+let test_map_compose () =
+  (* a : [i] -> [i+1], b : [j] -> [2j]; b∘a : [i] -> [2(i+1)] *)
+  let a = parse "{ [i] -> [i + 1] : 0 <= i < 10 }" in
+  let b = parse "{ [j] -> [2*j] : 0 <= j < 20 }" in
+  let c = Pset.compose a b in
+  Alcotest.(check bool) "composition value" true (Pset.mem c [| 3; 8 |]);
+  Alcotest.(check bool) "wrong value" false (Pset.mem c [| 3; 6 |]);
+  Alcotest.(check int) "card preserved" 10 (Pset.cardinality (Pset.domain c))
+
+let test_deltas () =
+  let m = parse "{ [i] -> [i + 3] : 0 <= i < 7 }" in
+  let d = Pset.deltas m in
+  Alcotest.(check int) "single delta" 1 (Pset.cardinality d);
+  Alcotest.(check bool) "delta is 3" true (Pset.mem d [| 3 |])
+
+let test_lex_maps () =
+  let lt = Pset.lex_lt 2 in
+  Alcotest.(check bool) "(0,5) < (1,0)" true (Pset.mem lt [| 0; 5; 1; 0 |]);
+  Alcotest.(check bool) "(1,0) !< (0,5)" false (Pset.mem lt [| 1; 0; 0; 5 |]);
+  Alcotest.(check bool) "equal !<" false (Pset.mem lt [| 2; 2; 2; 2 |]);
+  let le = Pset.lex_le 2 in
+  Alcotest.(check bool) "equal <=" true (Pset.mem le [| 2; 2; 2; 2 |])
+
+let test_product_domain () =
+  let a = parse "{ S[i] -> A[i] : 0 <= i < 4 }" in
+  let b = parse "{ S[i] -> B[i + 1] : 0 <= i < 4 }" in
+  let p = Pset.product_domain a b in
+  Alcotest.(check bool) "pairs images" true (Pset.mem p [| 2; 2; 3 |]);
+  Alcotest.(check bool) "wrong pair" false (Pset.mem p [| 2; 3; 2 |])
+
+(* ---------- parameters ---------- *)
+
+let test_parametric () =
+  let s = parse "[n] -> { [i] : 0 <= i < n }" in
+  let fixed = Pset.fix_params s [| 7 |] in
+  Alcotest.(check int) "card at n=7" 7 (Pset.cardinality fixed);
+  let empty = Pset.fix_params s [| 0 |] in
+  Alcotest.(check bool) "empty at n=0" true (Pset.is_empty empty)
+
+(* ---------- Ehrhart counting ---------- *)
+
+let instance_of template n =
+  match Pset.disjuncts (Pset.fix_params (parse template) [| n |]) with
+  | [ b ] -> b
+  | _ -> Alcotest.fail "expected one disjunct"
+
+let test_ehrhart_box () =
+  let qp =
+    Count.card_poly (instance_of "[n] -> { [i, j] : 0 <= i < n and 0 <= j < n }")
+  in
+  match qp with
+  | None -> Alcotest.fail "no fit for n^2"
+  | Some qp ->
+    Alcotest.(check int) "degree" 2 (Count.degree qp);
+    Alcotest.(check int) "n=50" 2500 (Count.eval qp 50);
+    Alcotest.(check int) "n=123" (123 * 123) (Count.eval qp 123)
+
+let test_ehrhart_triangle () =
+  let qp =
+    Count.card_poly (instance_of "[n] -> { [i, j] : 0 <= i < n and 0 <= j <= i }")
+  in
+  match qp with
+  | None -> Alcotest.fail "no fit for triangle"
+  | Some qp ->
+    Alcotest.(check int) "n=100" (100 * 101 / 2) (Count.eval qp 100)
+
+let test_ehrhart_quasi () =
+  (* |{ i : 0 <= 2i < n }| = ceil(n/2): genuine quasi-polynomial, period 2 *)
+  let qp = Count.card_poly (instance_of "[n] -> { [i] : 0 <= 2*i < n }") in
+  match qp with
+  | None -> Alcotest.fail "no fit for ceil(n/2)"
+  | Some qp ->
+    Alcotest.(check int) "period" 2 qp.Count.period;
+    Alcotest.(check int) "n=99" 50 (Count.eval qp 99);
+    Alcotest.(check int) "n=100" 50 (Count.eval qp 100);
+    Alcotest.(check int) "n=101" 51 (Count.eval qp 101)
+
+let test_ehrhart_cube () =
+  let qp =
+    Count.card_poly
+      (instance_of "[n] -> { [i, j, k] : 0 <= i < n and 0 <= j < n and 0 <= k < n }")
+  in
+  match qp with
+  | None -> Alcotest.fail "no fit for n^3"
+  | Some qp -> Alcotest.(check int) "n=37" (37 * 37 * 37) (Count.eval qp 37)
+
+(* ---------- printing round-trips ---------- *)
+
+let test_roundtrip () =
+  let cases =
+    [
+      "{ [i] : 0 <= i < 10 }";
+      "{ S[i, j] -> A[i + j] : 0 <= i < 4 and 0 <= j < 4 }";
+      "[n] -> { [i] : 0 <= i < n }";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let p = parse s in
+      let printed = Syntax.to_string p in
+      let reparsed = parse printed in
+      (* fix any parameters, then compare by sampling (spaces may rename) *)
+      let ground q =
+        let np = Space.n_params (Pset.space q) in
+        if np = 0 then q else Pset.fix_params q (Array.make np 5)
+      in
+      let p = ground p and reparsed = ground reparsed in
+      match (Pset.sample p, Pset.sample reparsed) with
+      | Some a, Some b ->
+        Alcotest.(check (array int)) ("roundtrip sample " ^ s) a b
+      | None, None -> ()
+      | _ -> Alcotest.failf "roundtrip emptiness mismatch for %s" s)
+    cases
+
+(* ---------- qcheck properties ---------- *)
+
+let gen_box =
+  (* random 2d box with bounds in [-8, 8] *)
+  QCheck.Gen.(
+    map
+      (fun (a, b, c, d) -> (min a b, max a b, min c d, max c d))
+      (quad (int_range (-8) 8) (int_range (-8) 8) (int_range (-8) 8)
+         (int_range (-8) 8)))
+
+let box_set (lo1, hi1, lo2, hi2) =
+  parse
+    (Printf.sprintf "{ [i, j] : %d <= i <= %d and %d <= j <= %d }" lo1 hi1 lo2
+       hi2)
+
+let gen_box_arb =
+  QCheck.make
+    ~print:(fun (a, b, c, d) -> Printf.sprintf "[%d,%d]x[%d,%d]" a b c d)
+    gen_box
+
+let qcheck_tests =
+  let arb = gen_box_arb in
+  [
+    QCheck.Test.make ~name:"box cardinality formula" ~count:100 arb
+      (fun ((lo1, hi1, lo2, hi2) as b) ->
+        Pset.cardinality (box_set b) = (hi1 - lo1 + 1) * (hi2 - lo2 + 1));
+    QCheck.Test.make ~name:"intersect commutes (cardinality)" ~count:60
+      (QCheck.pair arb arb)
+      (fun (b1, b2) ->
+        let s1 = box_set b1 and s2 = box_set b2 in
+        Pset.cardinality (Pset.intersect s1 s2)
+        = Pset.cardinality (Pset.intersect s2 s1));
+    QCheck.Test.make ~name:"subtract disjoint from union" ~count:60
+      (QCheck.pair arb arb)
+      (fun (b1, b2) ->
+        let s1 = box_set b1 and s2 = box_set b2 in
+        (* |s1 ∪ s2| = |s1 - s2| + |s2| *)
+        Pset.cardinality (Pset.union s1 s2)
+        = Pset.cardinality (Pset.subtract s1 s2) + Pset.cardinality s2);
+    QCheck.Test.make ~name:"lexmin member and minimal" ~count:60 arb (fun b ->
+        let s = box_set b in
+        match Pset.lexmin_point s with
+        | None -> Pset.is_empty s
+        | Some p ->
+          Pset.mem s p
+          && Pset.fold_points s ~init:true ~f:(fun acc q ->
+                 acc && compare p q <= 0));
+    QCheck.Test.make ~name:"deltas of identity map is zero" ~count:20
+      (QCheck.make QCheck.Gen.(int_range 1 6))
+      (fun n ->
+        let m =
+          parse (Printf.sprintf "{ [i] -> [i] : 0 <= i < %d }" n)
+        in
+        let d = Pset.deltas m in
+        Pset.cardinality d = 1 && Pset.mem d [| 0 |]);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "box cardinality" `Quick test_box_cardinality;
+    Alcotest.test_case "triangle" `Quick test_triangle;
+    Alcotest.test_case "mod and floor" `Quick test_mod_floor;
+    Alcotest.test_case "!= and or" `Quick test_ne_and_or;
+    Alcotest.test_case "overlapping union dedup" `Quick test_overlapping_union_dedup;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "membership" `Quick test_mem;
+    Alcotest.test_case "lexmin/lexmax" `Quick test_lexmin_lexmax;
+    Alcotest.test_case "sample empty" `Quick test_sample_empty;
+    Alcotest.test_case "intersect" `Quick test_intersect;
+    Alcotest.test_case "subtract" `Quick test_subtract;
+    Alcotest.test_case "subset/equal" `Quick test_subset_equal;
+    Alcotest.test_case "map domain/range" `Quick test_map_domain_range;
+    Alcotest.test_case "map inverse" `Quick test_map_inverse;
+    Alcotest.test_case "map compose" `Quick test_map_compose;
+    Alcotest.test_case "deltas" `Quick test_deltas;
+    Alcotest.test_case "lex maps" `Quick test_lex_maps;
+    Alcotest.test_case "product domain" `Quick test_product_domain;
+    Alcotest.test_case "parametric fix" `Quick test_parametric;
+    Alcotest.test_case "ehrhart box" `Quick test_ehrhart_box;
+    Alcotest.test_case "ehrhart triangle" `Quick test_ehrhart_triangle;
+    Alcotest.test_case "ehrhart quasi-poly" `Quick test_ehrhart_quasi;
+    Alcotest.test_case "ehrhart cube" `Quick test_ehrhart_cube;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_tests
+
+(* ---------- gist / coalesce / bounding box (isl extensions) ---------- *)
+
+let test_gist () =
+  let b = parse1 "{ [i] : 0 <= i < 100 and i < 50 }" in
+  let ctx = parse1 "{ [i] : 10 <= i < 20 }" in
+  let g = Pset.of_bset (Bset.gist b ~context:ctx) in
+  (* on the context, gist must agree with the original *)
+  let orig = Pset.of_bset b and ctxs = Pset.of_bset ctx in
+  Alcotest.(check bool) "gist ∩ ctx = b ∩ ctx" true
+    (Pset.is_equal (Pset.intersect g ctxs) (Pset.intersect orig ctxs));
+  (* and it should have dropped the implied constraints entirely *)
+  Alcotest.(check int) "constraints dropped" 0
+    (List.length (Presburger.Poly.constraints (List.hd (Pset.disjuncts g)).Bset.poly))
+
+let test_coalesce_adjacent () =
+  let u = parse "{ [i] : 0 <= i < 5 ; [i] : 5 <= i < 10 }" in
+  let c = Pset.coalesce u in
+  Alcotest.(check int) "merged to one disjunct" 1 (Pset.n_disjuncts c);
+  Alcotest.(check bool) "same set" true (Pset.is_equal c u);
+  Alcotest.(check int) "cardinality preserved" 10 (Pset.cardinality c)
+
+let test_coalesce_gap_not_merged () =
+  let u = parse "{ [i] : 0 <= i < 5 ; [i] : 6 <= i < 10 }" in
+  let c = Pset.coalesce u in
+  Alcotest.(check int) "gap keeps two disjuncts" 2 (Pset.n_disjuncts c);
+  Alcotest.(check bool) "same set" true (Pset.is_equal c u)
+
+let test_coalesce_2d () =
+  let u =
+    parse
+      "{ [i, j] : 0 <= i < 4 and 0 <= j < 4 ; [i, j] : 4 <= i < 8 and 0 <= j < 4 }"
+  in
+  let c = Pset.coalesce u in
+  Alcotest.(check int) "2d boxes merge" 1 (Pset.n_disjuncts c);
+  Alcotest.(check int) "32 points" 32 (Pset.cardinality c);
+  (* boxes that only share a corner must not merge *)
+  let corner =
+    parse
+      "{ [i, j] : 0 <= i < 4 and 0 <= j < 4 ; [i, j] : 4 <= i < 8 and 4 <= j < 8 }"
+  in
+  Alcotest.(check int) "corner boxes stay" 2
+    (Pset.n_disjuncts (Pset.coalesce corner))
+
+let test_bounding_box () =
+  let b = parse1 "{ [i, j] : 2 <= i < 7 and i <= j and j < 9 }" in
+  let bb = Bset.bounding_box b in
+  Alcotest.(check (pair (option int) (option int)) ) "i bounds" (Some 2, Some 6) bb.(0);
+  Alcotest.(check (pair (option int) (option int)) ) "j bounds" (Some 2, Some 8) bb.(1)
+
+let qcheck_coalesce =
+  [
+    QCheck.Test.make ~name:"coalesce preserves the set" ~count:60
+      (QCheck.pair gen_box_arb gen_box_arb)
+      (fun (b1, b2) ->
+        let u = Pset.union (box_set b1) (box_set b2) in
+        let c = Pset.coalesce u in
+        Pset.is_equal c u && Pset.n_disjuncts c <= Pset.n_disjuncts u);
+  ]
+
+let extension_tests =
+  [
+    Alcotest.test_case "gist" `Quick test_gist;
+    Alcotest.test_case "coalesce adjacent" `Quick test_coalesce_adjacent;
+    Alcotest.test_case "coalesce gap" `Quick test_coalesce_gap_not_merged;
+    Alcotest.test_case "coalesce 2d" `Quick test_coalesce_2d;
+    Alcotest.test_case "bounding box" `Quick test_bounding_box;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_coalesce
+
+let tests = tests @ extension_tests
+
+(* ---------- differential testing against brute force ---------- *)
+
+(* random conjunctions of half-planes over a bounded 2-d window: the
+   library's FM-based scanning must agree exactly with direct evaluation *)
+let gen_halfplanes =
+  QCheck.Gen.(
+    list_size (int_range 1 5)
+      (triple (int_range (-3) 3) (int_range (-3) 3) (int_range (-6) 6)))
+
+let polytope_of_halfplanes hps =
+  (* window [-6,6]^2 plus the random half-planes a·i + b·j + c >= 0 *)
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "{ [i, j] : -6 <= i <= 6 and -6 <= j <= 6";
+  List.iter
+    (fun (a, b, c) ->
+      Buffer.add_string buf
+        (Printf.sprintf " and %d*i + %d*j + %d >= 0" a b c))
+    hps;
+  Buffer.add_string buf " }";
+  parse (Buffer.contents buf)
+
+let brute_force_count hps =
+  let n = ref 0 in
+  for i = -6 to 6 do
+    for j = -6 to 6 do
+      if List.for_all (fun (a, b, c) -> (a * i) + (b * j) + c >= 0) hps then
+        incr n
+    done
+  done;
+  !n
+
+let brute_force_lexmin hps =
+  let best = ref None in
+  for i = -6 to 6 do
+    for j = -6 to 6 do
+      if
+        List.for_all (fun (a, b, c) -> (a * i) + (b * j) + c >= 0) hps
+        && !best = None
+      then best := Some [| i; j |]
+    done
+  done;
+  !best
+
+let qcheck_brute_force =
+  let arb = QCheck.make ~print:(fun l ->
+      String.concat ";" (List.map (fun (a,b,c) -> Printf.sprintf "(%d,%d,%d)" a b c) l))
+      gen_halfplanes
+  in
+  [
+    QCheck.Test.make ~name:"random polytope cardinality = brute force" ~count:150
+      arb
+      (fun hps ->
+        Pset.cardinality (polytope_of_halfplanes hps) = brute_force_count hps);
+    QCheck.Test.make ~name:"random polytope lexmin = brute force" ~count:150
+      arb
+      (fun hps ->
+        Pset.lexmin_point (polytope_of_halfplanes hps) = brute_force_lexmin hps);
+    QCheck.Test.make ~name:"random polytope emptiness = brute force" ~count:150
+      arb
+      (fun hps ->
+        Pset.is_empty (polytope_of_halfplanes hps) = (brute_force_count hps = 0));
+    QCheck.Test.make ~name:"membership = direct evaluation" ~count:100
+      (QCheck.pair arb (QCheck.pair (QCheck.make QCheck.Gen.(int_range (-6) 6)) (QCheck.make QCheck.Gen.(int_range (-6) 6))))
+      (fun (hps, (i, j)) ->
+        Pset.mem (polytope_of_halfplanes hps) [| i; j |]
+        = List.for_all (fun (a, b, c) -> (a * i) + (b * j) + c >= 0) hps);
+  ]
+
+let tests = tests @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_brute_force

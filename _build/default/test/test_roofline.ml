@@ -1,0 +1,65 @@
+(* Tests for the roofline microbenchmark campaign and characterization. *)
+
+let bdw_consts = Test_support.bdw_rooflines
+let rpl_consts = Test_support.rpl_rooflines
+
+let test_constants_sane () =
+  let k = Lazy.force bdw_consts in
+  Alcotest.(check bool) "t_fpu positive" true (k.Roofline.t_fpu_ns > 0.0);
+  Alcotest.(check bool) "peak gflops positive" true (k.Roofline.peak_gflops > 1.0);
+  Alcotest.(check bool) "balance positive" true (k.Roofline.b_dram_t > 0.0);
+  Alcotest.(check bool) "p_con recovered" true
+    (Float.abs (k.Roofline.p_con_w -. Hwsim.Machine.bdw.Hwsim.Machine.p_static_w) < 0.5)
+
+let test_uncore_power_fit () =
+  (* the fitted α/γ must recover the machine's uncore power curve *)
+  let k = Lazy.force bdw_consts in
+  let m = Hwsim.Machine.bdw in
+  Alcotest.(check (float 0.3)) "alpha" m.Hwsim.Machine.uncore_w_per_ghz k.Roofline.alpha_p;
+  Alcotest.(check (float 0.6)) "gamma" m.Hwsim.Machine.uncore_w_base k.Roofline.gamma_p
+
+let test_miss_latency_curve () =
+  let k = Lazy.force bdw_consts in
+  Alcotest.(check bool) "a positive (1/f shape)" true (k.Roofline.miss_lat_a > 0.0);
+  let lo = Roofline.miss_latency_ns k ~f_u:1.2 in
+  let hi = Roofline.miss_latency_ns k ~f_u:2.8 in
+  Alcotest.(check bool) "latency falls with f_u" true (lo > hi)
+
+let test_hit_costs_monotone () =
+  let k = Lazy.force bdw_consts in
+  let h = k.Roofline.hit_cost_ns in
+  Alcotest.(check int) "three levels" 3 (Array.length h);
+  Alcotest.(check bool) "L1 <= L2 <= LLC" true (h.(0) <= h.(1) && h.(1) <= h.(2))
+
+let test_characterization () =
+  let k = Lazy.force bdw_consts in
+  Alcotest.(check bool) "high OI -> CB" true
+    (Roofline.characterize k ~oi:(k.Roofline.b_dram_t *. 4.0) = Roofline.CB);
+  Alcotest.(check bool) "low OI -> BB" true
+    (Roofline.characterize k ~oi:(k.Roofline.b_dram_t /. 4.0) = Roofline.BB);
+  Alcotest.(check bool) "boundary -> CB" true
+    (Roofline.characterize k ~oi:k.Roofline.b_dram_t = Roofline.CB)
+
+let test_bw_curve () =
+  let k = Lazy.force bdw_consts in
+  let at12 = Roofline.dram_bw_at k ~f_u:1.2 in
+  let at28 = Roofline.dram_bw_at k ~f_u:2.8 in
+  Alcotest.(check bool) "bw grows" true (at28 > at12);
+  Alcotest.(check bool) "bw bounded by sat" true (at28 <= k.Roofline.bw_sat_gbps +. 1e-9)
+
+let test_rpl_faster_than_bdw () =
+  (* Table III: RPL is the newer, faster machine in every roofline axis *)
+  let b = Lazy.force bdw_consts and r = Lazy.force rpl_consts in
+  Alcotest.(check bool) "peak flops" true (r.Roofline.peak_gflops > b.Roofline.peak_gflops);
+  Alcotest.(check bool) "peak bw" true (r.Roofline.peak_bw_gbps > b.Roofline.peak_bw_gbps)
+
+let tests =
+  [
+    Alcotest.test_case "constants sane" `Quick test_constants_sane;
+    Alcotest.test_case "uncore power fit" `Quick test_uncore_power_fit;
+    Alcotest.test_case "miss latency curve" `Quick test_miss_latency_curve;
+    Alcotest.test_case "hit costs monotone" `Quick test_hit_costs_monotone;
+    Alcotest.test_case "CB/BB characterization" `Quick test_characterization;
+    Alcotest.test_case "bandwidth curve" `Quick test_bw_curve;
+    Alcotest.test_case "RPL > BDW rooflines" `Quick test_rpl_faster_than_bdw;
+  ]

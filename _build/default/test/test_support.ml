@@ -1,0 +1,5 @@
+(* Shared fixtures: the roofline microbench campaign is deterministic and
+   moderately expensive, so run it once per machine for the whole suite. *)
+
+let bdw_rooflines = lazy (Roofline.microbench Hwsim.Machine.bdw)
+let rpl_rooflines = lazy (Roofline.microbench Hwsim.Machine.rpl)
