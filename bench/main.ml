@@ -339,20 +339,29 @@ let tab4 () =
   let m = Hwsim.Machine.bdw in
   List.iter
     (fun (w : Workloads.t) ->
-      (* timed fresh compile, including the tiling stage *)
-      let t0 = Unix.gettimeofday () in
-      let prog = Workloads.program w in
-      let _scop = Poly_ir.Scop.extract prog in
-      let t1 = Unix.gettimeofday () in
-      let tiled = Workloads.tiled_program w in
-      let t2 = Unix.gettimeofday () in
+      (* timed fresh compile, including the tiling stage; the bench-side
+         preprocessing/tiling spans and Flow.compile's own phase spans all
+         report through the one telemetry clock *)
+      let _prog, pre_s =
+        Telemetry.with_span_timed "bench.preprocess"
+          ~args:[ ("kernel", w.Workloads.name) ]
+          (fun () ->
+            let prog = Workloads.program w in
+            let _scop = Poly_ir.Scop.extract prog in
+            prog)
+      in
+      let tiled, pluto_s =
+        Telemetry.with_span_timed "bench.pluto"
+          ~args:[ ("kernel", w.Workloads.name) ]
+          (fun () -> Workloads.tiled_program w)
+      in
       let c =
         Flow.compile ~tile:false ~machine:m ~rooflines:(rooflines m) tiled
           ~param_values:(Workloads.param_values w)
       in
       let ms x = x *. 1e3 in
-      let pre = ms (t1 -. t0)
-      and pluto = ms (t2 -. t1)
+      let pre = ms pre_s
+      and pluto = ms pluto_s
       and cm = ms c.Flow.timing.Flow.cm_s
       and s456 = ms c.Flow.timing.Flow.steps456_s in
       pf "%-18s %12.1f %10.1f %12.1f %10.2f %10.1f\n" w.Workloads.name pre
@@ -453,13 +462,18 @@ let abl_counting () =
         let prog = Polylang.parse src in
         let scop = Poly_ir.Scop.extract prog in
         let p, v = List.hd w.Workloads.sizes in
-        let t0 = Unix.gettimeofday () in
-        let direct = Poly_ir.Scop.flop_count scop ~param_values:[ (p, v) ] in
-        let t_direct = Unix.gettimeofday () -. t0 in
-        let t1 = Unix.gettimeofday () in
-        (match Poly_ir.Scop.flop_count_sym scop with
+        let direct, t_direct =
+          Telemetry.with_span_timed "bench.count_direct"
+            ~args:[ ("kernel", name) ]
+            (fun () -> Poly_ir.Scop.flop_count scop ~param_values:[ (p, v) ])
+        in
+        let sym_fit, t_sym =
+          Telemetry.with_span_timed "bench.count_ehrhart"
+            ~args:[ ("kernel", name) ]
+            (fun () -> Poly_ir.Scop.flop_count_sym scop)
+        in
+        (match sym_fit with
         | Some qp ->
-          let t_sym = Unix.gettimeofday () -. t1 in
           let sym = Presburger.Count.eval qp v in
           pf "%-14s n=%-6d direct=%-12d ehrhart=%-12d %s  (%.2fs vs %.2fs fit)\n"
             name v direct sym
@@ -484,14 +498,16 @@ let abl_sampling () =
       pf "%-10s %12s %10s %10s\n" "sampling" "Miss_LLC" "OI" "time (s)";
       List.iter
         (fun srate ->
-          let t0 = Unix.gettimeofday () in
-          let r =
-            Cache_model.Model.analyze ~set_sampling:srate ~machine:m
-              ~apply_thread_heuristic:false prog ~param_values:pv
+          let r, dt =
+            Telemetry.with_span_timed "bench.cm_sampling"
+              ~args:
+                [ ("kernel", name); ("sampling", string_of_int srate) ]
+              (fun () ->
+                Cache_model.Model.analyze ~set_sampling:srate ~machine:m
+                  ~apply_thread_heuristic:false prog ~param_values:pv)
           in
           pf "%-10d %12.0f %10.3f %10.2f\n" srate
-            r.Cache_model.Model.miss_llc r.Cache_model.Model.oi
-            (Unix.gettimeofday () -. t0))
+            r.Cache_model.Model.miss_llc r.Cache_model.Model.oi dt)
         [ 1; 2; 4; 8; 16 ])
     [ "gemm"; "mvt"; "deriche" ]
 
@@ -642,19 +658,73 @@ let all_experiments =
     ("micro", micro);
   ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_experiments
+(* Per-phase / per-counter JSON report for BENCH_*.json trajectory
+   tracking: experiment wall times, telemetry counters, histograms and the
+   span rollup, all through the telemetry JSON emitter. *)
+let write_report path experiment_times =
+  let module J = Telemetry.Json in
+  let report =
+    J.Obj
+      [
+        ("schema", J.Str "polyufc-bench-report/v1");
+        ( "experiments",
+          J.Obj
+            (List.map
+               (fun (name, dt) -> (name, J.Float dt))
+               (List.rev experiment_times)) );
+        ("telemetry", Telemetry.stats_json ());
+      ]
   in
-  let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name all_experiments with
-      | Some f -> f ()
-      | None ->
-        pf "unknown experiment %S; available: %s\n" name
-          (String.concat " " (List.map fst all_experiments)))
-    requested;
-  pf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)
+  let oc = open_out path in
+  output_string oc (J.to_string report);
+  close_out oc;
+  pf "[report written to %s]\n" path
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let report_path = ref "bench_report.json" in
+  let report_requested = ref false in
+  let telemetry_on = ref true in
+  let requested =
+    List.filter
+      (fun a ->
+        if a = "--no-telemetry" then begin
+          telemetry_on := false;
+          false
+        end
+        else if String.length a > 9 && String.sub a 0 9 = "--report=" then begin
+          report_path := String.sub a 9 (String.length a - 9);
+          report_requested := true;
+          false
+        end
+        else true)
+      args
+  in
+  let requested =
+    match requested with [] -> List.map fst all_experiments | names -> names
+  in
+  if !telemetry_on then begin
+    Telemetry.reset ();
+    Telemetry.enable ()
+  end;
+  let experiment_times = ref [] in
+  let (), total_s =
+    Telemetry.with_span_timed "bench.total" (fun () ->
+        List.iter
+          (fun name ->
+            match List.assoc_opt name all_experiments with
+            | Some f ->
+              let (), dt =
+                Telemetry.with_span_timed ("exp." ^ name) f
+              in
+              experiment_times := (name, dt) :: !experiment_times
+            | None ->
+              pf "unknown experiment %S; available: %s\n" name
+                (String.concat " " (List.map fst all_experiments)))
+          requested)
+  in
+  pf "\n[bench completed in %.1f s]\n" total_s;
+  (* an explicit --report= is honored even under --no-telemetry (the
+     wall times are measured either way; only counters will be empty) *)
+  if !telemetry_on || !report_requested then
+    write_report !report_path !experiment_times

@@ -67,6 +67,54 @@ let objective_arg =
     & info [ "objective" ] ~docv:"OBJ"
         ~doc:"Optimization goal: $(b,edp), $(b,energy) or $(b,performance).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON file of the pipeline's spans \
+           (view in chrome://tracing or Perfetto).")
+
+let stats_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "stats" ]
+        ~doc:"Print telemetry counters, histograms and the span tree on stderr.")
+
+let json_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "json" ] ~doc:"Print the result record as JSON on stdout.")
+
+let telemetry_term =
+  let combine trace stats = (trace, stats) in
+  Term.(const combine $ trace_arg $ stats_arg)
+
+(* Enable the registry when any telemetry output was requested, run [f],
+   then emit the requested views. *)
+let with_telemetry (trace, stats) f =
+  let active = trace <> None || stats in
+  if active then begin
+    Telemetry.reset ();
+    Telemetry.enable ()
+  end;
+  let r = f () in
+  (match trace with
+  | Some path -> (
+    try
+      Telemetry.write_trace path;
+      Format.eprintf "trace written to %s@." path
+    with Sys_error msg ->
+      Format.eprintf "error: cannot write trace: %s@." msg;
+      exit 1)
+  | None -> ());
+  if stats then
+    Format.eprintf "%a@.%a@." Telemetry.pp_tree () Telemetry.pp_stats ();
+  r
+
 let load ~workload ~file ~sizes =
   match workload with
   | Some name ->
@@ -104,20 +152,25 @@ let tile_cmd =
     Term.(const run $ load_term $ tile_size_arg)
 
 let analyze_cmd =
-  let run (workload, file, sizes) machine tile_size =
+  let run (workload, file, sizes) machine tile_size telemetry json =
+    with_telemetry telemetry @@ fun () ->
     let prog, sizes = load ~workload ~file ~sizes in
     let tiled = Poly_ir.Tiling.tile_program ~tile_size prog in
     let cm =
       Cache_model.Model.analyze ~machine ~apply_thread_heuristic:false tiled
         ~param_values:sizes
     in
-    Format.printf "%a@." Cache_model.Model.pp_result cm
+    if json then Report.print_json (Report.json_of_cm cm)
+    else Format.printf "%a@." Cache_model.Model.pp_result cm
   in
   Cmd.v (Cmd.info "analyze" ~doc:"PolyUFC-CM cache analysis and OI")
-    Term.(const run $ load_term $ machine_arg $ tile_size_arg)
+    Term.(
+      const run $ load_term $ machine_arg $ tile_size_arg $ telemetry_term
+      $ json_arg)
 
 let characterize_cmd =
-  let run (workload, file, sizes) machine tile_size =
+  let run (workload, file, sizes) machine tile_size telemetry =
+    with_telemetry telemetry @@ fun () ->
     let prog, sizes = load ~workload ~file ~sizes in
     let tiled = Poly_ir.Tiling.tile_program ~tile_size prog in
     let k = Roofline.microbench machine in
@@ -132,42 +185,50 @@ let characterize_cmd =
   in
   Cmd.v
     (Cmd.info "characterize" ~doc:"CB/BB roofline characterization (Sec. IV-D)")
-    Term.(const run $ load_term $ machine_arg $ tile_size_arg)
+    Term.(const run $ load_term $ machine_arg $ tile_size_arg $ telemetry_term)
 
 let search_cmd =
-  let run (workload, file, sizes) machine tile_size epsilon objective =
+  let run (workload, file, sizes) machine tile_size epsilon objective telemetry
+      json =
+    with_telemetry telemetry @@ fun () ->
     let prog, sizes = load ~workload ~file ~sizes in
     let k = Roofline.microbench machine in
     let c =
       Flow.compile ~objective ~epsilon ~tile_size ~machine ~rooflines:k prog
         ~param_values:sizes
     in
-    Format.printf "%a@." Flow.pp_compiled c
+    if json then Report.print_json (Report.json_of_compiled c)
+    else Format.printf "%a@." Flow.pp_compiled c
   in
   Cmd.v
     (Cmd.info "search" ~doc:"Full compilation flow with POLYUFC-SEARCH caps")
     Term.(
       const run $ load_term $ machine_arg $ tile_size_arg $ epsilon_arg
-      $ objective_arg)
+      $ objective_arg $ telemetry_term $ json_arg)
 
 let run_cmd =
-  let run (workload, file, sizes) machine tile_size epsilon objective =
+  let run (workload, file, sizes) machine tile_size epsilon objective telemetry
+      json =
+    with_telemetry telemetry @@ fun () ->
     let prog, sizes = load ~workload ~file ~sizes in
     let k = Roofline.microbench machine in
     let c =
       Flow.compile ~objective ~epsilon ~tile_size ~machine ~rooflines:k prog
         ~param_values:sizes
     in
-    Format.printf "%a@." Flow.pp_compiled c;
     let e = Flow.evaluate ~machine c ~param_values:sizes in
-    Format.printf "%a@." Flow.pp_evaluation e
+    if json then Report.print_json (Report.json_of_run c e)
+    else begin
+      Format.printf "%a@." Flow.pp_compiled c;
+      Format.printf "%a@." Flow.pp_evaluation e
+    end
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Compile with caps and simulate vs the UFS-driver baseline")
     Term.(
       const run $ load_term $ machine_arg $ tile_size_arg $ epsilon_arg
-      $ objective_arg)
+      $ objective_arg $ telemetry_term $ json_arg)
 
 let scop_cmd =
   let run (workload, file, sizes) tile tile_size =

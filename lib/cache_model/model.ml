@@ -3,6 +3,10 @@ open Presburger
 
 type assoc_mode = Set_associative | Fully_associative
 
+let c_analyze = Telemetry.counter "cache_model.analyze"
+let c_accesses = Telemetry.counter "cache_model.accesses"
+let c_llc_misses = Telemetry.counter "cache_model.llc_misses"
+
 type level_counts = {
   level_name : string;
   presented : int;
@@ -84,6 +88,10 @@ type stmt_state = {
 
 let analyze ?(mode = Set_associative) ?(apply_thread_heuristic = true)
     ?(set_sampling = 1) ~machine prog ~param_values =
+  Telemetry.tick c_analyze;
+  Telemetry.with_span "cache_model.analyze"
+    ~args:[ ("prog", prog.Ir.prog_name) ]
+  @@ fun () ->
   if set_sampling < 1 then invalid_arg "Model.analyze: set_sampling < 1";
   let sampling = match mode with Fully_associative -> 1 | Set_associative -> set_sampling in
   let levels =
@@ -230,6 +238,9 @@ let analyze ?(mode = Set_associative) ?(apply_thread_heuristic = true)
         else float_of_int c.hits /. float_of_int c.presented)
       counts
   in
+  (* bulk-report: the access loop itself stays telemetry-free *)
+  Telemetry.add c_accesses counts.(0).presented;
+  Telemetry.add c_llc_misses (total_misses llc);
   {
     machine;
     mode;

@@ -1,5 +1,16 @@
 open Poly_ir
 
+(* Canonical span names of the Fig. 3 phases. The [timing] record below is
+   a view over these spans: both are produced by the same
+   [Telemetry.with_span_timed] measurement. *)
+let phase_preprocess = "preprocess"
+let phase_pluto = "pluto"
+let phase_cm = "polyufc-cm"
+let phase_steps456 = "steps456"
+
+let c_compiles = Telemetry.counter "flow.compiles"
+let c_empty_domains = Telemetry.counter "flow.empty_stmt_domains"
+
 type timing = {
   preprocess_s : float;
   pluto_s : float;
@@ -64,28 +75,51 @@ let rec stmt_names_of_item = function
 let compile ?(objective = Search.Edp) ?(epsilon = 1e-3) ?(tile_size = 32)
     ?(tile = true) ?(mode = Cache_model.Model.Set_associative) ~machine
     ~rooflines prog ~param_values =
-  let now () = Unix.gettimeofday () in
-  (* (1) preprocess: validation + SCoP extraction *)
-  let t0 = now () in
-  (match Ir.validate prog with
-  | Ok () -> ()
-  | Error m -> invalid_arg ("Flow.compile: " ^ m));
-  let _scop = Scop.extract prog in
-  let t1 = now () in
+  Telemetry.tick c_compiles;
+  Telemetry.with_span "flow.compile" ~args:[ ("prog", prog.Ir.prog_name) ]
+  @@ fun () ->
+  (* (1) preprocess: validation + SCoP extraction + per-statement domain
+     sanity (an empty iteration domain under the given sizes means a dead
+     statement and usually a sizing mistake) *)
+  let (), preprocess_s =
+    Telemetry.with_span_timed phase_preprocess (fun () ->
+        (match Ir.validate prog with
+        | Ok () -> ()
+        | Error m -> invalid_arg ("Flow.compile: " ^ m));
+        let scop = Scop.extract prog in
+        List.iter
+          (fun (info : Scop.stmt_info) ->
+            let sp = Presburger.Bset.space info.Scop.domain in
+            let values =
+              Array.map
+                (fun p ->
+                  match List.assoc_opt p param_values with
+                  | Some v -> v
+                  | None -> 0)
+                sp.Presburger.Space.params
+            in
+            if Presburger.Bset.is_empty (Presburger.Bset.fix_params info.Scop.domain values)
+            then Telemetry.tick c_empty_domains)
+          scop.Scop.stmt_infos)
+  in
   (* (2) Pluto *)
-  let optimized = if tile then Tiling.tile_program ~tile_size prog else prog in
-  let t2 = now () in
+  let optimized, pluto_s =
+    Telemetry.with_span_timed phase_pluto (fun () ->
+        if tile then Tiling.tile_program ~tile_size prog else prog)
+  in
   (* (3) PolyUFC-CM on the whole program, with per-statement breakdown.
      The OpenMP sharing heuristic models multiple hardware threads
      splitting the working set; our simulated testbed executes a single
      instruction stream with scaled timing, so it is disabled here (it
      remains available and tested in Cache_model). *)
-  let cm =
-    Cache_model.Model.analyze ~mode ~apply_thread_heuristic:false ~machine
-      optimized ~param_values
+  let (cm, profile), cm_s =
+    Telemetry.with_span_timed phase_cm (fun () ->
+        let cm =
+          Cache_model.Model.analyze ~mode ~apply_thread_heuristic:false ~machine
+            optimized ~param_values
+        in
+        (cm, Perfmodel.profile_of_cm cm))
   in
-  let profile = Perfmodel.profile_of_cm cm in
-  let t3 = now () in
   (* (4–6) characterize, estimate, search per top-level region *)
   let decide_region (l : Ir.loop) =
     let names = List.concat_map stmt_names_of_item l.Ir.body in
@@ -163,27 +197,31 @@ let compile ?(objective = Search.Edp) ?(epsilon = 1e-3) ?(tile_size = 32)
       stmts = stmt_decs;
     }
   in
-  let decisions =
-    List.filter_map
-      (function
-        | Ir.Loop l -> Some (decide_region l)
-        | Ir.Stmt _ | Ir.If _ -> None)
-      optimized.Ir.body
+  let (decisions, caps), steps456_s =
+    Telemetry.with_span_timed phase_steps456 (fun () ->
+        let decisions =
+          List.filter_map
+            (function
+              | Ir.Loop l -> Some (decide_region l)
+              | Ir.Stmt _ | Ir.If _ -> None)
+            optimized.Ir.body
+        in
+        (* cap schedule with redundant-cap removal (the paper's
+           pattern-rewrite): a region whose cap equals the previously
+           active cap needs no call *)
+        let caps =
+          List.rev
+            (snd
+               (List.fold_left
+                  (fun (prev, acc) d ->
+                    match prev with
+                    | Some p when Float.abs (p -. d.cap_ghz) < 1e-9 ->
+                      (prev, acc)
+                    | _ -> (Some d.cap_ghz, (d.region_var, d.cap_ghz) :: acc))
+                  (None, []) decisions))
+        in
+        (decisions, caps))
   in
-  (* cap schedule with redundant-cap removal (the paper's pattern-rewrite):
-     a region whose cap equals the previously active cap needs no call *)
-  let caps =
-    List.rev
-      (snd
-         (List.fold_left
-            (fun (prev, acc) d ->
-              match prev with
-              | Some p when Float.abs (p -. d.cap_ghz) < 1e-9 ->
-                (prev, acc)
-              | _ -> (Some d.cap_ghz, (d.region_var, d.cap_ghz) :: acc))
-            (None, []) decisions))
-  in
-  let t4 = now () in
   {
     source = prog;
     optimized;
@@ -191,13 +229,7 @@ let compile ?(objective = Search.Edp) ?(epsilon = 1e-3) ?(tile_size = 32)
     decisions;
     cm;
     profile;
-    timing =
-      {
-        preprocess_s = t1 -. t0;
-        pluto_s = t2 -. t1;
-        cm_s = t3 -. t2;
-        steps456_s = t4 -. t3;
-      };
+    timing = { preprocess_s; pluto_s; cm_s; steps456_s };
   }
 
 type evaluation = {
@@ -210,11 +242,14 @@ type evaluation = {
 
 let evaluate ~machine compiled ~param_values =
   let baseline =
-    Hwsim.Sim.run ~machine ~uncore:`Governor compiled.optimized ~param_values
+    Telemetry.with_span "evaluate.baseline" (fun () ->
+        Hwsim.Sim.run ~machine ~uncore:`Governor compiled.optimized
+          ~param_values)
   in
   let capped =
-    Hwsim.Sim.run ~machine ~uncore:`Governor ~caps:compiled.caps
-      compiled.optimized ~param_values
+    Telemetry.with_span "evaluate.capped" (fun () ->
+        Hwsim.Sim.run ~machine ~uncore:`Governor ~caps:compiled.caps
+          compiled.optimized ~param_values)
   in
   let gain base v = (base -. v) /. base in
   {

@@ -11,6 +11,17 @@
     The result carries the cap schedule consumed by the hardware simulator
     and a compile-time breakdown in the shape of Table IV. *)
 
+(** Canonical span names of the four Fig. 3 phases. [timing] below is a
+    view over the telemetry span tree: when telemetry is enabled,
+    [compile] records one child span per phase under a ["flow.compile"]
+    root, and each [timing] field equals the duration of the
+    same-named span. *)
+
+val phase_preprocess : string
+val phase_pluto : string
+val phase_cm : string
+val phase_steps456 : string
+
 type timing = {
   preprocess_s : float;  (** validation + SCoP extraction (stage 2 extract) *)
   pluto_s : float;  (** tiling / parallelization (stage 2 optimizer) *)

@@ -1,0 +1,160 @@
+(* Machine-readable views of the pipeline's result records, built on the
+   telemetry JSON emitter. Used by the CLI's --json mode and by the bench
+   harness's report files. Non-finite floats (e.g. the OI of a kernel with
+   zero DRAM traffic) serialize as null. *)
+
+module J = Telemetry.Json
+
+let f x = J.Float x
+
+let boundedness_str = function Roofline.CB -> "CB" | Roofline.BB -> "BB"
+
+let json_of_level_counts (c : Cache_model.Model.level_counts) =
+  J.Obj
+    [
+      ("level", J.Str c.Cache_model.Model.level_name);
+      ("presented", J.Int c.Cache_model.Model.presented);
+      ("cold", J.Int c.Cache_model.Model.cold);
+      ("capacity_conflict", J.Int c.Cache_model.Model.capacity_conflict);
+      ("hits", J.Int c.Cache_model.Model.hits);
+      ("demand_hits", J.Int c.Cache_model.Model.demand_hits);
+      ("misses", J.Int (Cache_model.Model.total_misses c));
+    ]
+
+let json_of_cm (r : Cache_model.Model.result) =
+  J.Obj
+    [
+      ("machine", J.Str r.Cache_model.Model.machine.Hwsim.Machine.name);
+      ( "mode",
+        J.Str
+          (match r.Cache_model.Model.mode with
+          | Cache_model.Model.Set_associative -> "set-associative"
+          | Cache_model.Model.Fully_associative -> "fully-associative") );
+      ( "levels",
+        J.Arr
+          (Array.to_list
+             (Array.map json_of_level_counts r.Cache_model.Model.levels)) );
+      ( "per_stmt",
+        J.Obj
+          (List.map
+             (fun (name, (sc : Cache_model.Model.stmt_counts)) ->
+               ( name,
+                 J.Obj
+                   [
+                     ("flops", J.Int sc.Cache_model.Model.stmt_flops);
+                     ("oi", f sc.Cache_model.Model.stmt_oi);
+                     ( "levels",
+                       J.Arr
+                         (Array.to_list
+                            (Array.map json_of_level_counts
+                               sc.Cache_model.Model.stmt_levels)) );
+                   ] ))
+             r.Cache_model.Model.per_stmt) );
+      ("threads_divisor", J.Int r.Cache_model.Model.threads_divisor);
+      ("miss_llc", f r.Cache_model.Model.miss_llc);
+      ("q_dram_bytes", f r.Cache_model.Model.q_dram_bytes);
+      ("flops", J.Int r.Cache_model.Model.flops);
+      ("oi", f r.Cache_model.Model.oi);
+      ( "hit_ratios",
+        J.Arr (Array.to_list (Array.map f r.Cache_model.Model.hit_ratios)) );
+    ]
+
+let json_of_outcome (o : Hwsim.Sim.outcome) =
+  J.Obj
+    [
+      ("time_s", f o.Hwsim.Sim.time_s);
+      ("energy_j", f o.Hwsim.Sim.energy_j);
+      ("edp", f o.Hwsim.Sim.edp);
+      ("avg_power_w", f o.Hwsim.Sim.avg_power_w);
+      ("avg_uncore_ghz", f o.Hwsim.Sim.avg_uncore_ghz);
+      ( "zones",
+        J.Obj
+          [
+            ("core_j", f o.Hwsim.Sim.zones.Hwsim.Sim.core_j);
+            ("uncore_j", f o.Hwsim.Sim.zones.Hwsim.Sim.uncore_j);
+            ("dram_j", f o.Hwsim.Sim.zones.Hwsim.Sim.dram_j);
+            ("static_j", f o.Hwsim.Sim.zones.Hwsim.Sim.static_j);
+          ] );
+      ("flops", J.Int o.Hwsim.Sim.flops);
+      ("dram_lines", J.Int o.Hwsim.Sim.dram_lines);
+      ("dram_bytes", J.Int o.Hwsim.Sim.dram_bytes);
+      ("cap_switches", J.Int o.Hwsim.Sim.cap_switches);
+      ("achieved_gflops", f o.Hwsim.Sim.achieved_gflops);
+      ("achieved_bw_gbps", f o.Hwsim.Sim.achieved_bw_gbps);
+      ( "cache_stats",
+        J.Arr
+          (Array.to_list
+             (Array.map
+                (fun (s : Hwsim.Cache.level_stats) ->
+                  J.Obj
+                    [
+                      ("hits", J.Int s.Hwsim.Cache.hits);
+                      ("misses", J.Int s.Hwsim.Cache.misses);
+                      ("evictions", J.Int s.Hwsim.Cache.evictions);
+                      ("writebacks", J.Int s.Hwsim.Cache.writebacks);
+                    ])
+                o.Hwsim.Sim.cache_stats)) );
+    ]
+
+let json_of_timing (t : Flow.timing) =
+  J.Obj
+    [
+      ("preprocess_s", f t.Flow.preprocess_s);
+      ("pluto_s", f t.Flow.pluto_s);
+      ("cm_s", f t.Flow.cm_s);
+      ("steps456_s", f t.Flow.steps456_s);
+    ]
+
+let json_of_stmt_decision (d : Flow.stmt_decision) =
+  J.Obj
+    [
+      ("stmt", J.Str d.Flow.stmt_name);
+      ("oi", f d.Flow.stmt_oi);
+      ("boundedness", J.Str (boundedness_str d.Flow.stmt_bound));
+      ("cap_ghz", f d.Flow.stmt_cap);
+    ]
+
+let json_of_region_decision (d : Flow.region_decision) =
+  J.Obj
+    [
+      ("region", J.Str d.Flow.region_var);
+      ("oi", f d.Flow.region_oi);
+      ("boundedness", J.Str (boundedness_str d.Flow.region_bound));
+      ("cap_ghz", f d.Flow.cap_ghz);
+      ("search_steps", J.Int d.Flow.search.Search.steps);
+      ("stmts", J.Arr (List.map json_of_stmt_decision d.Flow.stmts));
+    ]
+
+let json_of_compiled (c : Flow.compiled) =
+  J.Obj
+    [
+      ("program", J.Str c.Flow.source.Poly_ir.Ir.prog_name);
+      ("oi", f c.Flow.profile.Perfmodel.oi);
+      ( "caps",
+        J.Arr
+          (List.map
+             (fun (var, ghz) ->
+               J.Obj [ ("region", J.Str var); ("cap_ghz", f ghz) ])
+             c.Flow.caps) );
+      ("decisions", J.Arr (List.map json_of_region_decision c.Flow.decisions));
+      ("timing", json_of_timing c.Flow.timing);
+    ]
+
+let json_of_evaluation (e : Flow.evaluation) =
+  J.Obj
+    [
+      ("baseline", json_of_outcome e.Flow.baseline);
+      ("capped", json_of_outcome e.Flow.capped);
+      ("time_gain", f e.Flow.time_gain);
+      ("energy_gain", f e.Flow.energy_gain);
+      ("edp_gain", f e.Flow.edp_gain);
+    ]
+
+(* the `polyufc run --json` payload: compile decisions + both outcomes *)
+let json_of_run (c : Flow.compiled) (e : Flow.evaluation) =
+  J.Obj
+    [
+      ("compile", json_of_compiled c); ("evaluation", json_of_evaluation e);
+    ]
+
+let print_json j = print_endline (J.to_string j)

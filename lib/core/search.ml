@@ -77,6 +77,8 @@ let run ?(objective = Edp) ?(epsilon = 1e-3) (k : Roofline.constants) profile =
       | Roofline.BB -> if i + 1 < n then enforce (i + 1) else n - 1
   in
   let chosen_i = enforce best in
+  Telemetry.count "search.runs";
+  Telemetry.count ~by:!steps "search.objective_evals";
   {
     cap_ghz = arr.(chosen_i).Perfmodel.f_c;
     chosen = arr.(chosen_i);

@@ -27,10 +27,24 @@ type outcome = {
 
 type cap_schedule = (string * float) list
 
+let c_runs = Telemetry.counter "hwsim.runs"
+let c_cap_switches = Telemetry.counter "hwsim.cap_switches"
+let c_gov_switches = Telemetry.counter "hwsim.governor_switches"
+let c_dram_lines = Telemetry.counter "hwsim.dram_lines"
+
 let clamp lo hi x = Float.max lo (Float.min hi x)
 
 let run ~machine ~uncore ?(caps = []) ?(governor_interval_us = 100.0)
     prog ~param_values =
+  Telemetry.tick c_runs;
+  Telemetry.with_span "hwsim.run"
+    ~args:
+      [
+        ("prog", prog.Ir.prog_name);
+        ("machine", machine.Machine.name);
+        ("uncore", match uncore with `Fixed _ -> "fixed" | `Governor -> "governor");
+      ]
+  @@ fun () ->
   let m = machine in
   let cache = Cache.create m.Machine.caches in
   let line = Machine.line_bytes m in
@@ -53,6 +67,7 @@ let run ~machine ~uncore ?(caps = []) ?(governor_interval_us = 100.0)
   in
   let parallel_depth = ref 0 in
   let cap_switches = ref 0 in
+  let gov_switches = ref 0 in
   let total_flops = ref 0 in
   let dram_event_bytes = ref 0 in
   (* governor state: DRAM bytes seen since the last adjustment *)
@@ -92,7 +107,9 @@ let run ~machine ~uncore ?(caps = []) ?(governor_interval_us = 100.0)
         if target > !f_u then !f_u +. ((target -. !f_u) *. 0.5)
         else !f_u -. ((!f_u -. target) *. 0.15)
       in
-      f_u := clamp m.Machine.uncore_min_ghz m.Machine.uncore_max_ghz next;
+      let next = clamp m.Machine.uncore_min_ghz m.Machine.uncore_max_ghz next in
+      if Float.abs (next -. !f_u) > 1e-9 then incr gov_switches;
+      f_u := next;
       gov_last_t := !time_ns;
       gov_bytes := 0
     end
@@ -183,6 +200,22 @@ let run ~machine ~uncore ?(caps = []) ?(governor_interval_us = 100.0)
   let static_j = m.Machine.p_static_w *. time_s in
   let energy_j = !core_j +. !uncore_j +. !dram_j +. static_j in
   let dram_lines = Cache.dram_reads cache in
+  (* bulk-report the event counts tracked locally during simulation; the
+     per-access path stays telemetry-free *)
+  if Telemetry.is_enabled () then begin
+    Telemetry.add c_cap_switches !cap_switches;
+    Telemetry.add c_gov_switches !gov_switches;
+    Telemetry.add c_dram_lines dram_lines;
+    List.iteri
+      (fun i (g : Machine.cache_geometry) ->
+        let st = (Cache.stats cache).(i) in
+        let level = String.lowercase_ascii g.Machine.level_name in
+        Telemetry.count ~by:st.Cache.hits ("hwsim." ^ level ^ "_hits");
+        Telemetry.count ~by:st.Cache.misses ("hwsim." ^ level ^ "_misses"))
+      m.Machine.caches;
+    Telemetry.observe "hwsim.time_s" time_s;
+    Telemetry.observe "hwsim.energy_j" energy_j
+  end;
   {
     time_s;
     energy_j;

@@ -1,13 +1,17 @@
 type t = { space : Space.t; n_div : int; poly : Poly.t }
 type aff = { coefs : (int * int) list; const : int }
 
+let c_sets_built = Telemetry.counter "presburger.sets_built"
+
 let n_total t = Space.n_vars t.space + t.n_div
 
 let of_poly space ~n_div poly =
   assert (Poly.nvar poly = Space.n_vars space + n_div);
+  Telemetry.tick c_sets_built;
   { space; n_div; poly }
 
 let universe space =
+  Telemetry.tick c_sets_built;
   { space; n_div = 0; poly = Poly.universe (Space.n_vars space) }
 
 let space t = t.space

@@ -42,7 +42,11 @@ let pp ppf qp =
     Format.fprintf ppf "@]"
   end
 
+let c_ehrhart_fit = Telemetry.counter "presburger.ehrhart_fit"
+let c_ehrhart_ok = Telemetry.counter "presburger.ehrhart_fit_ok"
+
 let interpolate ?(max_degree = 6) ?(max_period = 8) ?(base = 4) ~count () =
+  Telemetry.tick c_ehrhart_fit;
   (* memoize the (possibly expensive) counts *)
   let cache = Hashtbl.create 32 in
   let count n =
@@ -92,7 +96,11 @@ let interpolate ?(max_degree = 6) ?(max_period = 8) ?(base = 4) ~count () =
       | Some qp -> Some qp
       | None -> search degree (period + 1)
   in
-  search 0 1
+  let result = search 0 1 in
+  (* how many distinct parameter points the fit had to evaluate *)
+  Telemetry.observe "ehrhart.fit_points" (float_of_int (Hashtbl.length cache));
+  if result <> None then Telemetry.tick c_ehrhart_ok;
+  result
 
 let card_poly ?max_degree ?max_period ?base instance =
   interpolate ?max_degree ?max_period ?base

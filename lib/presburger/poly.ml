@@ -3,6 +3,13 @@ open Linalg
 type cstr = { coef : int array; const : int; eq : bool }
 type t = { nvar : int; cstrs : cstr list }
 
+(* operation-level telemetry: exact-arithmetic blowup in the Presburger
+   layer shows up here first (cf. PPL experience) *)
+let c_fm_project = Telemetry.counter "presburger.fm_project"
+let c_is_empty = Telemetry.counter "presburger.is_empty"
+let c_lexmin = Telemetry.counter "presburger.lexmin"
+let c_points = Telemetry.counter "presburger.points_scanned"
+
 exception Infeasible
 exception Unbounded
 
@@ -162,6 +169,7 @@ let substitute_eq v e c =
   end
 
 let eliminate_var_exn t v =
+  Telemetry.tick c_fm_project;
   let has c = c.coef.(v) <> 0 in
   let eqs = List.filter (fun c -> c.eq && has c) t.cstrs in
   let cstrs =
@@ -281,6 +289,15 @@ let fold_points ?n_scan t ~init ~f =
   assert (s >= 0 && s <= t.nvar);
   if definitely_false t then init
   else begin
+    (* count enumerated points locally, bulk-report on exit: the scan is a
+       hot path and must not pay a registry lookup per point *)
+    let visited = ref 0 in
+    let f =
+      if Telemetry.is_enabled () then (fun acc p ->
+          incr visited;
+          f acc p)
+      else f
+    in
     let tower = elimination_tower t in
     let x = Array.make t.nvar 0 in
     (* existence check over the suffix [k .. nvar-1] *)
@@ -325,8 +342,12 @@ let fold_points ?n_scan t ~init ~f =
           | _ -> raise Unbounded)
     in
     (* an empty scan prefix degenerates to a single existence test *)
-    if s = 0 then if exists_suffix 0 then f init prefix else init
-    else scan 0 init
+    let result =
+      if s = 0 then if exists_suffix 0 then f init prefix else init
+      else scan 0 init
+    in
+    Telemetry.add c_points !visited;
+    result
   end
 
 let iter_points ?n_scan t ~f = fold_points ?n_scan t ~init:() ~f:(fun () p -> f p)
@@ -346,17 +367,21 @@ let first_point ?n_scan t =
 let sample t = first_point t
 
 let is_empty t =
+  Telemetry.tick c_is_empty;
   if definitely_false t then true
   else if not (rational_feasible t) then true
   else sample t = None
 
-let lexmin ?n_scan t = first_point ?n_scan t
+let lexmin ?n_scan t =
+  Telemetry.tick c_lexmin;
+  first_point ?n_scan t
 
 (* lexmax: scan with all variables negated *)
 let negate_vars t =
   { nvar = t.nvar; cstrs = List.map (fun c -> { c with coef = Array.map (fun a -> -a) c.coef }) t.cstrs }
 
 let lexmax ?n_scan t =
+  Telemetry.tick c_lexmin;
   match first_point ?n_scan (negate_vars t) with
   | None -> None
   | Some p -> Some (Array.map (fun v -> -v) p)

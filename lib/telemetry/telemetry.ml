@@ -1,0 +1,600 @@
+(* Zero-dependency instrumentation for the PolyUFC pipeline.
+
+   Three primitives, all funneled through one global registry:
+     - hierarchical spans   (with_span "pluto" f)
+     - monotonic counters   (count "presburger.fm_project")
+     - scalar histograms    (observe "ehrhart.fit_points" 12.0)
+
+   The registry is disabled by default: a disabled [with_span] is a direct
+   call of its thunk and a disabled counter bump is a single load+branch,
+   so instrumented hot paths cost ~nothing when telemetry is off.  Hot
+   loops should pre-register a counter handle ([counter]) once and bump it
+   with [tick]/[add], or accumulate locally and bulk-[add] on exit.
+
+   Spans export as Chrome trace_event JSON (chrome://tracing, Perfetto)
+   and as a pretty text tree; counters and histograms export as a flat
+   machine-readable JSON object. *)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON — emitter and parser                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  (* non-finite floats have no JSON literal; emit null *)
+  let add_float buf f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" f)
+    else if Float.is_finite f then
+      Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    else Buffer.add_string buf "null"
+
+  let rec add buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> add_float buf f
+    | Str s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+    | Arr l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          add buf x)
+        l;
+      Buffer.add_char buf ']'
+    | Obj l ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          add buf v)
+        l;
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    add buf t;
+    Buffer.contents buf
+
+  (* accessors *)
+  let member k = function
+    | Obj l -> List.assoc_opt k l
+    | _ -> None
+
+  let to_list = function Arr l -> Some l | _ -> None
+
+  let number = function
+    | Int i -> Some (float_of_int i)
+    | Float f -> Some f
+    | _ -> None
+
+  (* recursive-descent parser; returns [Error msg] on malformed input *)
+  exception Parse_error of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+          | Some '/' -> Buffer.add_char buf '/'; advance ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+          | Some 'u' ->
+            advance ();
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail "bad \\u escape"
+            in
+            pos := !pos + 4;
+            (* encode the BMP codepoint as UTF-8 *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+          | _ -> fail "bad escape");
+          go ()
+        | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "bad number %S" text))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (items [])
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  id : int;
+  parent : int; (* -1 for a root span *)
+  depth : int;
+  name : string;
+  start_us : float; (* microseconds since the last [reset] *)
+  dur_us : float;
+  span_args : (string * string) list;
+}
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type counter = int ref
+
+let enabled = ref false
+let epoch = ref (Unix.gettimeofday ())
+let next_id = ref 0
+let open_stack : (int * int) list ref = ref [] (* (id, depth), innermost first *)
+let finished : span list ref = ref []
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+(* [reset] zeroes values in place: counter handles pre-registered by
+   instrumented modules stay valid across resets *)
+let reset () =
+  epoch := Unix.gettimeofday ();
+  next_id := 0;
+  open_stack := [];
+  finished := [];
+  Hashtbl.iter (fun _ r -> r := 0) counters;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- Float.infinity;
+      h.h_max <- Float.neg_infinity)
+    histograms
+
+let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
+
+(* --- counters --- *)
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add counters name r;
+    r
+
+let add r by = if !enabled then r := !r + by
+let tick r = add r 1
+let count ?(by = 1) name = if !enabled then add (counter name) by
+
+let counter_value name =
+  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+let counters_snapshot () =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* --- histograms --- *)
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      { h_count = 0; h_sum = 0.0; h_min = Float.infinity; h_max = Float.neg_infinity }
+    in
+    Hashtbl.add histograms name h;
+    h
+
+let observe name v =
+  if !enabled then begin
+    let h = histogram name in
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let histograms_snapshot () =
+  Hashtbl.fold
+    (fun name h acc ->
+      if h.h_count > 0 then
+        (name, (h.h_count, h.h_sum, h.h_min, h.h_max)) :: acc
+      else acc)
+    histograms []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* --- spans --- *)
+
+let push_span () =
+  let id = !next_id in
+  incr next_id;
+  let parent, depth =
+    match !open_stack with
+    | [] -> (-1, 0)
+    | (p, d) :: _ -> (p, d + 1)
+  in
+  open_stack := (id, depth) :: !open_stack;
+  (id, parent, depth)
+
+let pop_span ~id ~parent ~depth ~name ~args ~start_us ~dur_us =
+  (match !open_stack with
+  | (top, _) :: rest when top = id -> open_stack := rest
+  | _ ->
+    (* unbalanced nesting (an inner span escaped); drop down to [id] *)
+    let rec drop = function
+      | (top, _) :: rest when top <> id -> drop rest
+      | (_, _) :: rest -> rest
+      | [] -> []
+    in
+    open_stack := drop !open_stack);
+  finished :=
+    { id; parent; depth; name; start_us; dur_us; span_args = args } :: !finished
+
+let with_span ?(args = []) name f =
+  if not !enabled then f ()
+  else begin
+    let id, parent, depth = push_span () in
+    let start_us = now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur_us = now_us () -. start_us in
+        pop_span ~id ~parent ~depth ~name ~args ~start_us ~dur_us)
+      f
+  end
+
+(* Always measures wall time (cheaply, even when disabled) and returns the
+   duration in seconds alongside the result; records a span only when
+   enabled.  The recorded span duration and the returned duration are the
+   same measurement, so views built over either agree exactly. *)
+let with_span_timed ?(args = []) name f =
+  if not !enabled then begin
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  end
+  else begin
+    let id, parent, depth = push_span () in
+    let start_us = now_us () in
+    let finish () = now_us () -. start_us in
+    match f () with
+    | r ->
+      let dur_us = finish () in
+      pop_span ~id ~parent ~depth ~name ~args ~start_us ~dur_us;
+      (r, dur_us *. 1e-6)
+    | exception e ->
+      let dur_us = finish () in
+      pop_span ~id ~parent ~depth ~name ~args ~start_us ~dur_us;
+      raise e
+  end
+
+let spans () =
+  List.sort
+    (fun a b ->
+      match compare a.start_us b.start_us with 0 -> compare a.id b.id | c -> c)
+    (List.rev !finished)
+
+(* per-name rollup: (count, total self-inclusive microseconds) *)
+let span_summary () =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let c, t =
+        match Hashtbl.find_opt tbl s.name with
+        | Some (c, t) -> (c, t)
+        | None -> (0, 0.0)
+      in
+      Hashtbl.replace tbl s.name (c + 1, t +. s.dur_us))
+    !finished;
+  Hashtbl.fold (fun name ct acc -> (name, ct) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Chrome trace_event format: complete ("X") events carry ts+dur in
+   microseconds; final counter values ride along as "C" events so they
+   show up as counter tracks in chrome://tracing / Perfetto. *)
+let trace_json () =
+  let span_events =
+    List.map
+      (fun s ->
+        let base =
+          [
+            ("name", Json.Str s.name);
+            ("cat", Json.Str "polyufc");
+            ("ph", Json.Str "X");
+            ("ts", Json.Float s.start_us);
+            ("dur", Json.Float s.dur_us);
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 1);
+          ]
+        in
+        let args =
+          match s.span_args with
+          | [] -> []
+          | l -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) l)) ]
+        in
+        Json.Obj (base @ args))
+      (spans ())
+  in
+  let end_ts =
+    List.fold_left (fun acc s -> Float.max acc (s.start_us +. s.dur_us)) 0.0 !finished
+  in
+  let counter_events =
+    List.filter_map
+      (fun (name, v) ->
+        if v = 0 then None
+        else
+          Some
+            (Json.Obj
+               [
+                 ("name", Json.Str name);
+                 ("cat", Json.Str "polyufc");
+                 ("ph", Json.Str "C");
+                 ("ts", Json.Float end_ts);
+                 ("pid", Json.Int 1);
+                 ("args", Json.Obj [ ("value", Json.Int v) ]);
+               ]))
+      (counters_snapshot ())
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (span_events @ counter_events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let trace_to_string () = Json.to_string (trace_json ())
+
+let write_trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (trace_to_string ()))
+
+let stats_json () =
+  let counters =
+    List.filter_map
+      (fun (name, v) -> if v = 0 then None else Some (name, Json.Int v))
+      (counters_snapshot ())
+  in
+  let hists =
+    List.map
+      (fun (name, (n, sum, mn, mx)) ->
+        ( name,
+          Json.Obj
+            [
+              ("count", Json.Int n);
+              ("sum", Json.Float sum);
+              ("min", Json.Float mn);
+              ("max", Json.Float mx);
+              ("mean", Json.Float (sum /. float_of_int n));
+            ] ))
+      (histograms_snapshot ())
+  in
+  let spans =
+    List.map
+      (fun (name, (n, total_us)) ->
+        ( name,
+          Json.Obj
+            [ ("count", Json.Int n); ("total_us", Json.Float total_us) ] ))
+      (span_summary ())
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("histograms", Json.Obj hists);
+      ("spans", Json.Obj spans);
+    ]
+
+(* --- text views --- *)
+
+let pp_duration ppf us =
+  if us >= 1e6 then Format.fprintf ppf "%.3f s" (us *. 1e-6)
+  else if us >= 1e3 then Format.fprintf ppf "%.3f ms" (us *. 1e-3)
+  else Format.fprintf ppf "%.1f us" us
+
+let pp_tree ppf () =
+  let all = spans () in
+  let children = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let l = try Hashtbl.find children s.parent with Not_found -> [] in
+      Hashtbl.replace children s.parent (s :: l))
+    (List.rev all);
+  let rec pp_node prefix s =
+    Format.fprintf ppf "%s%s  [%a]" prefix s.name pp_duration s.dur_us;
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) s.span_args;
+    Format.fprintf ppf "@,";
+    let kids = try Hashtbl.find children s.id with Not_found -> [] in
+    List.iter (pp_node (prefix ^ "  ")) kids
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun s -> if s.parent = -1 then pp_node "" s) all;
+  Format.fprintf ppf "@]"
+
+let pp_stats ppf () =
+  Format.fprintf ppf "@[<v>telemetry counters:@,";
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then Format.fprintf ppf "  %-36s %d@," name v)
+    (counters_snapshot ());
+  (match histograms_snapshot () with
+  | [] -> ()
+  | hs ->
+    Format.fprintf ppf "telemetry histograms:@,";
+    List.iter
+      (fun (name, (n, sum, mn, mx)) ->
+        Format.fprintf ppf "  %-36s n=%d mean=%.3g min=%.3g max=%.3g@," name n
+          (sum /. float_of_int n) mn mx)
+      hs);
+  (match span_summary () with
+  | [] -> ()
+  | ss ->
+    Format.fprintf ppf "telemetry spans:@,";
+    List.iter
+      (fun (name, (n, total_us)) ->
+        Format.fprintf ppf "  %-36s n=%d total=%a@," name n pp_duration total_us)
+      ss);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,101 @@
+(** Zero-dependency instrumentation for the PolyUFC pipeline: hierarchical
+    spans, monotonic counters and scalar histograms behind one global
+    registry, exportable as Chrome trace_event JSON, machine-readable
+    stats JSON, and pretty text. Disabled by default; disabled hot paths
+    cost a single load+branch. *)
+
+(** Minimal JSON values: emitter with escaping, plus a strict parser used
+    by tests and smoke checks. Non-finite floats serialize as [null]. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val of_string : string -> (t, string) result
+  val member : string -> t -> t option
+  val to_list : t -> t list option
+  val number : t -> float option
+end
+
+type span = {
+  id : int;
+  parent : int;  (** -1 for a root span *)
+  depth : int;
+  name : string;
+  start_us : float;  (** microseconds since the last [reset] *)
+  dur_us : float;
+  span_args : (string * string) list;
+}
+
+type counter
+
+(** {1 Registry control} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+(** Zero all counters/histograms in place (pre-registered handles stay
+    valid), drop recorded spans, and restart the trace clock. *)
+val reset : unit -> unit
+
+(** {1 Counters} *)
+
+(** Find-or-create a named monotonic counter. Hot paths should call this
+    once at module initialization and bump the handle with [tick]/[add]. *)
+val counter : string -> counter
+
+val tick : counter -> unit
+val add : counter -> int -> unit
+
+(** One-shot bump by name; does a table lookup, for cold paths only. *)
+val count : ?by:int -> string -> unit
+
+val counter_value : string -> int
+val counters_snapshot : unit -> (string * int) list
+
+(** {1 Histograms} *)
+
+val observe : string -> float -> unit
+
+(** [(name, (count, sum, min, max))] for every histogram observed at
+    least once. *)
+val histograms_snapshot : unit -> (string * (int * float * float * float)) list
+
+(** {1 Spans} *)
+
+(** [with_span name f] runs [f], recording a span around it when
+    telemetry is enabled (a plain call otherwise). Exception-safe. *)
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Like [with_span] but always measures, returning the wall-clock
+    duration in {e seconds} alongside the result. The recorded span (when
+    enabled) carries the same measurement. *)
+val with_span_timed :
+  ?args:(string * string) list -> string -> (unit -> 'a) -> 'a * float
+
+(** Completed spans in chronological (start) order. *)
+val spans : unit -> span list
+
+(** Per-name rollup: [(name, (count, total_us))]. *)
+val span_summary : unit -> (string * (int * float)) list
+
+(** {1 Export} *)
+
+(** Chrome trace_event JSON (load in chrome://tracing or Perfetto). *)
+val trace_json : unit -> Json.t
+
+val trace_to_string : unit -> string
+val write_trace : string -> unit
+
+(** Counters + histograms + span rollup as one JSON object. *)
+val stats_json : unit -> Json.t
+
+val pp_tree : Format.formatter -> unit -> unit
+val pp_stats : Format.formatter -> unit -> unit

@@ -1,0 +1,24 @@
+(* Smoke checker for `polyufc ... --json` output: the file must parse as
+   JSON and carry the expected top-level fields. Exit 0 on success. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  let path, required_keys =
+    match Array.to_list Sys.argv with
+    | _ :: path :: keys -> (path, keys)
+    | _ -> fail "usage: json_smoke FILE [required-key...]"
+  in
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match Telemetry.Json.of_string text with
+  | Error msg -> fail "%s: invalid JSON: %s" path msg
+  | Ok doc ->
+    List.iter
+      (fun key ->
+        if Telemetry.Json.member key doc = None then
+          fail "%s: missing required key %S" path key)
+      required_keys;
+    Printf.printf "%s: ok (%d bytes)\n" path len

@@ -14,4 +14,5 @@ let () =
       ("core", Test_core.tests);
       ("mlir_lite", Test_mlir_lite.tests);
       ("workloads", Test_workloads.tests);
+      ("telemetry", Test_telemetry.tests);
     ]
