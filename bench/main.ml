@@ -3,10 +3,14 @@
    ablations called out in DESIGN.md and a Bechamel micro-benchmark suite
    for the analysis components.
 
-   Usage:  main.exe [experiment...]
+   Usage:  main.exe [--jobs=N] [experiment...]
      experiments: tab2 tab3 tab4 fig1 fig5 fig6 fig7 fig8
                   abl-eps abl-granularity abl-objective abl-counting micro
-     default: all of the above. *)
+     default: all of the above.
+
+   --jobs=N runs the per-workload bodies of fig6 / fig7 / tab4 on an
+   Engine.Pool of N worker domains; rows come back in submission order,
+   so the report is byte-identical to a --jobs=1 run. *)
 
 open Polyufc_core
 
@@ -18,9 +22,20 @@ let section title =
   pf "%s\n" title;
   pf "==========================================================================\n"
 
+(* the worker pool, when --jobs=N with N > 1 was given *)
+let the_pool : Engine.Pool.t option ref = ref None
+
+(* parallel map over workloads: deterministic output order either way *)
+let pmap f xs =
+  match !the_pool with
+  | None -> List.map f xs
+  | Some pool -> Engine.Pool.map pool f xs
+
 let rooflines =
   let cache = Hashtbl.create 2 in
+  let mutex = Mutex.create () in
   fun (m : Hwsim.Machine.t) ->
+    Mutex.protect mutex @@ fun () ->
     match Hashtbl.find_opt cache m.Hwsim.Machine.name with
     | Some k -> k
     | None ->
@@ -32,8 +47,11 @@ let machines = [ Hwsim.Machine.bdw; Hwsim.Machine.rpl ]
 
 let bound_str = function Roofline.CB -> "CB" | Roofline.BB -> "BB"
 
-(* memoized per-(workload, machine) compilation *)
+(* memoized per-(workload, machine) compilation; the table is shared by
+   pool workers, so probes/inserts are mutex-guarded (the compile itself
+   runs unlocked — it is deterministic, a racing duplicate is dropped) *)
 let compile_cache : (string, Flow.compiled) Hashtbl.t = Hashtbl.create 64
+let compile_cache_mutex = Mutex.create ()
 
 let compile_workload ?mode (m : Hwsim.Machine.t) (w : Workloads.t) =
   let key =
@@ -42,7 +60,11 @@ let compile_workload ?mode (m : Hwsim.Machine.t) (w : Workloads.t) =
       | Some Cache_model.Model.Fully_associative -> "#fa"
       | _ -> "")
   in
-  match Hashtbl.find_opt compile_cache key with
+  let probe () =
+    Mutex.protect compile_cache_mutex (fun () ->
+        Hashtbl.find_opt compile_cache key)
+  in
+  match probe () with
   | Some c -> c
   | None ->
     let c =
@@ -50,7 +72,9 @@ let compile_workload ?mode (m : Hwsim.Machine.t) (w : Workloads.t) =
         (Workloads.tiled_program w)
         ~param_values:(Workloads.param_values w)
     in
-    Hashtbl.add compile_cache key c;
+    Mutex.protect compile_cache_mutex (fun () ->
+        if not (Hashtbl.mem compile_cache key) then
+          Hashtbl.add compile_cache key c);
     c
 
 (* ------------------------------------------------------------------ *)
@@ -196,35 +220,45 @@ let fig6 () =
         k.Roofline.b_dram_t;
       pf "%-18s %8s %5s | %9s %9s %6s | %8s %8s\n" "kernel" "OI" "class"
         "est GF/s" "hw GF/s" "err%" "est W" "hw W";
+      let rows =
+        pmap
+          (fun (w : Workloads.t) ->
+            let c = compile_workload m w in
+            let oi = c.Flow.profile.Perfmodel.oi in
+            let bound = Roofline.characterize k ~oi in
+            let est =
+              Perfmodel.estimate k c.Flow.profile
+                ~f_c:m.Hwsim.Machine.uncore_max_ghz
+            in
+            let hw =
+              Hwsim.Sim.run ~machine:m
+                ~uncore:(`Fixed m.Hwsim.Machine.uncore_max_ghz) c.Flow.optimized
+                ~param_values:(Workloads.param_values w)
+            in
+            let err =
+              100.0
+              *. (est.Perfmodel.perf_gflops -. hw.Hwsim.Sim.achieved_gflops)
+              /. hw.Hwsim.Sim.achieved_gflops
+            in
+            let row =
+              Printf.sprintf "%-18s %8.3f %5s | %9.2f %9.2f %+6.1f | %8.1f %8.1f"
+                w.Workloads.name oi (bound_str bound) est.Perfmodel.perf_gflops
+                hw.Hwsim.Sim.achieved_gflops err est.Perfmodel.power_w
+                hw.Hwsim.Sim.avg_power_w
+            in
+            (row, bound, w.Workloads.kind))
+          Workloads.all
+      in
       let cb = ref 0 and bb = ref 0 and pb_cb = ref 0 and pb_bb = ref 0 in
       List.iter
-        (fun (w : Workloads.t) ->
-          let c = compile_workload m w in
-          let oi = c.Flow.profile.Perfmodel.oi in
-          let bound = Roofline.characterize k ~oi in
+        (fun (row, bound, kind) ->
+          pf "%s\n" row;
           (match bound with Roofline.CB -> incr cb | Roofline.BB -> incr bb);
-          if w.Workloads.kind = Workloads.Polybench then
-            (match bound with
+          if kind = Workloads.Polybench then
+            match bound with
             | Roofline.CB -> incr pb_cb
-            | Roofline.BB -> incr pb_bb);
-          let est =
-            Perfmodel.estimate k c.Flow.profile ~f_c:m.Hwsim.Machine.uncore_max_ghz
-          in
-          let hw =
-            Hwsim.Sim.run ~machine:m
-              ~uncore:(`Fixed m.Hwsim.Machine.uncore_max_ghz) c.Flow.optimized
-              ~param_values:(Workloads.param_values w)
-          in
-          let err =
-            100.0
-            *. (est.Perfmodel.perf_gflops -. hw.Hwsim.Sim.achieved_gflops)
-            /. hw.Hwsim.Sim.achieved_gflops
-          in
-          pf "%-18s %8.3f %5s | %9.2f %9.2f %+6.1f | %8.1f %8.1f\n"
-            w.Workloads.name oi (bound_str bound) est.Perfmodel.perf_gflops
-            hw.Hwsim.Sim.achieved_gflops err est.Perfmodel.power_w
-            hw.Hwsim.Sim.avg_power_w)
-        Workloads.all;
+            | Roofline.BB -> incr pb_bb)
+        rows;
       pf "classification: %d CB / %d BB total; PolyBench %d CB / %d BB\n" !cb
         !bb !pb_cb !pb_bb;
       pf "(paper, RPL: 13 CB / 9 BB among the 22 PolyBench kernels)\n")
@@ -250,32 +284,46 @@ let fig7 () =
       pf "\n--- %s ---\n" m.Hwsim.Machine.name;
       pf "%-18s %5s %7s | %8s %8s %8s\n" "kernel" "class" "cap" "time%" "energy%"
         "EDP%";
+      let rows =
+        pmap
+          (fun (w : Workloads.t) ->
+            let c = compile_workload m w in
+            let e =
+              Flow.evaluate ~machine:m c
+                ~param_values:(Workloads.param_values w)
+            in
+            let bound =
+              Roofline.characterize k ~oi:c.Flow.profile.Perfmodel.oi
+            in
+            let cap =
+              match c.Flow.caps with (_, f) :: _ -> f | [] -> Float.nan
+            in
+            let row =
+              Printf.sprintf "%-18s %5s %7.1f | %+8.1f %+8.1f %+8.1f"
+                w.Workloads.name (bound_str bound) cap
+                (100. *. e.Flow.time_gain) (100. *. e.Flow.energy_gain)
+                (100. *. e.Flow.edp_gain)
+            in
+            (row, w, bound, e))
+          Workloads.all
+      in
       let pb_edp_ratios = ref [] in
       let max_cb = ref (0.0, "") and max_bb = ref (0.0, "") in
       List.iter
-        (fun (w : Workloads.t) ->
-          let c = compile_workload m w in
-          let e =
-            Flow.evaluate ~machine:m c ~param_values:(Workloads.param_values w)
-          in
-          let bound =
-            Roofline.characterize k ~oi:c.Flow.profile.Perfmodel.oi
-          in
-          let cap =
-            match c.Flow.caps with (_, f) :: _ -> f | [] -> Float.nan
-          in
-          pf "%-18s %5s %7.1f | %+8.1f %+8.1f %+8.1f\n" w.Workloads.name
-            (bound_str bound) cap (100. *. e.Flow.time_gain)
-            (100. *. e.Flow.energy_gain) (100. *. e.Flow.edp_gain);
+        (fun (row, (w : Workloads.t), bound, (e : Flow.evaluation)) ->
+          pf "%s\n" row;
           if w.Workloads.kind = Workloads.Polybench then
             pb_edp_ratios :=
               (e.Flow.baseline.Hwsim.Sim.edp /. e.Flow.capped.Hwsim.Sim.edp)
               :: !pb_edp_ratios;
           let track r =
-            if e.Flow.edp_gain > fst !r then r := (e.Flow.edp_gain, w.Workloads.name)
+            if e.Flow.edp_gain > fst !r then
+              r := (e.Flow.edp_gain, w.Workloads.name)
           in
-          match bound with Roofline.CB -> track max_cb | Roofline.BB -> track max_bb)
-        Workloads.all;
+          match bound with
+          | Roofline.CB -> track max_cb
+          | Roofline.BB -> track max_bb)
+        rows;
       let gm = (geomean !pb_edp_ratios -. 1.0) *. 100.0 in
       pf "PolyBench geomean EDP improvement: %+.1f%%  (paper: +12%% BDW, +10.6%% RPL)\n" gm;
       pf "max CB EDP gain: %+.1f%% (%s)   max BB EDP gain: %+.1f%% (%s)\n"
@@ -337,37 +385,40 @@ let tab4 () =
   pf "%-18s %12s %10s %12s %10s %10s\n" "kernel" "preprocess" "pluto"
     "polyufc-cm" "steps4-6" "total";
   let m = Hwsim.Machine.bdw in
-  List.iter
-    (fun (w : Workloads.t) ->
-      (* timed fresh compile, including the tiling stage; the bench-side
-         preprocessing/tiling spans and Flow.compile's own phase spans all
-         report through the one telemetry clock *)
-      let _prog, pre_s =
-        Telemetry.with_span_timed "bench.preprocess"
-          ~args:[ ("kernel", w.Workloads.name) ]
-          (fun () ->
-            let prog = Workloads.program w in
-            let _scop = Poly_ir.Scop.extract prog in
-            prog)
-      in
-      let tiled, pluto_s =
-        Telemetry.with_span_timed "bench.pluto"
-          ~args:[ ("kernel", w.Workloads.name) ]
-          (fun () -> Workloads.tiled_program w)
-      in
-      let c =
-        Flow.compile ~tile:false ~machine:m ~rooflines:(rooflines m) tiled
-          ~param_values:(Workloads.param_values w)
-      in
-      let ms x = x *. 1e3 in
-      let pre = ms pre_s
-      and pluto = ms pluto_s
-      and cm = ms c.Flow.timing.Flow.cm_s
-      and s456 = ms c.Flow.timing.Flow.steps456_s in
-      pf "%-18s %12.1f %10.1f %12.1f %10.2f %10.1f\n" w.Workloads.name pre
-        pluto cm s456
-        (pre +. pluto +. cm +. s456))
-    Workloads.all;
+  let rows =
+    pmap
+      (fun (w : Workloads.t) ->
+        (* timed fresh compile, including the tiling stage; the bench-side
+           preprocessing/tiling spans and Flow.compile's own phase spans
+           all report through the one telemetry clock *)
+        let _prog, pre_s =
+          Telemetry.with_span_timed "bench.preprocess"
+            ~args:[ ("kernel", w.Workloads.name) ]
+            (fun () ->
+              let prog = Workloads.program w in
+              let _scop = Poly_ir.Scop.extract prog in
+              prog)
+        in
+        let tiled, pluto_s =
+          Telemetry.with_span_timed "bench.pluto"
+            ~args:[ ("kernel", w.Workloads.name) ]
+            (fun () -> Workloads.tiled_program w)
+        in
+        let c =
+          Flow.compile ~tile:false ~machine:m ~rooflines:(rooflines m) tiled
+            ~param_values:(Workloads.param_values w)
+        in
+        let ms x = x *. 1e3 in
+        let pre = ms pre_s
+        and pluto = ms pluto_s
+        and cm = ms c.Flow.timing.Flow.cm_s
+        and s456 = ms c.Flow.timing.Flow.steps456_s in
+        Printf.sprintf "%-18s %12.1f %10.1f %12.1f %10.2f %10.1f"
+          w.Workloads.name pre pluto cm s456
+          (pre +. pluto +. cm +. s456))
+      Workloads.all
+  in
+  List.iter (fun row -> pf "%s\n" row) rows;
   pf "(paper: PolyUFC-CM dominates compile time, with barvinok counting on\n\
      \ tiled domains; here exact enumeration plays that role)\n"
 
@@ -685,6 +736,7 @@ let () =
   let report_path = ref "bench_report.json" in
   let report_requested = ref false in
   let telemetry_on = ref true in
+  let jobs = ref 1 in
   let requested =
     List.filter
       (fun a ->
@@ -697,9 +749,17 @@ let () =
           report_requested := true;
           false
         end
+        else if String.length a > 7 && String.sub a 0 7 = "--jobs=" then begin
+          (match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
+          | Some n when n >= 1 -> jobs := n
+          | Some 0 -> jobs := Engine.Pool.default_jobs ()
+          | _ -> pf "bad --jobs value %S (want an integer >= 0)\n" a);
+          false
+        end
         else true)
       args
   in
+  if !jobs > 1 then the_pool := Some (Engine.Pool.create ~jobs:!jobs ());
   let requested =
     match requested with [] -> List.map fst all_experiments | names -> names
   in
@@ -723,7 +783,12 @@ let () =
                 (String.concat " " (List.map fst all_experiments)))
           requested)
   in
-  pf "\n[bench completed in %.1f s]\n" total_s;
+  (match !the_pool with
+  | Some pool ->
+    Engine.Pool.shutdown pool;
+    the_pool := None
+  | None -> ());
+  pf "\n[bench completed in %.1f s (jobs=%d)]\n" total_s !jobs;
   (* an explicit --report= is honored even under --no-telemetry (the
      wall times are measured either way; only counters will be empty) *)
   if !telemetry_on || !report_requested then

@@ -7,7 +7,13 @@
      characterize — CB/BB roofline characterization
      search       — POLYUFC-SEARCH cap selection per region
      run          — simulate (baseline vs capped) on a machine
-     workloads    — list the bundled benchmark suite *)
+     batch        — compile a manifest of kernels concurrently
+     cache        — inspect / clear the persistent result cache
+     workloads    — list the bundled benchmark suite
+
+   [search], [run] and [batch] accept --jobs N (0 = one per core) and
+   consult the content-addressed result cache under _polyufc_cache/
+   (or $POLYUFC_CACHE_DIR) unless --no-cache is given. *)
 
 open Cmdliner
 open Polyufc_core
@@ -88,6 +94,44 @@ let json_arg =
     value
     & flag
     & info [ "json" ] ~doc:"Print the result record as JSON on stdout.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel parts of the flow; $(b,0) means \
+           one per core. Results are identical for every N.")
+
+let no_cache_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-cache" ]
+        ~doc:"Do not consult or populate the persistent result cache.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Result-cache directory (default $(b,_polyufc_cache), or \
+           $(b,POLYUFC_CACHE_DIR)).")
+
+let engine_term =
+  let combine jobs no_cache cache_dir = (jobs, no_cache, cache_dir) in
+  Term.(const combine $ jobs_arg $ no_cache_arg $ cache_dir_arg)
+
+(* Resolve --jobs/--no-cache/--cache-dir into a live pool + cache and run
+   [f] with them; the pool is shut down afterwards (also on exceptions). *)
+let with_engine (jobs, no_cache, cache_dir) f =
+  let jobs = if jobs <= 0 then Engine.Pool.default_jobs () else jobs in
+  let cache =
+    if no_cache then None else Some (Engine.Rcache.create ?dir:cache_dir ())
+  in
+  Engine.Pool.with_pool ~jobs (fun pool -> f ~pool ~cache)
 
 let telemetry_term =
   let combine trace stats = (trace, stats) in
@@ -189,13 +233,14 @@ let characterize_cmd =
 
 let search_cmd =
   let run (workload, file, sizes) machine tile_size epsilon objective telemetry
-      json =
+      json engine =
     with_telemetry telemetry @@ fun () ->
+    with_engine engine @@ fun ~pool ~cache ->
     let prog, sizes = load ~workload ~file ~sizes in
     let k = Roofline.microbench machine in
     let c =
-      Flow.compile ~objective ~epsilon ~tile_size ~machine ~rooflines:k prog
-        ~param_values:sizes
+      Flow.compile ~pool ?cache ~objective ~epsilon ~tile_size ~machine
+        ~rooflines:k prog ~param_values:sizes
     in
     if json then Report.print_json (Report.json_of_compiled c)
     else Format.printf "%a@." Flow.pp_compiled c
@@ -204,17 +249,18 @@ let search_cmd =
     (Cmd.info "search" ~doc:"Full compilation flow with POLYUFC-SEARCH caps")
     Term.(
       const run $ load_term $ machine_arg $ tile_size_arg $ epsilon_arg
-      $ objective_arg $ telemetry_term $ json_arg)
+      $ objective_arg $ telemetry_term $ json_arg $ engine_term)
 
 let run_cmd =
   let run (workload, file, sizes) machine tile_size epsilon objective telemetry
-      json =
+      json engine =
     with_telemetry telemetry @@ fun () ->
+    with_engine engine @@ fun ~pool ~cache ->
     let prog, sizes = load ~workload ~file ~sizes in
     let k = Roofline.microbench machine in
     let c =
-      Flow.compile ~objective ~epsilon ~tile_size ~machine ~rooflines:k prog
-        ~param_values:sizes
+      Flow.compile ~pool ?cache ~objective ~epsilon ~tile_size ~machine
+        ~rooflines:k prog ~param_values:sizes
     in
     let e = Flow.evaluate ~machine c ~param_values:sizes in
     if json then Report.print_json (Report.json_of_run c e)
@@ -228,7 +274,7 @@ let run_cmd =
        ~doc:"Compile with caps and simulate vs the UFS-driver baseline")
     Term.(
       const run $ load_term $ machine_arg $ tile_size_arg $ epsilon_arg
-      $ objective_arg $ telemetry_term $ json_arg)
+      $ objective_arg $ telemetry_term $ json_arg $ engine_term)
 
 let scop_cmd =
   let run (workload, file, sizes) tile tile_size =
@@ -245,6 +291,149 @@ let scop_cmd =
     (Cmd.info "scop"
        ~doc:"Dump the polyhedral representation in isl notation (OpenSCoP substitute)")
     Term.(const run $ load_term $ tile_flag $ tile_size_arg)
+
+(* ---- batch: compile a manifest of kernels concurrently ---------------- *)
+
+(* Manifest grammar, one kernel per line:
+     name [p=v[,p=v...]]        e.g.  "gemm n=48" or "atax m=64,n=64"
+   '#' starts a comment; blank lines are skipped.  Sizes default to the
+   workload's bundled parameter values. *)
+let parse_manifest path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let rec lines acc n =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line -> lines ((n, line) :: acc) (n + 1)
+  in
+  List.filter_map
+    (fun (n, line) ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match
+        String.split_on_char ' ' (String.trim line)
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun t -> t <> "")
+      with
+      | [] -> None
+      | name :: size_toks ->
+        let sizes =
+          List.concat_map (String.split_on_char ',') size_toks
+          |> List.filter (fun t -> t <> "")
+          |> List.map (fun tok ->
+                 match String.split_on_char '=' tok with
+                 | [ p; v ] -> (
+                   match int_of_string_opt v with
+                   | Some v -> (p, v)
+                   | None ->
+                     failwith
+                       (Printf.sprintf "%s:%d: bad size %S (want p=N)" path n
+                          tok))
+                 | _ ->
+                   failwith
+                     (Printf.sprintf "%s:%d: bad size %S (want p=N)" path n tok))
+        in
+        Some (n, name, sizes))
+    (lines [] 1)
+
+let batch_cmd =
+  let run manifest machine tile_size epsilon objective telemetry json engine =
+    with_telemetry telemetry @@ fun () ->
+    with_engine engine @@ fun ~pool ~cache ->
+    let entries = parse_manifest manifest in
+    let k = Roofline.microbench machine in
+    let compile_one (line, name, sizes) =
+      match Workloads.find_opt name with
+      | None ->
+        failwith
+          (Printf.sprintf "%s:%d: unknown workload %S (try `polyufc \
+                           workloads')" manifest line name)
+      | Some w ->
+        let sizes = if sizes = [] then Workloads.param_values w else sizes in
+        let c =
+          Flow.compile ~pool ?cache ~objective ~epsilon ~tile_size ~machine
+            ~rooflines:k (Workloads.program w) ~param_values:sizes
+        in
+        (name, sizes, c)
+    in
+    (* one pool job per kernel; Pool.map keeps manifest order *)
+    let results = Engine.Pool.map pool compile_one entries in
+    if json then
+      Report.print_json
+        (Telemetry.Json.Arr
+           (List.map
+              (fun (name, sizes, c) ->
+                Telemetry.Json.Obj
+                  [
+                    ("kernel", Telemetry.Json.Str name);
+                    ( "sizes",
+                      Telemetry.Json.Obj
+                        (List.map
+                           (fun (p, v) ->
+                             (p, Telemetry.Json.Int v))
+                           sizes) );
+                    ("report", Report.json_of_compiled c);
+                  ])
+              results))
+    else
+      List.iter
+        (fun (name, _sizes, (c : Flow.compiled)) ->
+          Format.printf "%-18s OI=%7.3f  caps:" name
+            c.Flow.profile.Perfmodel.oi;
+          List.iter
+            (fun (v, f) -> Format.printf " %s->%.1f" v f)
+            c.Flow.caps;
+          Format.printf "@.")
+        results;
+    let counts = Engine.Rcache.counts () in
+    if counts.Engine.Rcache.hits > 0 || counts.Engine.Rcache.stores > 0 then
+      Format.eprintf "[cache: %d hit(s), %d miss(es)]@."
+        counts.Engine.Rcache.hits counts.Engine.Rcache.misses
+  in
+  let manifest_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"MANIFEST"
+          ~doc:"Kernel manifest: one $(b,name [p=v,...]) per line.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Compile every kernel of a manifest, concurrently with --jobs")
+    Term.(
+      const run $ manifest_arg $ machine_arg $ tile_size_arg $ epsilon_arg
+      $ objective_arg $ telemetry_term $ json_arg $ engine_term)
+
+(* ---- cache: inspect / clear the persistent result cache --------------- *)
+
+let cache_cmd =
+  let stats_cmd =
+    let run cache_dir =
+      let c = Engine.Rcache.create ?dir:cache_dir () in
+      let s = Engine.Rcache.stats c in
+      Format.printf "cache directory: %s@.entries: %d@.bytes: %d@."
+        (Engine.Rcache.dir c) s.Engine.Rcache.entries s.Engine.Rcache.bytes
+    in
+    Cmd.v (Cmd.info "stats" ~doc:"Show entry count and size on disk")
+      Term.(const run $ cache_dir_arg)
+  in
+  let clear_cmd =
+    let run cache_dir =
+      let c = Engine.Rcache.create ?dir:cache_dir () in
+      let n = Engine.Rcache.clear c in
+      Format.printf "removed %d entr%s from %s@." n
+        (if n = 1 then "y" else "ies")
+        (Engine.Rcache.dir c)
+    in
+    Cmd.v (Cmd.info "clear" ~doc:"Remove every cached result")
+      Term.(const run $ cache_dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect or clear the persistent result cache")
+    [ stats_cmd; clear_cmd ]
 
 let workloads_cmd =
   let run () =
@@ -270,5 +459,5 @@ let () =
        (Cmd.group info
           [
             parse_cmd; tile_cmd; analyze_cmd; characterize_cmd; search_cmd;
-            run_cmd; scop_cmd; workloads_cmd;
+            run_cmd; batch_cmd; cache_cmd; scop_cmd; workloads_cmd;
           ]))

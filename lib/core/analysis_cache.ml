@@ -1,0 +1,165 @@
+(* Key construction and JSON round-tripping for cached PolyUFC-CM
+   results.
+
+   Floats are encoded as hexadecimal literals ("%h") and decoded with
+   [float_of_string]: the round trip is exact (including infinities, e.g.
+   the OI of a kernel with no DRAM traffic), which keeps reports built
+   from cache hits byte-identical to reports built from fresh analyses. *)
+
+module J = Telemetry.Json
+module M = Cache_model.Model
+
+let hex_float x = J.Str (Printf.sprintf "%h" x)
+
+let float_of_j = function
+  | J.Str s -> float_of_string_opt s
+  | J.Int i -> Some (float_of_int i)
+  | J.Float f -> Some f
+  | _ -> None
+
+let mode_str = function
+  | M.Set_associative -> "set-associative"
+  | M.Fully_associative -> "fully-associative"
+
+let machine_fingerprint (m : Hwsim.Machine.t) =
+  let b = Buffer.create 256 in
+  let f fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  f "name=%s;threads=%d;core=%h;umin=%h;umax=%h;ustep=%h;" m.Hwsim.Machine.name
+    m.Hwsim.Machine.threads m.Hwsim.Machine.core_ghz
+    m.Hwsim.Machine.uncore_min_ghz m.Hwsim.Machine.uncore_max_ghz
+    m.Hwsim.Machine.uncore_step_ghz;
+  List.iter
+    (fun (c : Hwsim.Machine.cache_geometry) ->
+      f "cache=%s:%d:%d:%d:%h;" c.Hwsim.Machine.level_name
+        c.Hwsim.Machine.size_bytes c.Hwsim.Machine.line_bytes
+        c.Hwsim.Machine.assoc c.Hwsim.Machine.hit_latency_ns)
+    m.Hwsim.Machine.caches;
+  f "flop=%h;mlp=%h;dlat=%h:%h;dbw=%h:%h;pstat=%h;pcore=%h;punc=%h:%h;dnj=%h;capus=%h"
+    m.Hwsim.Machine.flop_ns m.Hwsim.Machine.mlp m.Hwsim.Machine.dram_lat_a_ns
+    m.Hwsim.Machine.dram_lat_b_ns m.Hwsim.Machine.dram_bw_gbps_per_ghz
+    m.Hwsim.Machine.dram_bw_max_gbps m.Hwsim.Machine.p_static_w
+    m.Hwsim.Machine.core_w_active m.Hwsim.Machine.uncore_w_per_ghz
+    m.Hwsim.Machine.uncore_w_base m.Hwsim.Machine.dram_nj_per_line
+    m.Hwsim.Machine.cap_switch_us;
+  Buffer.contents b
+
+let cm_key ~machine ~mode ~apply_thread_heuristic ~param_values prog =
+  let scop = Poly_ir.Scop.export_isl (Poly_ir.Scop.extract prog) in
+  Engine.Rcache.key
+    [
+      ("kind", "polyufc-cm");
+      ("scop", scop);
+      ("machine", machine_fingerprint machine);
+      ("mode", mode_str mode);
+      ("threads", string_of_bool apply_thread_heuristic);
+      ( "params",
+        String.concat ","
+          (List.map (fun (p, v) -> Printf.sprintf "%s=%d" p v) param_values) );
+    ]
+
+(* --- encode --- *)
+
+let json_of_level (c : M.level_counts) =
+  J.Obj
+    [
+      ("name", J.Str c.M.level_name);
+      ("presented", J.Int c.M.presented);
+      ("cold", J.Int c.M.cold);
+      ("capacity_conflict", J.Int c.M.capacity_conflict);
+      ("hits", J.Int c.M.hits);
+      ("demand_hits", J.Int c.M.demand_hits);
+    ]
+
+let cm_to_json (r : M.result) =
+  J.Obj
+    [
+      ("levels", J.Arr (Array.to_list (Array.map json_of_level r.M.levels)));
+      ( "per_stmt",
+        J.Arr
+          (List.map
+             (fun (name, (sc : M.stmt_counts)) ->
+               J.Obj
+                 [
+                   ("stmt", J.Str name);
+                   ( "levels",
+                     J.Arr
+                       (Array.to_list (Array.map json_of_level sc.M.stmt_levels))
+                   );
+                   ("flops", J.Int sc.M.stmt_flops);
+                   ("oi", hex_float sc.M.stmt_oi);
+                 ])
+             r.M.per_stmt) );
+      ("threads_divisor", J.Int r.M.threads_divisor);
+      ("miss_llc", hex_float r.M.miss_llc);
+      ("q_dram_bytes", hex_float r.M.q_dram_bytes);
+      ("flops", J.Int r.M.flops);
+      ("oi", hex_float r.M.oi);
+      ( "hit_ratios",
+        J.Arr (Array.to_list (Array.map hex_float r.M.hit_ratios)) );
+      ( "miss_ratios",
+        J.Arr (Array.to_list (Array.map hex_float r.M.miss_ratios)) );
+    ]
+
+(* --- decode --- *)
+
+exception Bad_shape
+
+let get k j = match J.member k j with Some v -> v | None -> raise Bad_shape
+let int_of = function J.Int i -> i | _ -> raise Bad_shape
+let str_of = function J.Str s -> s | _ -> raise Bad_shape
+
+let flt_of j =
+  match float_of_j j with Some f -> f | None -> raise Bad_shape
+
+let arr_of = function J.Arr l -> l | _ -> raise Bad_shape
+
+let level_of_json j =
+  {
+    M.level_name = str_of (get "name" j);
+    presented = int_of (get "presented" j);
+    cold = int_of (get "cold" j);
+    capacity_conflict = int_of (get "capacity_conflict" j);
+    hits = int_of (get "hits" j);
+    demand_hits = int_of (get "demand_hits" j);
+  }
+
+let cm_of_json ~machine ~mode j =
+  match
+    {
+      M.machine;
+      mode;
+      levels = Array.of_list (List.map level_of_json (arr_of (get "levels" j)));
+      per_stmt =
+        List.map
+          (fun sj ->
+            ( str_of (get "stmt" sj),
+              {
+                M.stmt_levels =
+                  Array.of_list
+                    (List.map level_of_json (arr_of (get "levels" sj)));
+                stmt_flops = int_of (get "flops" sj);
+                stmt_oi = flt_of (get "oi" sj);
+              } ))
+          (arr_of (get "per_stmt" j));
+      threads_divisor = int_of (get "threads_divisor" j);
+      miss_llc = flt_of (get "miss_llc" j);
+      q_dram_bytes = flt_of (get "q_dram_bytes" j);
+      flops = int_of (get "flops" j);
+      oi = flt_of (get "oi" j);
+      hit_ratios =
+        Array.of_list (List.map flt_of (arr_of (get "hit_ratios" j)));
+      miss_ratios =
+        Array.of_list (List.map flt_of (arr_of (get "miss_ratios" j)));
+    }
+  with
+  | r -> Some r
+  | exception Bad_shape -> None
+
+let analyze_cached ~cache ~mode ~apply_thread_heuristic ~machine prog
+    ~param_values =
+  let key = cm_key ~machine ~mode ~apply_thread_heuristic ~param_values prog in
+  Engine.Rcache.find_or_add cache ~key
+    ~decode:(cm_of_json ~machine ~mode)
+    ~encode:cm_to_json
+    (fun () ->
+      M.analyze ~mode ~apply_thread_heuristic ~machine prog ~param_values)

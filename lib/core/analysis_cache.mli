@@ -1,0 +1,42 @@
+(** Content-addressed persistence of PolyUFC-CM analyses.
+
+    The cache key is a stable digest of everything the analysis depends
+    on: the SCoP in isl notation ({!Poly_ir.Scop.export_isl} of the
+    program handed to the model — after tiling), a full fingerprint of the
+    machine description, the model parameters (associativity mode, thread
+    heuristic, parameter bindings), and {!Engine.Rcache.schema_version}.
+    Payloads round-trip {!Cache_model.Model.result} through JSON with
+    lossless hexadecimal float encoding, so a cache hit reproduces the
+    analysis bit-for-bit and downstream reports stay byte-identical. *)
+
+val machine_fingerprint : Hwsim.Machine.t -> string
+(** Every field of the machine description, canonically rendered; any
+    retuning (e.g. {!Hwsim.Machine.with_core_ghz}) changes the key. *)
+
+val cm_key :
+  machine:Hwsim.Machine.t ->
+  mode:Cache_model.Model.assoc_mode ->
+  apply_thread_heuristic:bool ->
+  param_values:(string * int) list ->
+  Poly_ir.Ir.t ->
+  string
+
+val cm_to_json : Cache_model.Model.result -> Telemetry.Json.t
+
+val cm_of_json :
+  machine:Hwsim.Machine.t ->
+  mode:Cache_model.Model.assoc_mode ->
+  Telemetry.Json.t ->
+  Cache_model.Model.result option
+(** [None] when the payload does not have the expected shape (treated by
+    {!Engine.Rcache.find_or_add} as a corrupt entry). *)
+
+val analyze_cached :
+  cache:Engine.Rcache.t ->
+  mode:Cache_model.Model.assoc_mode ->
+  apply_thread_heuristic:bool ->
+  machine:Hwsim.Machine.t ->
+  Poly_ir.Ir.t ->
+  param_values:(string * int) list ->
+  Cache_model.Model.result
+(** {!Cache_model.Model.analyze} memoized through the result cache. *)

@@ -72,9 +72,10 @@ let rec stmt_names_of_item = function
     List.concat_map stmt_names_of_item b.Ir.then_
     @ List.concat_map stmt_names_of_item b.Ir.else_
 
-let compile ?(objective = Search.Edp) ?(epsilon = 1e-3) ?(tile_size = 32)
-    ?(tile = true) ?(mode = Cache_model.Model.Set_associative) ~machine
-    ~rooflines prog ~param_values =
+let compile ?pool ?cache ?(objective = Search.Edp) ?(epsilon = 1e-3)
+    ?(tile_size = 32) ?(tile = true)
+    ?(mode = Cache_model.Model.Set_associative) ~machine ~rooflines prog
+    ~param_values =
   Telemetry.tick c_compiles;
   Telemetry.with_span "flow.compile" ~args:[ ("prog", prog.Ir.prog_name) ]
   @@ fun () ->
@@ -115,8 +116,13 @@ let compile ?(objective = Search.Edp) ?(epsilon = 1e-3) ?(tile_size = 32)
   let (cm, profile), cm_s =
     Telemetry.with_span_timed phase_cm (fun () ->
         let cm =
-          Cache_model.Model.analyze ~mode ~apply_thread_heuristic:false ~machine
-            optimized ~param_values
+          match cache with
+          | Some cache ->
+            Analysis_cache.analyze_cached ~cache ~mode
+              ~apply_thread_heuristic:false ~machine optimized ~param_values
+          | None ->
+            Cache_model.Model.analyze ~mode ~apply_thread_heuristic:false
+              ~machine optimized ~param_values
         in
         (cm, Perfmodel.profile_of_cm cm))
   in
@@ -199,12 +205,19 @@ let compile ?(objective = Search.Edp) ?(epsilon = 1e-3) ?(tile_size = 32)
   in
   let (decisions, caps), steps456_s =
     Telemetry.with_span_timed phase_steps456 (fun () ->
-        let decisions =
+        let regions =
           List.filter_map
             (function
-              | Ir.Loop l -> Some (decide_region l)
-              | Ir.Stmt _ | Ir.If _ -> None)
+              | Ir.Loop l -> Some l | Ir.Stmt _ | Ir.If _ -> None)
             optimized.Ir.body
+        in
+        (* regions are independent; fan them out when a pool was given
+           (Pool.map keeps program order, so the cap schedule and the
+           redundant-cap removal below are unaffected) *)
+        let decisions =
+          match pool with
+          | None -> List.map decide_region regions
+          | Some pool -> Engine.Pool.map pool decide_region regions
         in
         (* cap schedule with redundant-cap removal (the paper's
            pattern-rewrite): a region whose cap equals the previously

@@ -57,6 +57,8 @@ type compiled = {
 }
 
 val compile :
+  ?pool:Engine.Pool.t ->
+  ?cache:Engine.Rcache.t ->
   ?objective:Search.objective ->
   ?epsilon:float ->
   ?tile_size:int ->
@@ -68,7 +70,14 @@ val compile :
   param_values:(string * int) list ->
   compiled
 (** [tile] defaults to [true]; pass [false] when the input is already
-    Pluto-optimized. *)
+    Pluto-optimized.
+
+    [pool] fans the per-region characterize/estimate/search step out over
+    the worker pool (deterministic: the result is identical to the
+    sequential compile).  [cache] memoizes the PolyUFC-CM analysis — the
+    dominant compile cost, Table IV — in the persistent result cache,
+    keyed by (SCoP isl export, machine fingerprint, model parameters,
+    schema version). *)
 
 type evaluation = {
   baseline : Hwsim.Sim.outcome;  (** UFS-governor run of the same binary *)

@@ -36,8 +36,19 @@ let admissible ~epsilon k bd ~(baseline : Perfmodel.estimate)
     let bw_gain = (bw_cap e.Perfmodel.f_c /. bw_cap bottom.Perfmodel.f_c) -. 1.0 in
     perf_gain >= (bw_gain *. 0.5) -. epsilon
 
-let run ?(objective = Edp) ?(epsilon = 1e-3) (k : Roofline.constants) profile =
-  let sweep = Perfmodel.sweep k profile in
+let run ?pool ?(objective = Edp) ?(epsilon = 1e-3) (k : Roofline.constants)
+    profile =
+  (* the sweep points are independent closed-form evaluations; with a pool
+     they fan out across workers (order is preserved by Pool.map, so the
+     search below sees the same frequency grid either way) *)
+  let sweep =
+    match pool with
+    | None -> Perfmodel.sweep k profile
+    | Some pool ->
+      Engine.Pool.map pool
+        (fun f -> Perfmodel.estimate k profile ~f_c:f)
+        (Hwsim.Machine.uncore_freqs k.Roofline.machine)
+  in
   let arr = Array.of_list sweep in
   let n = Array.length arr in
   assert (n > 0);

@@ -23,12 +23,15 @@ type outcome = {
 }
 
 val run :
+  ?pool:Engine.Pool.t ->
   ?objective:objective ->
   ?epsilon:float ->
   Roofline.constants ->
   Perfmodel.profile ->
   outcome
 (** Default [objective] is [Edp], default [epsilon] is [1e-3] (the paper's
-    setting, Sec. VII-E). *)
+    setting, Sec. VII-E).  With [pool], the f_c sweep points are evaluated
+    in parallel on the worker pool; the outcome is identical to the
+    sequential one (results are re-ordered deterministically). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

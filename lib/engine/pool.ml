@@ -1,0 +1,181 @@
+(* Domain-based worker pool: a bounded work queue drained by [jobs]
+   worker domains, futures for completion, deterministic result ordering
+   (slots are indexed by submission order), and first-error cancellation
+   within a [map].
+
+   A domain-local flag marks pool workers so that a nested [map] issued
+   from inside a job runs inline on that worker instead of deadlocking on
+   the queue it is itself supposed to drain. *)
+
+exception Cancelled
+
+type job = unit -> unit
+
+type t = {
+  n_jobs : int;
+  queue : job Queue.t;
+  capacity : int;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a future = {
+  f_mutex : Mutex.t;
+  f_cond : Condition.t;
+  mutable f_state : 'a state;
+}
+
+let c_submitted = Telemetry.counter "engine.pool.submitted"
+let c_completed = Telemetry.counter "engine.pool.completed"
+let c_failed = Telemetry.counter "engine.pool.failed"
+let c_cancelled = Telemetry.counter "engine.pool.cancelled"
+
+let worker_key : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let in_worker () = !(Domain.DLS.get worker_key)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let worker_loop t =
+  Domain.DLS.get worker_key := true;
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.not_empty t.mutex
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex (* closed: exit *)
+    else begin
+      let job = Queue.pop t.queue in
+      Condition.signal t.not_full;
+      Mutex.unlock t.mutex;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs () =
+  let n_jobs =
+    match jobs with Some n -> max 1 n | None -> default_jobs ()
+  in
+  let t =
+    {
+      n_jobs;
+      queue = Queue.create ();
+      capacity = max 16 (4 * n_jobs);
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  if n_jobs > 1 then
+    t.workers <- List.init n_jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.n_jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let fulfill fut st =
+  Mutex.lock fut.f_mutex;
+  fut.f_state <- st;
+  Condition.broadcast fut.f_cond;
+  Mutex.unlock fut.f_mutex
+
+let await fut =
+  Mutex.lock fut.f_mutex;
+  while fut.f_state = Pending do
+    Condition.wait fut.f_cond fut.f_mutex
+  done;
+  let st = fut.f_state in
+  Mutex.unlock fut.f_mutex;
+  match st with
+  | Done v -> Ok v
+  | Failed e -> Error e
+  | Pending -> assert false
+
+let run_job f fut () =
+  match f () with
+  | v ->
+    Telemetry.tick c_completed;
+    fulfill fut (Done v)
+  | exception Cancelled ->
+    Telemetry.tick c_cancelled;
+    fulfill fut (Failed Cancelled)
+  | exception e ->
+    Telemetry.tick c_failed;
+    fulfill fut (Failed e)
+
+let submit t f =
+  let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); f_state = Pending } in
+  if t.n_jobs <= 1 || in_worker () then run_job f fut ()
+  else begin
+    Mutex.lock t.mutex;
+    while Queue.length t.queue >= t.capacity && not t.closed do
+      Condition.wait t.not_full t.mutex
+    done;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Engine.Pool.submit: pool is shut down"
+    end;
+    Queue.push (run_job f fut) t.queue;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.mutex
+  end;
+  Telemetry.tick c_submitted;
+  fut
+
+let mapi t f xs =
+  if t.n_jobs <= 1 || in_worker () then List.mapi f xs
+  else begin
+    let xs = Array.of_list xs in
+    (* first failure flips the token; queued-but-unstarted siblings then
+       bail out as [Cancelled] instead of doing their work *)
+    let cancel = Atomic.make false in
+    let futures =
+      Array.mapi
+        (fun i x ->
+          submit t (fun () ->
+              if Atomic.get cancel then raise Cancelled
+              else
+                try f i x
+                with e ->
+                  Atomic.set cancel true;
+                  raise e))
+        xs
+    in
+    (* await everything before raising so no job outlives the call *)
+    let results = Array.map await futures in
+    let first_error =
+      Array.to_seq results
+      |> Seq.filter_map (function
+           | Error Cancelled | Ok _ -> None
+           | Error e -> Some e)
+      |> Seq.uncons
+    in
+    (match first_error with
+    | Some (e, _) -> raise e
+    | None -> ());
+    Array.to_list
+      (Array.map (function Ok v -> v | Error e -> raise e) results)
+  end
+
+let map t f xs = mapi t (fun _ x -> f x) xs

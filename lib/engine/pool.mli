@@ -1,0 +1,54 @@
+(** A [Domain]-based worker pool for the embarrassingly-parallel parts of
+    the PolyUFC pipeline (per-kernel analyses, f_c sweeps, the bench
+    suites).
+
+    Work items go through a bounded queue to [jobs] worker domains.
+    Results always come back in submission order, independent of
+    completion order, so any computation that is deterministic under
+    [map ~jobs:1] stays byte-identical under [~jobs:N].  The first
+    exception raised by a job cancels the not-yet-started jobs of the same
+    [map] and is re-raised to the caller after every worker has quiesced.
+
+    Nesting is safe: a [map] issued from inside a pool worker runs inline
+    on that worker (no deadlock, no oversubscription).  With [jobs = 1] no
+    domain is spawned and everything runs on the caller. *)
+
+type t
+
+type 'a future
+
+exception Cancelled
+(** Raised inside jobs that were skipped because an earlier job of the
+    same [map] failed; never escapes to the caller ([map] re-raises the
+    original failure instead). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] workers (default {!default_jobs}, clamped to at
+    least 1).  [jobs = 1] spawns no domains. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Drain the queue, join every worker.  Idempotent.  Submitting to a
+    shut-down pool raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exceptions). *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue one job; blocks while the queue is full. *)
+
+val await : 'a future -> ('a, exn) result
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] with deterministic result ordering and
+    first-error cancellation.  On failure, re-raises the failed job's
+    exception (the lowest-index failure when several raced). *)
+
+val mapi : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+val in_worker : unit -> bool
+(** True when called from inside a pool worker domain. *)

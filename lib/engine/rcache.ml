@@ -1,0 +1,168 @@
+(* Content-addressed on-disk memoization store.
+
+   Layout: one file per entry, [<dir>/<digest>.json], containing
+   {"schema": V, "payload": <value>}.  The digest covers a canonical,
+   length-prefixed encoding of the key parts plus the schema version, so
+   collisions between fields ("ab"+"c" vs "a"+"bc") are impossible and a
+   version bump re-addresses everything. *)
+
+module J = Telemetry.Json
+
+type t = { cache_dir : string }
+
+let schema_version = 1
+
+let c_hit = Telemetry.counter "engine.cache.hit"
+let c_miss = Telemetry.counter "engine.cache.miss"
+let c_store = Telemetry.counter "engine.cache.store"
+let c_corrupt = Telemetry.counter "engine.cache.corrupt"
+
+(* always-on process counters: the CLI's `cache stats` and the tests must
+   see hit/miss activity even when the telemetry registry is disabled *)
+let n_hit = Atomic.make 0
+let n_miss = Atomic.make 0
+let n_store = Atomic.make 0
+let n_corrupt = Atomic.make 0
+
+let bump telemetry_c process_c =
+  Telemetry.tick telemetry_c;
+  ignore (Atomic.fetch_and_add process_c 1)
+
+let default_dir () =
+  match Sys.getenv_opt "POLYUFC_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> "_polyufc_cache"
+
+let create ?dir () =
+  { cache_dir = (match dir with Some d -> d | None -> default_dir ()) }
+
+let dir t = t.cache_dir
+
+let key ?(schema = schema_version) parts =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "polyufc-rcache/%d\n" schema);
+  List.iter
+    (fun (field, value) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%s=%d:" (String.length field) field
+           (String.length value));
+      Buffer.add_string buf value;
+      Buffer.add_char buf '\n')
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let entry_path t key = Filename.concat t.cache_dir (key ^ ".json")
+
+let warn fmt =
+  Format.eprintf ("polyufc cache warning: " ^^ fmt ^^ "@.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find t key =
+  let path = entry_path t key in
+  if not (Sys.file_exists path) then begin
+    bump c_miss n_miss;
+    None
+  end
+  else
+    let corrupt why =
+      bump c_corrupt n_corrupt;
+      bump c_miss n_miss;
+      warn "ignoring unreadable entry %s (%s)" path why;
+      None
+    in
+    match read_file path with
+    | exception Sys_error msg -> corrupt msg
+    | text -> (
+      match J.of_string text with
+      | Error msg -> corrupt msg
+      | Ok doc -> (
+        match (J.member "schema" doc, J.member "payload" doc) with
+        | Some (J.Int v), Some payload when v = schema_version ->
+          bump c_hit n_hit;
+          Some payload
+        | Some (J.Int _), Some _ ->
+          (* stale schema: a plain miss, not corruption *)
+          bump c_miss n_miss;
+          None
+        | _ -> corrupt "missing schema/payload fields"))
+
+let store t key payload =
+  let doc =
+    J.Obj [ ("schema", J.Int schema_version); ("payload", payload) ]
+  in
+  try
+    if not (Sys.file_exists t.cache_dir) then Unix.mkdir t.cache_dir 0o755;
+    let tmp =
+      Filename.temp_file ~temp_dir:t.cache_dir "entry" ".tmp"
+    in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (J.to_string doc));
+    Sys.rename tmp (entry_path t key);
+    bump c_store n_store
+  with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+    warn "cannot store entry %s (%s)" key msg
+
+let find_or_add t ~key ~decode ~encode f =
+  match find t key with
+  | Some payload -> (
+    match decode payload with
+    | Some v -> v
+    | None ->
+      (* decodable JSON but not the expected shape *)
+      bump c_corrupt n_corrupt;
+      warn "ignoring undecodable entry %s" key;
+      let v = f () in
+      store t key (encode v);
+      v)
+  | None ->
+    let v = f () in
+    store t key (encode v);
+    v
+
+type stats = { entries : int; bytes : int }
+
+let stats t =
+  match Sys.readdir t.cache_dir with
+  | exception Sys_error _ -> { entries = 0; bytes = 0 }
+  | files ->
+    Array.fold_left
+      (fun acc f ->
+        if Filename.check_suffix f ".json" then
+          let bytes =
+            try (Unix.stat (Filename.concat t.cache_dir f)).Unix.st_size
+            with Unix.Unix_error _ -> 0
+          in
+          { entries = acc.entries + 1; bytes = acc.bytes + bytes }
+        else acc)
+      { entries = 0; bytes = 0 }
+      files
+
+let clear t =
+  match Sys.readdir t.cache_dir with
+  | exception Sys_error _ -> 0
+  | files ->
+    Array.fold_left
+      (fun n f ->
+        if Filename.check_suffix f ".json" then (
+          (try Sys.remove (Filename.concat t.cache_dir f)
+           with Sys_error _ -> ());
+          n + 1)
+        else n)
+      0 files
+
+type counts = { hits : int; misses : int; stores : int; corrupt : int }
+
+let counts () =
+  {
+    hits = Atomic.get n_hit;
+    misses = Atomic.get n_miss;
+    stores = Atomic.get n_store;
+    corrupt = Atomic.get n_corrupt;
+  }

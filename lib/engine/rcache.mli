@@ -1,0 +1,68 @@
+(** A persistent, content-addressed result cache for PolyUFC analyses.
+
+    Entries are JSON values stored one-per-file under a cache directory
+    (default [_polyufc_cache/], overridable with the [POLYUFC_CACHE_DIR]
+    environment variable).  Keys are hex digests of a canonical encoding
+    of caller-supplied [(field, value)] parts plus the store's
+    {!schema_version}, so a schema bump — or any change to the SCoP
+    export, machine description or model parameters that feed the parts —
+    addresses different entries.
+
+    Robustness: entries are written atomically (temp file + rename), and
+    a corrupted or truncated entry is treated as a miss (warned on
+    stderr, counted), never an error.  Lookups and stores are safe from
+    concurrent pool workers.
+
+    Hits/misses/stores/corruption are mirrored into telemetry counters
+    ([engine.cache.hit] etc., recorded when telemetry is enabled) and into
+    always-on process-local counters exposed by {!counts}. *)
+
+type t
+
+val schema_version : int
+(** Bump when the cached payload layout changes; invalidates every
+    existing entry (old files fail the embedded version check and old
+    keys are never derived again). *)
+
+val default_dir : unit -> string
+(** [$POLYUFC_CACHE_DIR] or ["_polyufc_cache"]. *)
+
+val create : ?dir:string -> unit -> t
+(** No I/O happens until the first [store]. *)
+
+val dir : t -> string
+
+val key : ?schema:int -> (string * string) list -> string
+(** Content address of the given parts (field order is significant; pass
+    a fixed field layout).  [schema] defaults to {!schema_version} and is
+    part of the digested content. *)
+
+val find : t -> string -> Telemetry.Json.t option
+(** [None] on absence, corruption, or schema mismatch. *)
+
+val store : t -> string -> Telemetry.Json.t -> unit
+(** Atomic; creates the cache directory on first use.  I/O failures are
+    warnings (the cache is an accelerator, never a correctness
+    dependency). *)
+
+val find_or_add :
+  t ->
+  key:string ->
+  decode:(Telemetry.Json.t -> 'a option) ->
+  encode:('a -> Telemetry.Json.t) ->
+  (unit -> 'a) ->
+  'a
+(** Memoize [f] under [key]; a [decode] returning [None] counts as a
+    corrupt entry and falls back to computing. *)
+
+type stats = { entries : int; bytes : int }
+
+val stats : t -> stats
+val clear : t -> int
+(** Remove every entry; returns how many were removed. *)
+
+type counts = { hits : int; misses : int; stores : int; corrupt : int }
+
+val counts : unit -> counts
+(** Process-wide counters since startup (independent of telemetry
+    enablement). *)

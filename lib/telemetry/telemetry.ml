@@ -264,6 +264,14 @@ end
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Domain-safety: the registry is shared by every domain of the process.
+   Counters are atomics (a disabled bump is still one load + branch); the
+   counter/histogram tables and the finished-span list are guarded by one
+   registry mutex; the open-span stack is domain-local (Domain.DLS), so
+   spans recorded by a pool worker nest within that worker's own spans and
+   surface as roots when the worker opened none.  [reset] zeroes the
+   shared state in place — call it only while no other domain records. *)
+
 type span = {
   id : int;
   parent : int; (* -1 for a root span *)
@@ -281,28 +289,35 @@ type histogram = {
   mutable h_max : float;
 }
 
-type counter = int ref
+type counter = int Atomic.t
 
-let enabled = ref false
+let enabled = Atomic.make false
+let registry_mutex = Mutex.create ()
 let epoch = ref (Unix.gettimeofday ())
-let next_id = ref 0
-let open_stack : (int * int) list ref = ref [] (* (id, depth), innermost first *)
+let next_id = Atomic.make 0
+
+(* (id, depth), innermost first; one stack per domain *)
+let open_stack_key : (int * int) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let open_stack () = Domain.DLS.get open_stack_key
 let finished : span list ref = ref []
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
-let enable () = enabled := true
-let disable () = enabled := false
-let is_enabled () = !enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
 
 (* [reset] zeroes values in place: counter handles pre-registered by
    instrumented modules stay valid across resets *)
 let reset () =
+  Mutex.protect registry_mutex @@ fun () ->
   epoch := Unix.gettimeofday ();
-  next_id := 0;
-  open_stack := [];
+  Atomic.set next_id 0;
+  (open_stack ()) := [];
   finished := [];
-  Hashtbl.iter (fun _ r -> r := 0) counters;
+  Hashtbl.iter (fun _ r -> Atomic.set r 0) counters;
   Hashtbl.iter
     (fun _ h ->
       h.h_count <- 0;
@@ -316,70 +331,81 @@ let now_us () = (Unix.gettimeofday () -. !epoch) *. 1e6
 (* --- counters --- *)
 
 let counter name =
+  Mutex.protect registry_mutex @@ fun () ->
   match Hashtbl.find_opt counters name with
   | Some r -> r
   | None ->
-    let r = ref 0 in
+    let r = Atomic.make 0 in
     Hashtbl.add counters name r;
     r
 
-let add r by = if !enabled then r := !r + by
+let add r by = if Atomic.get enabled then ignore (Atomic.fetch_and_add r by)
 let tick r = add r 1
-let count ?(by = 1) name = if !enabled then add (counter name) by
+let count ?(by = 1) name = if Atomic.get enabled then add (counter name) by
 
 let counter_value name =
-  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+  let r =
+    Mutex.protect registry_mutex (fun () -> Hashtbl.find_opt counters name)
+  in
+  match r with Some r -> Atomic.get r | None -> 0
 
 let counters_snapshot () =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters []
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.fold (fun name r acc -> (name, Atomic.get r) :: acc) counters [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* --- histograms --- *)
 
-let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-    let h =
-      { h_count = 0; h_sum = 0.0; h_min = Float.infinity; h_max = Float.neg_infinity }
-    in
-    Hashtbl.add histograms name h;
-    h
-
 let observe name v =
-  if !enabled then begin
-    let h = histogram name in
+  if Atomic.get enabled then
+    Mutex.protect registry_mutex @@ fun () ->
+    let h =
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+        let h =
+          {
+            h_count = 0;
+            h_sum = 0.0;
+            h_min = Float.infinity;
+            h_max = Float.neg_infinity;
+          }
+        in
+        Hashtbl.add histograms name h;
+        h
+    in
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum +. v;
     if v < h.h_min then h.h_min <- v;
     if v > h.h_max then h.h_max <- v
-  end
 
 let histograms_snapshot () =
-  Hashtbl.fold
-    (fun name h acc ->
-      if h.h_count > 0 then
-        (name, (h.h_count, h.h_sum, h.h_min, h.h_max)) :: acc
-      else acc)
-    histograms []
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.fold
+        (fun name h acc ->
+          if h.h_count > 0 then
+            (name, (h.h_count, h.h_sum, h.h_min, h.h_max)) :: acc
+          else acc)
+        histograms [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* --- spans --- *)
 
 let push_span () =
-  let id = !next_id in
-  incr next_id;
+  let stack = open_stack () in
+  let id = Atomic.fetch_and_add next_id 1 in
   let parent, depth =
-    match !open_stack with
+    match !stack with
     | [] -> (-1, 0)
     | (p, d) :: _ -> (p, d + 1)
   in
-  open_stack := (id, depth) :: !open_stack;
+  stack := (id, depth) :: !stack;
   (id, parent, depth)
 
 let pop_span ~id ~parent ~depth ~name ~args ~start_us ~dur_us =
-  (match !open_stack with
-  | (top, _) :: rest when top = id -> open_stack := rest
+  let stack = open_stack () in
+  (match !stack with
+  | (top, _) :: rest when top = id -> stack := rest
   | _ ->
     (* unbalanced nesting (an inner span escaped); drop down to [id] *)
     let rec drop = function
@@ -387,12 +413,12 @@ let pop_span ~id ~parent ~depth ~name ~args ~start_us ~dur_us =
       | (_, _) :: rest -> rest
       | [] -> []
     in
-    open_stack := drop !open_stack);
-  finished :=
-    { id; parent; depth; name; start_us; dur_us; span_args = args } :: !finished
+    stack := drop !stack);
+  let s = { id; parent; depth; name; start_us; dur_us; span_args = args } in
+  Mutex.protect registry_mutex (fun () -> finished := s :: !finished)
 
 let with_span ?(args = []) name f =
-  if not !enabled then f ()
+  if not (Atomic.get enabled) then f ()
   else begin
     let id, parent, depth = push_span () in
     let start_us = now_us () in
@@ -408,7 +434,7 @@ let with_span ?(args = []) name f =
    enabled.  The recorded span duration and the returned duration are the
    same measurement, so views built over either agree exactly. *)
 let with_span_timed ?(args = []) name f =
-  if not !enabled then begin
+  if not (Atomic.get enabled) then begin
     let t0 = Unix.gettimeofday () in
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
@@ -428,11 +454,14 @@ let with_span_timed ?(args = []) name f =
       raise e
   end
 
+let finished_snapshot () =
+  Mutex.protect registry_mutex (fun () -> !finished)
+
 let spans () =
   List.sort
     (fun a b ->
       match compare a.start_us b.start_us with 0 -> compare a.id b.id | c -> c)
-    (List.rev !finished)
+    (List.rev (finished_snapshot ()))
 
 (* per-name rollup: (count, total self-inclusive microseconds) *)
 let span_summary () =
@@ -445,7 +474,7 @@ let span_summary () =
         | None -> (0, 0.0)
       in
       Hashtbl.replace tbl s.name (c + 1, t +. s.dur_us))
-    !finished;
+    (finished_snapshot ());
   Hashtbl.fold (fun name ct acc -> (name, ct) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
@@ -480,7 +509,9 @@ let trace_json () =
       (spans ())
   in
   let end_ts =
-    List.fold_left (fun acc s -> Float.max acc (s.start_us +. s.dur_us)) 0.0 !finished
+    List.fold_left
+      (fun acc s -> Float.max acc (s.start_us +. s.dur_us))
+      0.0 (finished_snapshot ())
   in
   let counter_events =
     List.filter_map

@@ -2,7 +2,14 @@
     spans, monotonic counters and scalar histograms behind one global
     registry, exportable as Chrome trace_event JSON, machine-readable
     stats JSON, and pretty text. Disabled by default; disabled hot paths
-    cost a single load+branch. *)
+    cost a single load+branch.
+
+    The registry is domain-safe: counters are atomics, histogram and span
+    recording synchronize on an internal mutex, and the open-span stack is
+    domain-local, so spans recorded concurrently by {!Engine.Pool} workers
+    nest within the worker's own spans (a worker's outermost span is a
+    root).  [reset] zeroes shared state in place and must not race with
+    concurrent recording. *)
 
 (** Minimal JSON values: emitter with escaping, plus a strict parser used
     by tests and smoke checks. Non-finite floats serialize as [null]. *)

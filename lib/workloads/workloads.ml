@@ -130,6 +130,7 @@ let ml_kernels =
 let all = polybench @ ml_kernels
 
 let find name = List.find (fun w -> String.equal w.name name) all
+let find_opt name = List.find_opt (fun w -> String.equal w.name name) all
 
 let lower_torch ~tile ?tile_size builder =
   let m =

@@ -34,6 +34,8 @@ val ml_kernels : t list
 val find : string -> t
 (** Raises [Not_found]. *)
 
+val find_opt : string -> t option
+
 val program : t -> Poly_ir.Ir.t
 (** The kernel as an (untiled) affine program.  Torch workloads are lowered
     through torch→linalg→affine without tiling. *)

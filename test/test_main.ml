@@ -15,4 +15,5 @@ let () =
       ("mlir_lite", Test_mlir_lite.tests);
       ("workloads", Test_workloads.tests);
       ("telemetry", Test_telemetry.tests);
+      ("engine", Test_engine.tests);
     ]

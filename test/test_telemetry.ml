@@ -107,6 +107,53 @@ let test_disabled_noop () =
   Alcotest.(check bool) "no histogram" true
     (List.assoc_opt "test.disabled_h" (T.histograms_snapshot ()) = None)
 
+(* telemetry is shared by the engine's worker domains; concurrent ticks on
+   the same counter must never be lost *)
+let test_concurrent_counters () =
+  with_fresh_telemetry @@ fun () ->
+  let c = T.counter "test.concurrent" in
+  let per_domain = 10_000 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              T.tick c
+            done))
+  in
+  List.iter Domain.join domains;
+  T.add c 2;
+  Alcotest.(check int) "4 domains x 10k ticks, none lost"
+    ((4 * per_domain) + 2)
+    (T.counter_value "test.concurrent")
+
+(* span stacks are domain-local: concurrent spans must each nest under
+   their own domain's stack, not under another domain's open span *)
+let test_concurrent_spans () =
+  with_fresh_telemetry @@ fun () ->
+  let domains =
+    List.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            T.with_span
+              (Printf.sprintf "dom%d" i)
+              (fun () -> T.with_span "child" (fun () -> ()))))
+  in
+  List.iter Domain.join domains;
+  let spans = T.spans () in
+  Alcotest.(check int) "two spans per domain" 6 (List.length spans);
+  let roots = List.filter (fun (s : T.span) -> s.T.parent = -1) spans in
+  Alcotest.(check int) "one root per domain" 3 (List.length roots);
+  List.iter
+    (fun (s : T.span) ->
+      if s.T.name = "child" then begin
+        let parent =
+          List.find (fun (p : T.span) -> p.T.id = s.T.parent) spans
+        in
+        Alcotest.(check bool) "child under a domain root" true
+          (String.length parent.T.name = 4
+          && String.sub parent.T.name 0 3 = "dom")
+      end)
+    spans
+
 (* ---------- JSON ---------- *)
 
 let test_json_roundtrip () =
@@ -274,6 +321,10 @@ let tests =
     Alcotest.test_case "counter aggregation" `Quick test_counter_aggregation;
     Alcotest.test_case "histograms" `Quick test_histograms;
     Alcotest.test_case "disabled mode is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "concurrent counters lose nothing" `Quick
+      test_concurrent_counters;
+    Alcotest.test_case "concurrent spans are domain-local" `Quick
+      test_concurrent_spans;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json rejects malformed" `Quick
       test_json_rejects_malformed;
