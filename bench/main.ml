@@ -3,10 +3,12 @@
    ablations called out in DESIGN.md and a Bechamel micro-benchmark suite
    for the analysis components.
 
-   Usage:  main.exe [--jobs=N] [experiment...]
+   Usage:  main.exe [--jobs=N] [--quick] [experiment...]
      experiments: tab2 tab3 tab4 fig1 fig5 fig6 fig7 fig8
-                  abl-eps abl-granularity abl-objective abl-counting micro
+                  abl-eps abl-granularity abl-objective abl-counting
+                  ehrhart micro
      default: all of the above.
+   --quick shrinks the ehrhart domain sizes for CI smoke runs.
 
    --jobs=N runs the per-workload bodies of fig6 / fig7 / tab4 on an
    Engine.Pool of N worker domains; rows come back in submission order,
@@ -616,6 +618,88 @@ let abl_core () =
     [ "gemm"; "mvt" ]
 
 (* ------------------------------------------------------------------ *)
+(* Ehrhart / closed-form counting bench                                *)
+(* ------------------------------------------------------------------ *)
+
+let bench_quick = ref false
+
+let ehrhart () =
+  section
+    "EHRHART — closed-form slice counting vs naive point enumeration\n\
+     (Poly.count_points decoupled-suffix fast path behind Bset.card;\n\
+     the counting backend of PolyUFC-CM)";
+  let n_box, n_tri, n_tiled =
+    if !bench_quick then (8, 24, 64) else (48, 1600, 1024)
+  in
+  let domains =
+    [
+      ( "box3",
+        Printf.sprintf
+          "{ [i,j,k] : 0 <= i < %d and 0 <= j < %d and 0 <= k < %d }" n_box
+          n_box n_box );
+      ( "triangular",
+        Printf.sprintf "{ [i,j] : 0 <= i < %d and 0 <= j <= i }" n_tri );
+      ( "tiled",
+        Printf.sprintf
+          "{ [ti,tj,i,j] : ti >= 0 and tj >= 0 and 32*ti <= i and \
+           i < 32*ti + 32 and 32*tj <= j and j < 32*tj + 32 and \
+           0 <= i < %d and 0 <= j < %d }"
+          n_tiled n_tiled );
+    ]
+  in
+  let reps = if !bench_quick then 1 else 3 in
+  pf "%-12s %10s | %10s %10s %9s | %10s %8s\n" "domain" "|D|" "naive (s)"
+    "fast (s)" "speedup" "scanned" "slices";
+  List.iter
+    (fun (name, src) ->
+      let b = Presburger.Syntax.bset_of_string src in
+      let naive_count = ref 0 and fast_count = ref 0 in
+      let (), t_naive =
+        Telemetry.with_span_timed "bench.ehrhart_naive"
+          ~args:[ ("domain", name) ]
+          (fun () ->
+            for _ = 1 to reps do
+              naive_count :=
+                Presburger.Bset.fold_points b ~init:0 ~f:(fun n _ -> n + 1)
+            done)
+      in
+      (* counter baselines taken after the naive runs: fold_points itself
+         reports points_scanned, so the deltas below cover only the fast
+         path (zero under --no-telemetry) *)
+      let scanned0 = Telemetry.counter_value "presburger.points_scanned" in
+      let slices0 = Telemetry.counter_value "presburger.slices_closed_form" in
+      let (), t_fast =
+        Telemetry.with_span_timed "bench.ehrhart_fast"
+          ~args:[ ("domain", name) ]
+          (fun () ->
+            for _ = 1 to reps do
+              (* clear the memo so every rep pays the real counting cost *)
+              Presburger.Bset.clear_count_memo ();
+              fast_count := Presburger.Bset.cardinality ?pool:!the_pool b
+            done)
+      in
+      let scanned =
+        Telemetry.counter_value "presburger.points_scanned" - scanned0
+      in
+      let slices =
+        Telemetry.counter_value "presburger.slices_closed_form" - slices0
+      in
+      if !naive_count <> !fast_count then
+        pf "** MISMATCH on %s: naive=%d fast=%d **\n" name !naive_count
+          !fast_count;
+      pf "%-12s %10d | %10.4f %10.4f %8.1fx | %10d %8d\n" name !fast_count
+        t_naive t_fast
+        (t_naive /. Float.max t_fast 1e-9)
+        scanned slices)
+    domains;
+  pf "(fast = Bset.cardinality%s, memo cleared per rep; naive = full point\n\
+     \ enumeration; scanned/slices are telemetry counter deltas over the\n\
+     \ fast runs only)\n"
+    (match !the_pool with
+    | Some _ -> " on the worker pool"
+    | None -> "")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the analysis components                *)
 (* ------------------------------------------------------------------ *)
 
@@ -706,6 +790,7 @@ let all_experiments =
     ("abl-sampling", abl_sampling);
     ("abl-dvfs", abl_dvfs);
     ("abl-core", abl_core);
+    ("ehrhart", ehrhart);
     ("micro", micro);
   ]
 
@@ -742,6 +827,10 @@ let () =
       (fun a ->
         if a = "--no-telemetry" then begin
           telemetry_on := false;
+          false
+        end
+        else if a = "--quick" then begin
+          bench_quick := true;
           false
         end
         else if String.length a > 9 && String.sub a 0 9 = "--report=" then begin

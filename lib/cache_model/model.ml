@@ -257,10 +257,12 @@ let analyze ?(mode = Set_associative) ?(apply_thread_heuristic = true)
     miss_ratios = Array.map (fun h -> 1.0 -. h) hit_ratios;
   }
 
-let cold_misses_symbolic ~machine ~level prog =
+let cold_misses_symbolic ?pool ~machine ~level prog =
   match prog.Ir.params with
   | [ p ] ->
-    Count.interpolate
+    (* [analyze] is self-contained, so sample instances may be counted from
+       pool workers; the fitted quasi-polynomial is identical either way *)
+    Count.interpolate ?pool
       ~count:(fun n ->
         let r = analyze ~machine ~apply_thread_heuristic:false prog ~param_values:[ (p, n) ] in
         r.levels.(level).cold)

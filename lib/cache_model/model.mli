@@ -80,6 +80,7 @@ val analyze :
 val total_misses : level_counts -> int
 
 val cold_misses_symbolic :
+  ?pool:Engine.Pool.t ->
   machine:Hwsim.Machine.t ->
   level:int ->
   Poly_ir.Ir.t ->
@@ -87,7 +88,8 @@ val cold_misses_symbolic :
 (** Ehrhart quasi-polynomial for the level's cold misses as a function of a
     single program parameter (cold misses = distinct lines touched, an
     Ehrhart-countable quantity).  [None] for multi-parameter programs or
-    failed fits. *)
+    failed fits.  When [pool] is given, sample instances are analyzed in
+    parallel. *)
 
 val access_map_with_cache_dims :
   machine:Hwsim.Machine.t ->

@@ -88,20 +88,25 @@ let compile ?pool ?cache ?(objective = Search.Edp) ?(epsilon = 1e-3)
         | Ok () -> ()
         | Error m -> invalid_arg ("Flow.compile: " ^ m));
         let scop = Scop.extract prog in
-        List.iter
-          (fun (info : Scop.stmt_info) ->
-            let sp = Presburger.Bset.space info.Scop.domain in
-            let values =
-              Array.map
-                (fun p ->
-                  match List.assoc_opt p param_values with
-                  | Some v -> v
-                  | None -> 0)
-                sp.Presburger.Space.params
-            in
-            if Presburger.Bset.is_empty (Presburger.Bset.fix_params info.Scop.domain values)
-            then Telemetry.tick c_empty_domains)
-          scop.Scop.stmt_infos)
+        let check_domain (info : Scop.stmt_info) =
+          let sp = Presburger.Bset.space info.Scop.domain in
+          let values =
+            Array.map
+              (fun p ->
+                match List.assoc_opt p param_values with
+                | Some v -> v
+                | None -> 0)
+              sp.Presburger.Space.params
+          in
+          if Presburger.Bset.is_empty (Presburger.Bset.fix_params info.Scop.domain values)
+          then Telemetry.tick c_empty_domains
+        in
+        (* independent per-statement checks; fan them out when a pool was
+           given (only the counter total is observable, order-free) *)
+        match pool with
+        | None -> List.iter check_domain scop.Scop.stmt_infos
+        | Some pool ->
+          ignore (Engine.Pool.map pool check_domain scop.Scop.stmt_infos : unit list))
   in
   (* (2) Pluto *)
   let optimized, pluto_s =

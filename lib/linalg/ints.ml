@@ -34,6 +34,8 @@ let cdiv a b =
 
 let fmod a b = a - mul b (fdiv a b)
 
+let range_count lo hi = if hi < lo then 0 else add (sub hi lo) 1
+
 let pow b e =
   assert (e >= 0);
   (* check [e <= 1] before squaring, so a representable result never

@@ -30,6 +30,10 @@ val cdiv : int -> int -> int
 val fmod : int -> int -> int
 (** [fmod a b] is [a - b * fdiv a b]; result has the sign of [b] or zero. *)
 
+val range_count : int -> int -> int
+(** [range_count lo hi] is the number of integers in [\[lo, hi\]]: [hi - lo
+    + 1], or [0] when [hi < lo]; checked. *)
+
 val pow : int -> int -> int
 (** [pow b e] is [b{^e}] for [e >= 0]; checked. *)
 

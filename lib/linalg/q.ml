@@ -1,9 +1,11 @@
 type t = { num : int; den : int }
 
+(* [-min_int] is not representable: negating it would silently wrap *)
+let checked_neg n = if n = min_int then raise Ints.Overflow else -n
+
 let make num den =
   if den = 0 then invalid_arg "Q.make: zero denominator";
-  let s = if den < 0 then -1 else 1 in
-  let num = s * num and den = s * den in
+  let num, den = if den < 0 then (checked_neg num, checked_neg den) else (num, den) in
   let g = Ints.gcd num den in
   if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
 
@@ -21,7 +23,7 @@ let add a b =
   let n = Ints.add (Ints.mul a.num db) (Ints.mul b.num da) in
   make n (Ints.mul a.den db)
 
-let neg a = { a with num = -a.num }
+let neg a = { a with num = checked_neg a.num }
 let sub a b = add a (neg b)
 
 let mul a b =
@@ -35,7 +37,7 @@ let inv a =
   make a.den a.num
 
 let div a b = mul a (inv b)
-let abs a = { a with num = Stdlib.abs a.num }
+let abs a = if a.num < 0 then { a with num = checked_neg a.num } else a
 let sign a = compare a.num 0
 let is_zero a = a.num = 0
 let is_integer a = a.den = 1
@@ -56,7 +58,8 @@ let floor a = Ints.fdiv a.num a.den
 let ceil a = Ints.cdiv a.num a.den
 
 let to_int_exn a =
-  if a.den <> 1 then invalid_arg "Q.to_int_exn: not an integer";
+  if a.den <> 1 then
+    invalid_arg (Printf.sprintf "Q.to_int_exn: %d/%d is not an integer" a.num a.den);
   a.num
 
 let to_float a = float_of_int a.num /. float_of_int a.den

@@ -8,7 +8,8 @@ type t = private { num : int; den : int }
 
 val make : int -> int -> t
 (** [make num den] is the canonical rational [num/den].
-    Raises [Invalid_argument] if [den = 0]. *)
+    Raises [Invalid_argument] if [den = 0] and {!Ints.Overflow} when
+    canonicalization would negate [min_int]. *)
 
 val of_int : int -> t
 val zero : t
@@ -43,7 +44,8 @@ val ceil : t -> int
 (** Least integer [>=] the rational. *)
 
 val to_int_exn : t -> int
-(** The integer value; raises [Invalid_argument] if not an integer. *)
+(** The integer value; raises [Invalid_argument] naming the offending
+    rational if it is not an integer. *)
 
 val to_float : t -> float
 val of_float_approx : ?max_den:int -> float -> t

@@ -263,9 +263,66 @@ let fold_points t ~init ~f =
   require_ground t "Bset.fold_points";
   Poly.fold_points ~n_scan:(tuple_dims t) t.poly ~init ~f
 
-let cardinality t =
+(* Count memo: repeated counts of the same reuse polytope inside one
+   analysis (the common case in PolyUFC-CM: the same miss polytope shows up
+   per level, per parameter sample) are answered from a canonical-form
+   table.  Keys are the full normalized constraint system, so a hit is
+   exact by construction.  Mutex-guarded: counts may be issued from pool
+   workers. *)
+let c_memo_hit = Telemetry.counter "presburger.count_memo_hits"
+let count_memo : (string, int) Hashtbl.t = Hashtbl.create 256
+let count_memo_mutex = Mutex.create ()
+let count_memo_cap = 8192
+
+let clear_count_memo () =
+  Mutex.protect count_memo_mutex (fun () -> Hashtbl.reset count_memo)
+
+let memo_key t n_scan =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (string_of_int (Poly.nvar t.poly));
+  Buffer.add_char b '/';
+  Buffer.add_string b (string_of_int n_scan);
+  let lines =
+    List.map
+      (fun (c : Poly.cstr) ->
+        let l = Buffer.create 32 in
+        Buffer.add_char l (if c.Poly.eq then 'e' else 'i');
+        Array.iter
+          (fun a ->
+            Buffer.add_char l ',';
+            Buffer.add_string l (string_of_int a))
+          c.Poly.coef;
+        Buffer.add_char l ':';
+        Buffer.add_string l (string_of_int c.Poly.const);
+        Buffer.contents l)
+      (Poly.constraints t.poly)
+  in
+  List.iter
+    (fun line ->
+      Buffer.add_char b ';';
+      Buffer.add_string b line)
+    (List.sort String.compare lines);
+  Buffer.contents b
+
+let cardinality ?pool t =
   require_ground t "Bset.cardinality";
-  Poly.count_points ~n_scan:(tuple_dims t) t.poly
+  let n_scan = tuple_dims t in
+  let key = memo_key t n_scan in
+  match
+    Mutex.protect count_memo_mutex (fun () -> Hashtbl.find_opt count_memo key)
+  with
+  | Some n ->
+    Telemetry.tick c_memo_hit;
+    n
+  | None ->
+    let n = Poly.count_points ?pool ~n_scan t.poly in
+    Mutex.protect count_memo_mutex (fun () ->
+        if Hashtbl.length count_memo >= count_memo_cap then
+          Hashtbl.reset count_memo;
+        if not (Hashtbl.mem count_memo key) then Hashtbl.add count_memo key n);
+    n
+
+let card = cardinality
 
 let negate_cstr (c : Poly.cstr) : Poly.cstr list =
   (* ¬(coef·x + const >= 0)  ≡  -coef·x - const - 1 >= 0 *)

@@ -84,8 +84,19 @@ val fold_points : t -> init:'a -> f:('a -> int array -> 'a) -> 'a
 (** Enumerate tuple-dimension points in lexicographic order; params must be
     fixed.  The visited array is reused — copy if retained. *)
 
-val cardinality : t -> int
-(** Number of tuple-dimension points (params fixed; divs existential). *)
+val cardinality : ?pool:Engine.Pool.t -> t -> int
+(** Number of tuple-dimension points (params fixed; divs existential).
+    Uses the closed-form counting path of {!Poly.count_points} and a
+    process-wide memo keyed by the canonical constraint system, so
+    repeated counts of the same polytope are free.  When [pool] is given,
+    large scans are chunked across its workers; the result is identical
+    either way. *)
+
+val card : ?pool:Engine.Pool.t -> t -> int
+(** Alias for {!cardinality}. *)
+
+val clear_count_memo : unit -> unit
+(** Drop all memoized cardinalities (mainly for tests and benchmarks). *)
 
 val subtract : t -> t -> t list
 (** [subtract a b]: the difference as a disjoint union of basic sets.

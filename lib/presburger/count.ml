@@ -9,12 +9,24 @@ let degree qp =
       max d (top (Array.length poly - 1)))
     0 qp.polys
 
+exception Overflow of string
+
 let eval qp n =
   let r = Ints.fmod n qp.period in
-  let v = Fit.eval_exact_poly qp.polys.(r) (Q.of_int n) in
-  if not (Q.is_integer v) then
-    invalid_arg "Count.eval: non-integer value (inconsistent fit)";
-  Q.to_int_exn v
+  match Fit.eval_exact_poly qp.polys.(r) (Q.of_int n) with
+  | v ->
+    if not (Q.is_integer v) then
+      invalid_arg "Count.eval: non-integer value (inconsistent fit)";
+    Q.to_int_exn v
+  | exception Ints.Overflow ->
+    (* surface the overflow instead of a bare exception (the old native-int
+       path would have wrapped silently): the value does not fit an int *)
+    raise
+      (Overflow
+         (Printf.sprintf
+            "Count.eval: integer overflow evaluating degree-%d Ehrhart \
+             quasi-polynomial at n=%d"
+            (degree qp) n))
 
 let pp ppf qp =
   let pp_poly ppf poly =
@@ -45,9 +57,10 @@ let pp ppf qp =
 let c_ehrhart_fit = Telemetry.counter "presburger.ehrhart_fit"
 let c_ehrhart_ok = Telemetry.counter "presburger.ehrhart_fit_ok"
 
-let interpolate ?(max_degree = 6) ?(max_period = 8) ?(base = 4) ~count () =
+let interpolate ?pool ?(max_degree = 6) ?(max_period = 8) ?(base = 4) ~count () =
   Telemetry.tick c_ehrhart_fit;
   (* memoize the (possibly expensive) counts *)
+  let raw_count = count in
   let cache = Hashtbl.create 32 in
   let count n =
     match Hashtbl.find_opt cache n with
@@ -57,25 +70,51 @@ let interpolate ?(max_degree = 6) ?(max_period = 8) ?(base = 4) ~count () =
       Hashtbl.add cache n c;
       c
   in
-  let try_fit degree period =
-    (* for each residue class we need degree+1 fitting points plus
-       2 validation points *)
-    let fit_class r =
-      (* parameter values >= base congruent to r mod period *)
-      let first = base + Ints.fmod (r - base) period in
-      (* fit on degree+1 consecutive class members, then validate on two
-         adjacent and two far-out samples — far samples reject low-degree /
-         low-period fits that merely match a locally flat region *)
-      let ks =
-        List.init (degree + 3) Fun.id
-        @ [ 2 * (degree + 3); (4 * (degree + 3)) + 1 ]
+  (* sample positions a (degree, period) candidate will need: degree+1
+     fitting points plus validation points per residue class *)
+  let ks_of degree =
+    List.init (degree + 3) Fun.id @ [ 2 * (degree + 3); (4 * (degree + 3)) + 1 ]
+  in
+  let first_of r period = base + Ints.fmod (r - base) period in
+  (* fan the not-yet-cached sample counts over the pool; the cache itself
+     is only touched from this (the submitting) thread, so the memo state
+     after prefetching is identical to the sequential run's *)
+  let prefetch degree period =
+    match pool with
+    | None -> ()
+    | Some pool ->
+      let needed =
+        List.concat_map
+          (fun r ->
+            let first = first_of r period in
+            List.map (fun k -> first + (k * period)) (ks_of degree))
+          (List.init period Fun.id)
       in
+      let missing =
+        List.filter
+          (fun n -> not (Hashtbl.mem cache n))
+          (List.sort_uniq Stdlib.compare needed)
+      in
+      if List.compare_length_with missing 2 >= 0 then
+        List.iter2
+          (fun n c -> Hashtbl.add cache n c)
+          missing
+          (Engine.Pool.map pool raw_count missing)
+  in
+  let try_fit degree period =
+    prefetch degree period;
+    let fit_class r =
+      (* parameter values >= base congruent to r mod period; fit on
+         degree+1 consecutive class members, then validate on two adjacent
+         and two far-out samples — far samples reject low-degree /
+         low-period fits that merely match a locally flat region *)
+      let first = first_of r period in
       let pts =
         List.map
           (fun k ->
             let n = first + (k * period) in
             (Q.of_int n, Q.of_int (count n)))
-          ks
+          (ks_of degree)
       in
       Fit.exact_polynomial ~degree pts
     in
@@ -102,7 +141,7 @@ let interpolate ?(max_degree = 6) ?(max_period = 8) ?(base = 4) ~count () =
   if result <> None then Telemetry.tick c_ehrhart_ok;
   result
 
-let card_poly ?max_degree ?max_period ?base instance =
-  interpolate ?max_degree ?max_period ?base
-    ~count:(fun n -> Bset.cardinality (instance n))
+let card_poly ?pool ?max_degree ?max_period ?base instance =
+  interpolate ?pool ?max_degree ?max_period ?base
+    ~count:(fun n -> Bset.cardinality ?pool (instance n))
     ()

@@ -14,15 +14,20 @@ type quasi_poly = private {
           [n mod period = r]. *)
 }
 
+exception Overflow of string
+(** Raised by {!eval} when the exact value does not fit a native [int]. *)
+
 val eval : quasi_poly -> int -> int
 (** Value at a concrete parameter; raises [Invalid_argument] if the
-    quasi-polynomial yields a non-integer there (a fit bug). *)
+    quasi-polynomial yields a non-integer there (a fit bug) and
+    {!Overflow} when the exact value overflows a native [int]. *)
 
 val degree : quasi_poly -> int
 
 val pp : Format.formatter -> quasi_poly -> unit
 
 val interpolate :
+  ?pool:Engine.Pool.t ->
   ?max_degree:int ->
   ?max_period:int ->
   ?base:int ->
@@ -34,9 +39,12 @@ val interpolate :
     quasi-polynomial consistent with all samples (degrees up to
     [max_degree], default 6; periods up to [max_period], default 8; [base]
     default 4).  Each candidate is validated on extra held-out samples.
-    [None] if nothing fits. *)
+    [None] if nothing fits.  When [pool] is given, the not-yet-memoized
+    samples of each candidate are counted in parallel ([count] must then be
+    safe to call from several domains); the result is unchanged. *)
 
 val card_poly :
+  ?pool:Engine.Pool.t ->
   ?max_degree:int ->
   ?max_period:int ->
   ?base:int ->

@@ -9,6 +9,8 @@ let c_fm_project = Telemetry.counter "presburger.fm_project"
 let c_is_empty = Telemetry.counter "presburger.is_empty"
 let c_lexmin = Telemetry.counter "presburger.lexmin"
 let c_points = Telemetry.counter "presburger.points_scanned"
+let c_slices = Telemetry.counter "presburger.slices_closed_form"
+let c_redundant = Telemetry.counter "presburger.redundant_dropped"
 
 exception Infeasible
 exception Unbounded
@@ -221,6 +223,119 @@ let rational_feasible t =
   | r -> List.for_all is_trivial r.cstrs
   | exception Infeasible -> false
 
+let definitely_false t =
+  List.exists
+    (fun c ->
+      Array.for_all (fun a -> a = 0) c.coef
+      && if c.eq then c.const <> 0 else c.const < 0)
+    t.cstrs
+
+(* --- Constraint-system minimization ---
+
+   Smaller descriptions are the prerequisite for every fast polyhedral
+   operation (cf. the PPL experience): the elimination towers below grow
+   with the number of constraints, and the closed-form counting path
+   benefits directly from tight, irredundant bounds. *)
+
+(* Merge opposite parallel inequalities [v·x >= l] and [v·x <= h] into the
+   equality [v·x = l] when [l = h], and detect [l > h] as infeasibility.
+   The result describes the same rational (hence integer) set; equalities
+   make elimination cheaper because they pivot exactly instead of
+   multiplying lower×upper constraint pairs. *)
+let merge_parallel t =
+  let eqs, ineqs = List.partition (fun c -> c.eq) t.cstrs in
+  (* canonical coefficient vector (first non-zero positive) -> tightest
+     lower/upper bound on [v·x] seen so far *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let flip =
+        match Array.find_opt (fun a -> a <> 0) c.coef with
+        | Some a -> a < 0
+        | None -> false
+      in
+      let key =
+        Array.to_list (if flip then Array.map (fun a -> Ints.sub 0 a) c.coef else c.coef)
+      in
+      let lo, hi =
+        match Hashtbl.find_opt tbl key with Some b -> b | None -> (None, None)
+      in
+      let b =
+        if flip then
+          (* -v·x + const >= 0, i.e. v·x <= const *)
+          let h = c.const in
+          (lo, match hi with Some h' when h' <= h -> hi | _ -> Some h)
+        else
+          (* v·x + const >= 0, i.e. v·x >= -const *)
+          let l = Ints.sub 0 c.const in
+          ((match lo with Some l' when l' >= l -> lo | _ -> Some l), hi)
+      in
+      Hashtbl.replace tbl key b)
+    ineqs;
+  let infeasible = ref false in
+  let merged =
+    Hashtbl.fold
+      (fun key b acc ->
+        let v = Array.of_list key in
+        match b with
+        | Some l, Some h when l > h ->
+          infeasible := true;
+          acc
+        | Some l, Some h when l = h ->
+          { coef = v; const = Ints.sub 0 l; eq = true } :: acc
+        | lo, hi ->
+          let acc =
+            match lo with
+            | Some l -> { coef = v; const = Ints.sub 0 l; eq = false } :: acc
+            | None -> acc
+          in
+          (match hi with
+          | Some h ->
+            { coef = Array.map (fun a -> Ints.sub 0 a) v; const = h; eq = false } :: acc
+          | None -> acc))
+      tbl []
+  in
+  if !infeasible then { nvar = t.nvar; cstrs = [ false_cstr t.nvar ] }
+  else { nvar = t.nvar; cstrs = eqs @ merged }
+
+(* Integer-set-preserving redundancy elimination.  An inequality [c] can be
+   dropped when [rest ∧ ¬c] is rationally infeasible, where over the
+   integers [¬(coef·x + const >= 0)] is [-coef·x - const - 1 >= 0]: no
+   integer point of [rest] then violates [c], so the integer set — and
+   every count derived from it — is unchanged.  On rationally nonempty
+   systems the recession cone is preserved as well (a recession direction
+   escaping a dropped constraint would eventually violate it by >= 1), so
+   scanning raises [Unbounded] exactly as before; rationally empty systems
+   are returned untouched. *)
+let remove_redundant t =
+  if definitely_false t then t
+  else if not (rational_feasible t) then t
+  else begin
+    let t = merge_parallel t in
+    let negate c =
+      {
+        coef = Array.map (fun a -> Ints.sub 0 a) c.coef;
+        const = Ints.sub (-1) c.const;
+        eq = false;
+      }
+    in
+    let rec drop kept = function
+      | [] -> List.rev kept
+      | c :: rest ->
+        if c.eq then drop (c :: kept) rest
+        else begin
+          let others = List.rev_append kept rest in
+          if rational_feasible { nvar = t.nvar; cstrs = negate c :: others } then
+            drop (c :: kept) rest
+          else begin
+            Telemetry.tick c_redundant;
+            drop kept rest
+          end
+        end
+    in
+    { t with cstrs = drop [] t.cstrs }
+  end
+
 (* --- Lexicographic scanning --- *)
 
 (* elim.(k): system with variables [k .. nvar-1] eliminated, so that the
@@ -277,12 +392,54 @@ let level_bounds tower k x =
     tower.(k + 1).cstrs;
   if !feasible then Some (!lo, !hi) else None
 
-let definitely_false t =
-  List.exists
+(* Bounds on variable [j] from its bounding constraints only — the
+   ground-constraint checks of [level_bounds] are skipped.  Used by the
+   closed-form counting path, where those checks are provably redundant:
+   every surviving ground equality of a deeper tower level reappears as a
+   bound constraint at the level of its own deepest variable, where it is
+   enforced (see the decoupling argument at [count_points]). *)
+let bound_only tower j x =
+  let lo = ref None and hi = ref None in
+  let tighten_lo v = match !lo with None -> lo := Some v | Some w -> if v > w then lo := Some v in
+  let tighten_hi v = match !hi with None -> hi := Some v | Some w -> if v < w then hi := Some v in
+  let feasible = ref true in
+  List.iter
     (fun c ->
-      Array.for_all (fun a -> a = 0) c.coef
-      && if c.eq then c.const <> 0 else c.const < 0)
-    t.cstrs
+      let a = c.coef.(j) in
+      if a <> 0 then begin
+        let v = ref c.const in
+        for i = 0 to j - 1 do
+          if c.coef.(i) <> 0 then v := Ints.add !v (Ints.mul c.coef.(i) x.(i))
+        done;
+        if c.eq then
+          if !v mod a <> 0 then feasible := false
+          else begin
+            let e = - !v / a in
+            tighten_lo e;
+            tighten_hi e
+          end
+        else if a > 0 then tighten_lo (Ints.cdiv (- !v) a)
+        else tighten_hi (Ints.fdiv !v (-a))
+      end)
+    tower.(j + 1).cstrs;
+  if !feasible then Some (!lo, !hi) else None
+
+(* existence of a completion of [x] over variables [k .. nvar-1] *)
+let rec exists_from tower x nvar k =
+  if k = nvar then true
+  else
+    match level_bounds tower k x with
+    | None -> false
+    | Some (Some lo, Some hi) ->
+      let rec try_val v =
+        if v > hi then false
+        else begin
+          x.(k) <- v;
+          exists_from tower x nvar (k + 1) || try_val (v + 1)
+        end
+      in
+      try_val lo
+    | Some _ -> raise Unbounded
 
 let fold_points ?n_scan t ~init ~f =
   let s = match n_scan with None -> t.nvar | Some s -> s in
@@ -290,39 +447,23 @@ let fold_points ?n_scan t ~init ~f =
   if definitely_false t then init
   else begin
     (* count enumerated points locally, bulk-report on exit: the scan is a
-       hot path and must not pay a registry lookup per point *)
-    let visited = ref 0 in
+       hot path and must pay neither a registry lookup per point nor, when
+       telemetry is off, the wrapper closure and [visited] allocations *)
+    let visited = if Telemetry.is_enabled () then Some (ref 0) else None in
     let f =
-      if Telemetry.is_enabled () then (fun acc p ->
-          incr visited;
-          f acc p)
-      else f
+      match visited with
+      | None -> f
+      | Some v ->
+        fun acc p ->
+          incr v;
+          f acc p
     in
     let tower = elimination_tower t in
     let x = Array.make t.nvar 0 in
-    (* existence check over the suffix [k .. nvar-1] *)
-    let rec exists_suffix k =
-      if k = t.nvar then true
-      else
-        match level_bounds tower k x with
-        | None -> false
-        | Some (lo, hi) ->
-          (match (lo, hi) with
-          | Some lo, Some hi ->
-            let rec try_val v =
-              if v > hi then false
-              else begin
-                x.(k) <- v;
-                exists_suffix (k + 1) || try_val (v + 1)
-              end
-            in
-            try_val lo
-          | _ -> raise Unbounded)
-    in
     let prefix = Array.sub x 0 s in
     let rec scan k acc =
       if k = s then
-        if s = t.nvar || exists_suffix s then begin
+        if s = t.nvar || exists_from tower x t.nvar s then begin
           Array.blit x 0 prefix 0 s;
           f acc prefix
         end
@@ -343,17 +484,160 @@ let fold_points ?n_scan t ~init ~f =
     in
     (* an empty scan prefix degenerates to a single existence test *)
     let result =
-      if s = 0 then if exists_suffix 0 then f init prefix else init
+      if s = 0 then if exists_from tower x t.nvar 0 then f init prefix else init
       else scan 0 init
     in
-    Telemetry.add c_points !visited;
+    (match visited with None -> () | Some v -> Telemetry.add c_points !v);
     result
   end
 
 let iter_points ?n_scan t ~f = fold_points ?n_scan t ~init:() ~f:(fun () p -> f p)
 
-let count_points ?n_scan t =
+let count_points_naive ?n_scan t =
   fold_points ?n_scan t ~init:0 ~f:(fun n _ -> n + 1)
+
+(* --- Closed-form slice counting ---
+
+   Counting should cost polynomially in the description, not the volume
+   (the reason barvinok exists).  We stay within the elimination-tower
+   machinery but detect, statically, the deepest scan level [k] from which
+   the rest of the nest is *decoupled*: every bound of every deeper level
+   only mentions variables [< k].  Below such a level the slice lengths
+   are independent of each other's values, so the subtree count is the
+   product of closed-form interval lengths [hi - lo + 1] — no iteration.
+
+   [collapse.(k)] is true when, for every level j in (k, s) — and for the
+   existential suffix when s < nvar — the constraints of [tower.(j + 1)]
+   that bound variable j (and, for the suffix, all its constraints) only
+   mention variables < k.  The property is monotone in [k]: once true it
+   stays true deeper, so a box collapses at level 0 and a triangular
+   domain at level 1 — exactly the kernel classes the paper evaluates. *)
+let collapse_levels tower s nvar =
+  let max_dep = Array.make (s + 1) (-1) in
+  for j = 0 to s - 1 do
+    List.iter
+      (fun c ->
+        if c.coef.(j) <> 0 then
+          for i = 0 to j - 1 do
+            if c.coef.(i) <> 0 && i > max_dep.(j) then max_dep.(j) <- i
+          done)
+      tower.(j + 1).cstrs
+  done;
+  let suffix_dep = ref (-1) in
+  for k = s to nvar - 1 do
+    List.iter
+      (fun c ->
+        for i = 0 to s - 1 do
+          if c.coef.(i) <> 0 && i > !suffix_dep then suffix_dep := i
+        done)
+      tower.(k + 1).cstrs
+  done;
+  let collapse = Array.make (s + 1) true in
+  (* deepest-first sweep: [m] is the max dependency of all levels > k *)
+  let m = ref (if s < nvar then !suffix_dep else -1) in
+  for k = s - 1 downto 0 do
+    collapse.(k) <- !m < k;
+    if max_dep.(k) > !m then m := max_dep.(k)
+  done;
+  collapse
+
+let count_points ?pool ?n_scan t =
+  let s = match n_scan with None -> t.nvar | Some s -> s in
+  assert (s >= 0 && s <= t.nvar);
+  if definitely_false t then 0
+  else begin
+    (* minimize first: smaller towers, tighter bounds, same integer set *)
+    let t = remove_redundant t in
+    let tower = elimination_tower t in
+    let collapse = collapse_levels tower s t.nvar in
+    (* one counting job over levels [k0 .. s), with x.(0 .. k0-1) assigned;
+       telemetry is accumulated locally and bulk-reported on exit *)
+    let count_from x k0 =
+      let scanned = ref 0 and slices = ref 0 in
+      let rec count k =
+        if k = s then begin
+          incr scanned;
+          if s = t.nvar || exists_from tower x t.nvar s then 1 else 0
+        end
+        else if collapse.(k) then begin
+          incr slices;
+          (* product of decoupled slice lengths, shallowest first, stopping
+             at the first empty level — exactly the set of levels the naive
+             scan would have reached, so [Unbounded] behavior matches.
+             Level [k] keeps the full [level_bounds] (its ground checks may
+             genuinely cut); deeper levels use bound constraints only. *)
+          let rec product j acc =
+            if j = s then
+              if s = t.nvar || exists_from tower x t.nvar s then acc else 0
+            else begin
+              match
+                if j = k then level_bounds tower j x else bound_only tower j x
+              with
+              | None -> 0
+              | Some (Some lo, Some hi) ->
+                if hi < lo then 0
+                else product (j + 1) (Ints.mul acc (Ints.range_count lo hi))
+              | Some _ -> raise Unbounded
+            end
+          in
+          product k 1
+        end
+        else
+          match level_bounds tower k x with
+          | None -> 0
+          | Some (Some lo, Some hi) ->
+            let acc = ref 0 in
+            for v = lo to hi do
+              x.(k) <- v;
+              acc := Ints.add !acc (count (k + 1))
+            done;
+            !acc
+          | Some _ -> raise Unbounded
+      in
+      let r = count k0 in
+      Telemetry.add c_points !scanned;
+      Telemetry.add c_slices !slices;
+      r
+    in
+    let seq () = count_from (Array.make (max t.nvar 1) 0) 0 in
+    (* parallel path: chunk the outermost scanned dimension over the pool.
+       Workers share the (immutable) tower and sum independent subtree
+       counts, so the total is identical to the sequential result. *)
+    match pool with
+    | Some pool when Engine.Pool.jobs pool > 1 && s > 0 && not collapse.(0) -> begin
+      match level_bounds tower 0 (Array.make (max t.nvar 1) 0) with
+      | None -> 0
+      | Some (Some lo, Some hi) ->
+        if hi < lo then 0
+        else begin
+          let n = Ints.range_count lo hi in
+          let nchunks = min n (Engine.Pool.jobs pool * 4) in
+          if nchunks < 2 then seq ()
+          else begin
+            let base = n / nchunks and extra = n mod nchunks in
+            let ranges =
+              List.init nchunks (fun i ->
+                  let a = lo + (base * i) + min i extra in
+                  let b = a + base - 1 + (if i < extra then 1 else 0) in
+                  (a, b))
+            in
+            Engine.Pool.map pool
+              (fun (a, b) ->
+                let x = Array.make (max t.nvar 1) 0 in
+                let acc = ref 0 in
+                for v = a to b do
+                  x.(0) <- v;
+                  acc := Ints.add !acc (count_from x 1)
+                done;
+                !acc)
+              ranges
+            |> List.fold_left Ints.add 0
+          end
+        end
+      | Some _ -> raise Unbounded
+    end
+    | _ -> seq ()
+  end
 
 exception Found of int array
 

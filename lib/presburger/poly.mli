@@ -68,6 +68,13 @@ val rational_feasible : t -> bool
 (** Sound emptiness check over the rationals: [false] means definitely
     empty; [true] means rationally feasible (integers may still be empty). *)
 
+val remove_redundant : t -> t
+(** Constraint-system minimization: merges opposite parallel inequalities
+    (into an equality when they pin the affine form), then drops every
+    inequality [c] such that [rest ∧ ¬c] is rationally infeasible over the
+    integers ([¬c] being [coef·x + const <= -1]).  The integer point set is
+    unchanged; rationally empty systems are returned untouched. *)
+
 val fold_points :
   ?n_scan:int -> t -> init:'a -> f:('a -> int array -> 'a) -> 'a
 (** Fold over integer points in lexicographic order of variables
@@ -80,9 +87,19 @@ val fold_points :
 
 val iter_points : ?n_scan:int -> t -> f:(int array -> unit) -> unit
 
-val count_points : ?n_scan:int -> t -> int
+val count_points : ?pool:Engine.Pool.t -> ?n_scan:int -> t -> int
 (** Number of points (of scanned-prefix projections when [n_scan] is
-    given). *)
+    given).  Unlike {!fold_points} this does not enumerate every point:
+    after constraint minimization ({!remove_redundant}) it detects scan
+    levels whose deeper bounds are decoupled from them and multiplies
+    closed-form interval lengths instead of iterating (a box costs O(1),
+    a triangular domain O(N)).  The result — including {!Unbounded}
+    behavior — is identical to [count_points_naive].  When [pool] is given
+    the outermost scanned dimension is chunked across its workers. *)
+
+val count_points_naive : ?n_scan:int -> t -> int
+(** Reference implementation: enumerate with {!fold_points} and count.
+    Kept as the differential-testing and benchmarking baseline. *)
 
 val is_empty : t -> bool
 (** Exact integer emptiness (rational pre-check, then bounded search). *)

@@ -259,7 +259,39 @@ let fold_points t ~init ~f =
             end))
       init ds
 
-let cardinality t = fold_points t ~init:0 ~f:(fun n _ -> n + 1)
+(* Counting a union without enumerating it: disjointify by inclusion-
+   exclusion-free subtraction — |∪ᵢ dᵢ| = Σᵢ |dᵢ \ d₀ \ … \ dᵢ₋₁| — and
+   count each disjoint piece through the closed-form path.  Only applies
+   to small div-free unions (subtraction requires a div-free subtrahend
+   and its piece count grows with the constraint count); everything else
+   falls back to the enumerating dedup. *)
+let cardinality ?pool t =
+  match t.disjuncts with
+  | [] -> 0
+  | [ b ] -> Bset.cardinality ?pool b
+  | ds
+    when List.length ds <= 8
+         && List.for_all (fun b -> Bset.n_div b = 0) ds ->
+    let rec go acc prev = function
+      | [] -> acc
+      | d :: rest ->
+        let pieces =
+          List.fold_left
+            (fun pieces p ->
+              List.concat_map (fun piece -> Bset.subtract piece p) pieces)
+            [ d ] prev
+        in
+        let acc =
+          List.fold_left
+            (fun acc piece -> Linalg.Ints.add acc (Bset.cardinality ?pool piece))
+            acc pieces
+        in
+        go acc (d :: prev) rest
+    in
+    go 0 [] ds
+  | _ -> fold_points t ~init:0 ~f:(fun n _ -> n + 1)
+
+let card = cardinality
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>union of %d disjunct(s):@,%a@]"

@@ -1,0 +1,288 @@
+(* Differential tests for the closed-form counting engine: every count the
+   fast path produces must be bit-identical to the naive enumeration —
+   including [Unbounded] behavior and under a worker pool — on random
+   polytopes mixing equalities, inequalities, empty systems, open sides,
+   and modular/div constraints. *)
+
+open Presburger
+module Ints = Linalg.Ints
+module Q = Linalg.Q
+
+let parse1 = Syntax.bset_of_string
+let parse = Syntax.pset_of_string
+
+(* ---------- random polytope generator ---------- *)
+
+type case = { poly : Poly.t; n_scan : int; label : string }
+
+let gen_case : case QCheck.Gen.t =
+  QCheck.Gen.(
+    let* nvar = int_range 1 4 in
+    let* n_cstr = int_range 0 5 in
+    let gen_cstr =
+      let* coef = array_size (return nvar) (int_range (-3) 3) in
+      let* const = int_range (-9) 9 in
+      let* is_eq = frequency [ (4, return false); (1, return true) ] in
+      return (if is_eq then Poly.eq coef const else Poly.ge coef const)
+    in
+    let* random = list_size (return n_cstr) gen_cstr in
+    (* window each variable so scans stay finite, occasionally leaving one
+       side open to exercise Unbounded parity *)
+    let gen_window i =
+      let* mode = frequency [ (12, return `Both); (1, return `Lo); (1, return `Hi) ] in
+      let* lo = int_range (-6) 0 in
+      let* hi = int_range 0 6 in
+      let lo_c =
+        let coef = Array.make nvar 0 in
+        coef.(i) <- 1;
+        Poly.ge coef (-lo)
+      in
+      let hi_c =
+        let coef = Array.make nvar 0 in
+        coef.(i) <- -1;
+        Poly.ge coef hi
+      in
+      return (match mode with `Both -> [ lo_c; hi_c ] | `Lo -> [ lo_c ] | `Hi -> [ hi_c ])
+    in
+    let* windows = flatten_l (List.init nvar gen_window) in
+    let* scan_all = frequency [ (2, return true); (1, return false) ] in
+    let n_scan = if scan_all then nvar else nvar - 1 in
+    let poly = Poly.make nvar (List.concat windows @ random) in
+    return { poly; n_scan; label = "" })
+
+let arb_case =
+  QCheck.make
+    ~print:(fun c ->
+      Format.asprintf "n_scan=%d %a" c.n_scan Poly.pp c.poly)
+    gen_case
+
+type outcome = Count of int | Unbounded_scan
+
+let outcome f =
+  match f () with n -> Count n | exception Poly.Unbounded -> Unbounded_scan
+
+let pp_outcome = function
+  | Count n -> Printf.sprintf "Count %d" n
+  | Unbounded_scan -> "Unbounded"
+
+let check_case ?pool c =
+  let naive = outcome (fun () -> Poly.count_points_naive ~n_scan:c.n_scan c.poly) in
+  let fast = outcome (fun () -> Poly.count_points ?pool ~n_scan:c.n_scan c.poly) in
+  if naive <> fast then
+    QCheck.Test.fail_reportf "fast %s <> naive %s on %s" (pp_outcome fast)
+      (pp_outcome naive)
+      (Format.asprintf "n_scan=%d %a" c.n_scan Poly.pp c.poly);
+  true
+
+let qcheck_diff =
+  [
+    QCheck.Test.make ~name:"count_points == naive fold count (300 random polytopes)"
+      ~count:300 arb_case (fun c -> check_case c);
+    QCheck.Test.make ~name:"remove_redundant preserves the integer set" ~count:150
+      arb_case
+      (fun c ->
+        let r = Poly.remove_redundant c.poly in
+        let o = outcome (fun () -> Poly.count_points_naive ~n_scan:c.n_scan c.poly) in
+        let o' = outcome (fun () -> Poly.count_points_naive ~n_scan:c.n_scan r) in
+        o = o');
+  ]
+
+(* pool parity gets its own sequential loop so one pool serves all cases *)
+let test_pool_parity () =
+  Engine.Pool.with_pool ~jobs:3 (fun pool ->
+      let rand = Random.State.make [| 0xC0FFEE |] in
+      let cases = QCheck.Gen.generate ~n:80 ~rand gen_case in
+      List.iter (fun c -> ignore (check_case ~pool c)) cases;
+      (* a scan big enough to actually chunk across workers: a triangular
+         domain (collapses at level 1, iterates level 0) *)
+      let tri = parse1 "{ [i, j] : 0 <= i < 200 and 0 <= j <= i }" in
+      Bset.clear_count_memo ();
+      Alcotest.(check int) "triangle 200 via pool" (200 * 201 / 2)
+        (Bset.cardinality ~pool tri))
+
+(* ---------- modular / div and union cases through the syntax layer ---------- *)
+
+let bset_naive_count b = Bset.fold_points b ~init:0 ~f:(fun n _ -> n + 1)
+
+let test_div_cases () =
+  let cases =
+    [
+      "{ [i] : 0 <= i < 30 and i mod 2 = 0 }";
+      "{ [i] : 0 <= i < 30 and i mod 7 = 3 }";
+      "{ [i, j] : 0 <= i < 12 and 0 <= j < 12 and (i + j) mod 2 = 0 }";
+      "{ [i, j] : 0 <= i < 12 and 0 <= j <= i and (2*i + j) mod 3 = 1 }";
+      "{ [i] : 0 <= i < 40 and floor(i / 4) = 3 }";
+      "{ [i, j] : 0 <= i < 9 and floor(i / 3) <= j and j < 5 }";
+      "{ [i] : 0 <= i < 10 and i != 4 }";
+      "{ [i] : i = 5 }";
+      "{ [i] : 0 <= i and i < 0 }";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let p = parse s in
+      List.iter
+        (fun b ->
+          Bset.clear_count_memo ();
+          Alcotest.(check int) ("diff " ^ s) (bset_naive_count b) (Bset.cardinality b))
+        (Pset.disjuncts p))
+    cases
+
+let test_pset_union_counts () =
+  (* the disjointified union path must agree with dedup enumeration *)
+  let pset_naive_count p = Pset.fold_points p ~init:0 ~f:(fun n _ -> n + 1) in
+  let cases =
+    [
+      "{ [i] : 0 <= i < 6 ; [i] : 4 <= i < 8 }";
+      "{ [i, j] : 0 <= i < 5 and 0 <= j < 5 ; [i, j] : 3 <= i < 9 and 2 <= j < 4 }";
+      "{ [i] : (0 <= i < 3) or (10 <= i < 13) }";
+      "{ [i] : 0 <= i < 10 and i != 4 }";
+      "{ [i, j] : 0 <= i < 4 and 0 <= j < 4 ; [i, j] : 0 <= i < 4 and 0 <= j < 4 }";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let p = parse s in
+      Alcotest.(check int) ("union " ^ s) (pset_naive_count p) (Pset.cardinality p))
+    cases;
+  (* random overlapping box pairs *)
+  let rand = Random.State.make [| 0xBEEF |] in
+  for _ = 1 to 40 do
+    let r lo hi = lo + Random.State.int rand (hi - lo + 1) in
+    let box () =
+      let a = r (-6) 4 in
+      let b = r a 6 in
+      let c = r (-6) 4 in
+      let d = r c 6 in
+      Printf.sprintf "[i, j] : %d <= i <= %d and %d <= j <= %d" a b c d
+    in
+    let s = Printf.sprintf "{ %s ; %s ; %s }" (box ()) (box ()) (box ()) in
+    let p = parse s in
+    Alcotest.(check int) ("union " ^ s) (pset_naive_count p) (Pset.cardinality p)
+  done
+
+(* ---------- acceptance: the box scan is no longer O(N^3) ---------- *)
+
+let test_box_points_scanned () =
+  let n = 20 in
+  let b =
+    parse1
+      (Printf.sprintf "{ [i, j, k] : 0 <= i < %d and 0 <= j < %d and 0 <= k < %d }" n n n)
+  in
+  Bset.clear_count_memo ();
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let scanned0 = Telemetry.counter_value "presburger.points_scanned" in
+  let card = Bset.cardinality b in
+  let scanned = Telemetry.counter_value "presburger.points_scanned" - scanned0 in
+  let slices = Telemetry.counter_value "presburger.slices_closed_form" in
+  Telemetry.disable ();
+  Telemetry.reset ();
+  Alcotest.(check int) "card N^3" (n * n * n) card;
+  if scanned > n * n then
+    Alcotest.failf "box N=%d scanned %d points, want <= N^2 = %d" n scanned (n * n);
+  Alcotest.(check bool) "closed-form slices used" true (slices > 0)
+
+let test_triangle_collapses () =
+  (* the innermost dimension of a triangular nest must not be enumerated *)
+  let n = 50 in
+  let b = parse1 (Printf.sprintf "{ [i, j] : 0 <= i < %d and 0 <= j <= i }" n) in
+  Bset.clear_count_memo ();
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let card = Bset.cardinality b in
+  let scanned = Telemetry.counter_value "presburger.points_scanned" in
+  Telemetry.disable ();
+  Telemetry.reset ();
+  Alcotest.(check int) "card n(n+1)/2" (n * (n + 1) / 2) card;
+  if scanned > n then
+    Alcotest.failf "triangle N=%d scanned %d points, want <= N" n scanned
+
+(* ---------- constraint minimization ---------- *)
+
+let test_remove_redundant_drops () =
+  (* i <= 100 is implied by i <= 19 *)
+  let p =
+    Poly.make 1
+      [ Poly.ge [| 1 |] 0; Poly.ge [| -1 |] 19; Poly.ge [| -1 |] 100 ]
+  in
+  let r = Poly.remove_redundant p in
+  Alcotest.(check int) "constraint dropped" 2 (List.length (Poly.constraints r));
+  Alcotest.(check int) "same count" 20 (Poly.count_points_naive r);
+  (* opposite parallel pair collapses to an equality *)
+  let pinned = Poly.make 1 [ Poly.ge [| 1 |] (-7); Poly.ge [| -1 |] 7 ] in
+  let r = Poly.remove_redundant pinned in
+  (match Poly.constraints r with
+  | [ c ] -> Alcotest.(check bool) "merged to equality" true c.Poly.eq
+  | cs -> Alcotest.failf "expected 1 merged constraint, got %d" (List.length cs));
+  Alcotest.(check int) "pinned count" 1 (Poly.count_points_naive r)
+
+(* ---------- count memo ---------- *)
+
+let test_count_memo () =
+  let b = parse1 "{ [i, j] : 0 <= i < 7 and 0 <= j < 11 }" in
+  Bset.clear_count_memo ();
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let a = Bset.cardinality b in
+  let hits0 = Telemetry.counter_value "presburger.count_memo_hits" in
+  let b' = Bset.cardinality b in
+  let hits1 = Telemetry.counter_value "presburger.count_memo_hits" in
+  Telemetry.disable ();
+  Telemetry.reset ();
+  Alcotest.(check int) "same count" a b';
+  Alcotest.(check int) "77" 77 a;
+  Alcotest.(check int) "second count was a memo hit" (hits0 + 1) hits1
+
+(* ---------- overflow detection (satellite) ---------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_q_to_int_exn_message () =
+  (match Q.to_int_exn (Q.make 7 2) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument m ->
+    Alcotest.(check bool) ("message names the value: " ^ m) true (contains m "7/2"));
+  (* min_int negation must not wrap silently *)
+  (match Q.neg (Q.of_int min_int) with
+  | _ -> Alcotest.fail "expected Overflow"
+  | exception Ints.Overflow -> ());
+  match Q.abs (Q.of_int min_int) with
+  | _ -> Alcotest.fail "expected Overflow"
+  | exception Ints.Overflow -> ()
+
+let test_count_eval_overflow () =
+  (* fit n^3 exactly, then evaluate far outside the int range *)
+  match Count.interpolate ~count:(fun n -> n * n * n) () with
+  | None -> Alcotest.fail "cubic fit failed"
+  | Some qp ->
+    Alcotest.(check int) "sane eval" 1_000_000 (Count.eval qp 100);
+    (match Count.eval qp 3_000_000 with
+    | v -> Alcotest.failf "expected overflow, got %d" v
+    | exception Count.Overflow m ->
+      Alcotest.(check bool)
+        ("overflow message carries n: " ^ m)
+        true
+        (contains m "n=3000000"))
+
+let tests =
+  [
+    Alcotest.test_case "pool parity (80 random + chunked scan)" `Slow test_pool_parity;
+    Alcotest.test_case "div and modular cases match naive" `Quick test_div_cases;
+    Alcotest.test_case "union counting matches dedup enumeration" `Quick
+      test_pset_union_counts;
+    Alcotest.test_case "N^3 box scans <= N^2 points" `Quick test_box_points_scanned;
+    Alcotest.test_case "triangle inner dimension collapses" `Quick
+      test_triangle_collapses;
+    Alcotest.test_case "remove_redundant drops and merges" `Quick
+      test_remove_redundant_drops;
+    Alcotest.test_case "bset count memo hits" `Quick test_count_memo;
+    Alcotest.test_case "Q.to_int_exn / neg / abs overflow" `Quick
+      test_q_to_int_exn_message;
+    Alcotest.test_case "Count.eval overflow detection" `Quick
+      test_count_eval_overflow;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_diff

@@ -5,6 +5,7 @@ let () =
     [
       ("linalg", Test_linalg.tests);
       ("presburger", Test_presburger.tests);
+      ("count", Test_count.tests);
       ("poly_ir", Test_poly_ir.tests);
       ("polylang", Test_polylang.tests);
       ("hwsim", Test_hwsim.tests);
