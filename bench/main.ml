@@ -808,6 +808,21 @@ let write_report path experiment_times =
             (List.map
                (fun (name, dt) -> (name, J.Float dt))
                (List.rev experiment_times)) );
+        (* resource-governance summary: a report produced entirely from
+           exact analyses has degraded_events = 0 and fidelity "exact" *)
+        ( "governance",
+          let degraded = Engine.Fidelity.degraded_count () in
+          let counts = Engine.Rcache.counts () in
+          J.Obj
+            [
+              ( "fidelity",
+                J.Str
+                  (Engine.Fidelity.to_string
+                     (if degraded > 0 then Engine.Fidelity.Degraded
+                      else Engine.Fidelity.Exact)) );
+              ("degraded_events", J.Int degraded);
+              ("cache_quarantined", J.Int counts.Engine.Rcache.quarantined);
+            ] );
         ("telemetry", Telemetry.stats_json ());
       ]
   in

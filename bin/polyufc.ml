@@ -11,9 +11,12 @@
      cache        — inspect / clear the persistent result cache
      workloads    — list the bundled benchmark suite
 
-   [search], [run] and [batch] accept --jobs N (0 = one per core) and
-   consult the content-addressed result cache under _polyufc_cache/
-   (or $POLYUFC_CACHE_DIR) unless --no-cache is given. *)
+   [analyze], [search], [run] and [batch] share one resource-flag set
+   (Resource_flags): --jobs N (0 = one per core), the content-addressed
+   result cache under _polyufc_cache/ (or $POLYUFC_CACHE_DIR, opt out
+   with --no-cache), and the governance flags --deadline/--fuel/--degrade
+   that bound the analysis and fall back to degraded estimates (reported
+   as "fidelity": "degraded") when the budget trips. *)
 
 open Cmdliner
 open Polyufc_core
@@ -95,43 +98,7 @@ let json_arg =
     & flag
     & info [ "json" ] ~doc:"Print the result record as JSON on stdout.")
 
-let jobs_arg =
-  Arg.(
-    value
-    & opt int 1
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:
-          "Worker domains for the parallel parts of the flow; $(b,0) means \
-           one per core. Results are identical for every N.")
-
-let no_cache_arg =
-  Arg.(
-    value
-    & flag
-    & info [ "no-cache" ]
-        ~doc:"Do not consult or populate the persistent result cache.")
-
-let cache_dir_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "cache-dir" ] ~docv:"DIR"
-        ~doc:
-          "Result-cache directory (default $(b,_polyufc_cache), or \
-           $(b,POLYUFC_CACHE_DIR)).")
-
-let engine_term =
-  let combine jobs no_cache cache_dir = (jobs, no_cache, cache_dir) in
-  Term.(const combine $ jobs_arg $ no_cache_arg $ cache_dir_arg)
-
-(* Resolve --jobs/--no-cache/--cache-dir into a live pool + cache and run
-   [f] with them; the pool is shut down afterwards (also on exceptions). *)
-let with_engine (jobs, no_cache, cache_dir) f =
-  let jobs = if jobs <= 0 then Engine.Pool.default_jobs () else jobs in
-  let cache =
-    if no_cache then None else Some (Engine.Rcache.create ?dir:cache_dir ())
-  in
-  Engine.Pool.with_pool ~jobs (fun pool -> f ~pool ~cache)
+let cache_dir_arg = Resource_flags.cache_dir_arg
 
 let telemetry_term =
   let combine trace stats = (trace, stats) in
@@ -196,13 +163,14 @@ let tile_cmd =
     Term.(const run $ load_term $ tile_size_arg)
 
 let analyze_cmd =
-  let run (workload, file, sizes) machine tile_size telemetry json =
+  let run (workload, file, sizes) machine tile_size telemetry json res =
     with_telemetry telemetry @@ fun () ->
+    Resource_flags.with_ctx res @@ fun ~ctx ->
     let prog, sizes = load ~workload ~file ~sizes in
     let tiled = Poly_ir.Tiling.tile_program ~tile_size prog in
     let cm =
-      Cache_model.Model.analyze ~machine ~apply_thread_heuristic:false tiled
-        ~param_values:sizes
+      Analysis_cache.analyze_gov ~ctx ~mode:Cache_model.Model.Set_associative
+        ~apply_thread_heuristic:false ~machine tiled ~param_values:sizes
     in
     if json then Report.print_json (Report.json_of_cm cm)
     else Format.printf "%a@." Cache_model.Model.pp_result cm
@@ -210,7 +178,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc:"PolyUFC-CM cache analysis and OI")
     Term.(
       const run $ load_term $ machine_arg $ tile_size_arg $ telemetry_term
-      $ json_arg)
+      $ json_arg $ Resource_flags.term)
 
 let characterize_cmd =
   let run (workload, file, sizes) machine tile_size telemetry =
@@ -233,14 +201,14 @@ let characterize_cmd =
 
 let search_cmd =
   let run (workload, file, sizes) machine tile_size epsilon objective telemetry
-      json engine =
+      json res =
     with_telemetry telemetry @@ fun () ->
-    with_engine engine @@ fun ~pool ~cache ->
+    Resource_flags.with_ctx res @@ fun ~ctx ->
     let prog, sizes = load ~workload ~file ~sizes in
     let k = Roofline.microbench machine in
     let c =
-      Flow.compile ~pool ?cache ~objective ~epsilon ~tile_size ~machine
-        ~rooflines:k prog ~param_values:sizes
+      Flow.compile ~ctx ~objective ~epsilon ~tile_size ~machine ~rooflines:k
+        prog ~param_values:sizes
     in
     if json then Report.print_json (Report.json_of_compiled c)
     else Format.printf "%a@." Flow.pp_compiled c
@@ -249,18 +217,18 @@ let search_cmd =
     (Cmd.info "search" ~doc:"Full compilation flow with POLYUFC-SEARCH caps")
     Term.(
       const run $ load_term $ machine_arg $ tile_size_arg $ epsilon_arg
-      $ objective_arg $ telemetry_term $ json_arg $ engine_term)
+      $ objective_arg $ telemetry_term $ json_arg $ Resource_flags.term)
 
 let run_cmd =
   let run (workload, file, sizes) machine tile_size epsilon objective telemetry
-      json engine =
+      json res =
     with_telemetry telemetry @@ fun () ->
-    with_engine engine @@ fun ~pool ~cache ->
+    Resource_flags.with_ctx res @@ fun ~ctx ->
     let prog, sizes = load ~workload ~file ~sizes in
     let k = Roofline.microbench machine in
     let c =
-      Flow.compile ~pool ?cache ~objective ~epsilon ~tile_size ~machine
-        ~rooflines:k prog ~param_values:sizes
+      Flow.compile ~ctx ~objective ~epsilon ~tile_size ~machine ~rooflines:k
+        prog ~param_values:sizes
     in
     let e = Flow.evaluate ~machine c ~param_values:sizes in
     if json then Report.print_json (Report.json_of_run c e)
@@ -274,7 +242,7 @@ let run_cmd =
        ~doc:"Compile with caps and simulate vs the UFS-driver baseline")
     Term.(
       const run $ load_term $ machine_arg $ tile_size_arg $ epsilon_arg
-      $ objective_arg $ telemetry_term $ json_arg $ engine_term)
+      $ objective_arg $ telemetry_term $ json_arg $ Resource_flags.term)
 
 let scop_cmd =
   let run (workload, file, sizes) tile tile_size =
@@ -340,9 +308,9 @@ let parse_manifest path =
     (lines [] 1)
 
 let batch_cmd =
-  let run manifest machine tile_size epsilon objective telemetry json engine =
+  let run manifest machine tile_size epsilon objective telemetry json res =
     with_telemetry telemetry @@ fun () ->
-    with_engine engine @@ fun ~pool ~cache ->
+    Resource_flags.with_ctx res @@ fun ~ctx ->
     let entries = parse_manifest manifest in
     let k = Roofline.microbench machine in
     let compile_one (line, name, sizes) =
@@ -354,13 +322,19 @@ let batch_cmd =
       | Some w ->
         let sizes = if sizes = [] then Workloads.param_values w else sizes in
         let c =
-          Flow.compile ~pool ?cache ~objective ~epsilon ~tile_size ~machine
+          Flow.compile ~ctx ~objective ~epsilon ~tile_size ~machine
             ~rooflines:k (Workloads.program w) ~param_values:sizes
         in
         (name, sizes, c)
     in
     (* one pool job per kernel; Pool.map keeps manifest order *)
-    let results = Engine.Pool.map pool compile_one entries in
+    let results =
+      match Engine.Ctx.pool ctx with
+      | Some pool ->
+        Engine.Pool.map ?cancel:(Engine.Ctx.cancel ctx) pool compile_one
+          entries
+      | None -> List.map compile_one entries
+    in
     if json then
       Report.print_json
         (Telemetry.Json.Arr
@@ -391,7 +365,11 @@ let batch_cmd =
     let counts = Engine.Rcache.counts () in
     if counts.Engine.Rcache.hits > 0 || counts.Engine.Rcache.stores > 0 then
       Format.eprintf "[cache: %d hit(s), %d miss(es)]@."
-        counts.Engine.Rcache.hits counts.Engine.Rcache.misses
+        counts.Engine.Rcache.hits counts.Engine.Rcache.misses;
+    if counts.Engine.Rcache.quarantined > 0 then
+      Format.eprintf "[cache: %d corrupt entr%s quarantined]@."
+        counts.Engine.Rcache.quarantined
+        (if counts.Engine.Rcache.quarantined = 1 then "y" else "ies")
   in
   let manifest_arg =
     Arg.(
@@ -405,7 +383,7 @@ let batch_cmd =
        ~doc:"Compile every kernel of a manifest, concurrently with --jobs")
     Term.(
       const run $ manifest_arg $ machine_arg $ tile_size_arg $ epsilon_arg
-      $ objective_arg $ telemetry_term $ json_arg $ engine_term)
+      $ objective_arg $ telemetry_term $ json_arg $ Resource_flags.term)
 
 (* ---- cache: inspect / clear the persistent result cache --------------- *)
 

@@ -1,0 +1,141 @@
+(* Shared resource-governance flags for the CLI.
+
+   Every analysis subcommand (analyze / search / run / batch) takes the
+   same six flags and resolves them into one Engine.Ctx.t:
+
+     --jobs N         worker domains (0 = one per core)
+     --no-cache       do not consult or populate the result cache
+     --cache-dir DIR  result-cache directory
+     --deadline SEC   wall-clock budget for the whole request
+     --fuel N         abstract work-unit budget
+     --degrade MODE   off | interp: what to do when the budget trips
+
+   SIGINT is wired to the context's cancellation token, so ^C unwinds
+   the pipeline cooperatively (workers abandon queued jobs, no partial
+   cache writes) instead of killing the process mid-write. *)
+
+open Cmdliner
+
+type t = {
+  jobs : int;
+  no_cache : bool;
+  cache_dir : string option;
+  deadline_s : float option;
+  fuel : int option;
+  degrade : Engine.Budget.degrade;
+}
+
+(* distinct from Cmdliner's own 123/124/125 reserved codes *)
+let exit_exhausted = 4
+let exit_cancelled = 130 (* shell convention for death-by-SIGINT *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel parts of the flow; $(b,0) means \
+           one per core. Results are identical for every N.")
+
+let no_cache_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-cache" ]
+        ~doc:"Do not consult or populate the persistent result cache.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Result-cache directory (default $(b,_polyufc_cache), or \
+           $(b,POLYUFC_CACHE_DIR)).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget in seconds for the whole request. What \
+           happens when it expires is set by $(b,--degrade).")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Work-unit budget (one unit is roughly one scanned lattice \
+           point or one simulated cache access). Unlimited if omitted.")
+
+let degrade_arg =
+  let degrade_conv =
+    Arg.enum [ ("off", Engine.Budget.Off); ("interp", Engine.Budget.Interp) ]
+  in
+  Arg.(
+    value
+    & opt degrade_conv Engine.Budget.Interp
+    & info [ "degrade" ] ~docv:"MODE"
+        ~doc:
+          "On budget exhaustion: $(b,interp) falls back to cheaper \
+           estimators and marks the result $(i,degraded); $(b,off) makes \
+           exhaustion a hard error (exit 4).")
+
+let term =
+  let make jobs no_cache cache_dir deadline_s fuel degrade =
+    { jobs; no_cache; cache_dir; deadline_s; fuel; degrade }
+  in
+  Term.(
+    const make $ jobs_arg $ no_cache_arg $ cache_dir_arg $ deadline_arg
+    $ fuel_arg $ degrade_arg)
+
+(* Resolve the flags into a live context and run [f] with it; the pool is
+   shut down afterwards (also on exceptions), SIGINT cancels the token,
+   and governance exceptions become exit codes. *)
+let with_ctx t f =
+  let jobs = if t.jobs <= 0 then Engine.Pool.default_jobs () else t.jobs in
+  let cache =
+    if t.no_cache then None else Some (Engine.Rcache.create ?dir:t.cache_dir ())
+  in
+  let budget =
+    if t.deadline_s = None && t.fuel = None then None
+    else
+      Some
+        (Engine.Budget.create ?deadline_s:t.deadline_s ?fuel:t.fuel
+           ~degrade:t.degrade ())
+  in
+  let cancel = Engine.Cancel.create () in
+  let prev_sigint =
+    try
+      Some
+        (Sys.signal Sys.sigint
+           (Sys.Signal_handle
+              (fun _ ->
+                Engine.Cancel.cancel ~reason:"interrupted (SIGINT)" cancel)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let restore () =
+    match prev_sigint with
+    | Some h -> ( try Sys.set_signal Sys.sigint h with _ -> ())
+    | None -> ()
+  in
+  Fun.protect ~finally:restore @@ fun () ->
+  match
+    Engine.Pool.with_pool ~jobs (fun pool ->
+        let ctx = Engine.Ctx.create ~pool ?cache ?budget ~cancel () in
+        f ~ctx)
+  with
+  | r -> r
+  | exception Engine.Budget.Exhausted msg ->
+    Format.eprintf
+      "polyufc: resource budget exhausted: %s (re-run with a larger \
+       --deadline/--fuel, or --degrade=interp for an estimate)@."
+      msg;
+    exit exit_exhausted
+  | exception Engine.Cancel.Cancelled reason ->
+    Format.eprintf "polyufc: cancelled: %s@." reason;
+    exit exit_cancelled

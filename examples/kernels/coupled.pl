@@ -1,0 +1,16 @@
+// pathological coupled polytope: a tetrahedral nest whose three loops all
+// bound each other (|D| = n(n+1)(n+2)/6), so exact access enumeration is
+// O(n^3) while the iteration space resists rectangular shortcuts.  Used by
+// the resource-governance tests and the CI deadline smoke job: exact
+// analysis at the default size takes tens of seconds, `--deadline=1
+// --degrade=interp` must finish with fidelity "degraded".
+program coupled(n) {
+  arrays { A[n][n] : f64; B[n][n] : f64; C[n][n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n - i; j++) {
+      for (k = 0; k < n - i - j; k++) {
+        C[i][j] = C[i][j] + A[j][k] * B[k][i];
+      }
+    }
+  }
+}

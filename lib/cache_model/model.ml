@@ -4,6 +4,7 @@ open Presburger
 type assoc_mode = Set_associative | Fully_associative
 
 let c_analyze = Telemetry.counter "cache_model.analyze"
+let c_analyze_approx = Telemetry.counter "cache_model.analyze_approx"
 let c_accesses = Telemetry.counter "cache_model.accesses"
 let c_llc_misses = Telemetry.counter "cache_model.llc_misses"
 
@@ -34,6 +35,7 @@ type result = {
   oi : float;
   hit_ratios : float array;
   miss_ratios : float array;
+  fidelity : Engine.Fidelity.t;
 }
 
 let total_misses lc = lc.cold + lc.capacity_conflict
@@ -86,13 +88,28 @@ type stmt_state = {
   mutable ss_flops : int;
 }
 
-let analyze ?(mode = Set_associative) ?(apply_thread_heuristic = true)
-    ?(set_sampling = 1) ~machine prog ~param_values =
+let analyze ?(ctx = Engine.Ctx.none) ?(mode = Set_associative)
+    ?(apply_thread_heuristic = true) ?(set_sampling = 1) ~machine prog
+    ~param_values =
   Telemetry.tick c_analyze;
   Telemetry.with_span "cache_model.analyze"
     ~args:[ ("prog", prog.Ir.prog_name) ]
   @@ fun () ->
   if set_sampling < 1 then invalid_arg "Model.analyze: set_sampling < 1";
+  (* resource governance: the access-stream enumeration below is the
+     dominant compile cost (Table IV), so each simulated access is
+     metered against the context's budget/cancellation in batches *)
+  let governed = ctx.Engine.Ctx.budget <> None || ctx.Engine.Ctx.cancel <> None in
+  let gov_pending = ref 0 in
+  let gov_meter () =
+    if governed then begin
+      incr gov_pending;
+      if !gov_pending >= 8192 then begin
+        Engine.Ctx.spend ctx !gov_pending;
+        gov_pending := 0
+      end
+    end
+  in
   let sampling = match mode with Fully_associative -> 1 | Set_associative -> set_sampling in
   let levels =
     Array.of_list (List.map (make_level mode) machine.Hwsim.Machine.caches)
@@ -119,6 +136,7 @@ let analyze ?(mode = Set_associative) ?(apply_thread_heuristic = true)
       s
   in
   let on_access ~stmt ~array:_ ~addr ~bytes:_ ~is_write =
+    gov_meter ();
     let ss = stmt_state stmt in
     (* write-through: level i+1 sees level i's misses and all writes *)
     let rec level i missed_above =
@@ -176,6 +194,7 @@ let analyze ?(mode = Set_associative) ?(apply_thread_heuristic = true)
     }
   in
   let res = Interp.run ~compute:false prog ~param_values cb in
+  if governed then Engine.Ctx.spend ctx !gov_pending;
   let counts =
     Array.mapi
       (fun i st ->
@@ -255,16 +274,319 @@ let analyze ?(mode = Set_associative) ?(apply_thread_heuristic = true)
        else Float.infinity);
     hit_ratios;
     miss_ratios = Array.map (fun h -> 1.0 -. h) hit_ratios;
+    fidelity = Engine.Fidelity.Exact;
   }
 
-let cold_misses_symbolic ?pool ~machine ~level prog =
+(* --- Degraded static estimator ---
+
+   When the exact access-stream simulation above exhausts its budget, we
+   estimate the same counters from polyhedral footprints instead of
+   enumerating the stream:
+
+   - presented accesses  = (#read + #write refs)  × |domain| per stmt;
+   - cold lines          = distinct touched elements (cardinality of the
+     access-relation ranges, unioned per array) × elem bytes ÷ line
+     bytes, assuming contiguous placement;
+   - capacity/conflict   = the fraction of reuse accesses lost when the
+     per-level footprint exceeds the level's capacity (1 − cap/footprint);
+   - the write-through presentation chain mirrors the exact model:
+     level i+1 sees level i's misses plus the writes that hit at i.
+
+   Every cardinality runs through {!Count.card_gov} under a small fresh
+   fuel-only budget, so the estimator does a bounded amount of work even
+   when the caller's deadline has already expired (only the cancellation
+   token is inherited).  The result is marked [Degraded]; tolerances are
+   documented in DESIGN.md. *)
+
+let estimate_fuel = 1_000_000
+
+let analyze_approx ?(ctx = Engine.Ctx.none) ?(mode = Set_associative)
+    ?(apply_thread_heuristic = true) ~machine prog ~param_values =
+  Telemetry.tick c_analyze_approx;
+  Telemetry.with_span "cache_model.analyze_approx"
+    ~args:[ ("prog", prog.Ir.prog_name) ]
+  @@ fun () ->
+  let scop = Scop.extract prog in
+  let layout = Layout.of_program prog ~param_values in
+  let count_ctx () =
+    {
+      ctx with
+      Engine.Ctx.cache = None;
+      budget = Some (Engine.Budget.create ~fuel:estimate_fuel ());
+    }
+  in
+  let gov_card b = fst (Count.card_gov ~ctx:(count_ctx ()) b) in
+  let bind b =
+    let sp = Bset.space b in
+    let values =
+      Array.map
+        (fun p ->
+          match List.assoc_opt p param_values with
+          | Some v -> v
+          | None -> invalid_arg ("Model: missing parameter " ^ p))
+        sp.Space.params
+    in
+    Bset.fix_params b values
+  in
+  let geoms = Array.of_list machine.Hwsim.Machine.caches in
+  let n_levels = Array.length geoms in
+  let lines_of_elems elems elem_bytes line_bytes =
+    if elems <= 0 then 0
+    else max 1 (((elems * elem_bytes) + line_bytes - 1) / line_bytes)
+  in
+  (* per statement: iteration count, reference counts, per-array distinct
+     elements (per-(stmt,array) range unions) *)
+  let stmts =
+    List.map
+      (fun (info : Scop.stmt_info) ->
+        let dom_b = bind info.Scop.domain in
+        let n_iter = gov_card dom_b in
+        let reads, writes =
+          List.fold_left
+            (fun (r, w) ((a : Ir.access), _) ->
+              match a.Ir.kind with Ir.Read -> (r + 1, w) | Ir.Write -> (r, w + 1))
+            (0, 0) info.Scop.access_maps
+        in
+        (* the raw access maps carry only the index equalities; the image
+           (the set of touched elements) is the range of the map
+           restricted to the statement's iteration domain *)
+        let image (m : Bset.t) =
+          let m = bind m in
+          let spm = Bset.space m in
+          let ndim = Space.n_ins spm in
+          let nout = Space.n_outs spm in
+          let nd_dom = Bset.n_div dom_b in
+          let nd_m = Bset.n_div m in
+          let total = ndim + nout + nd_dom + nd_m in
+          (* domain vars (set dims) line up with the map's input dims;
+             domain divs go in front of the map's own divs *)
+          let pdom =
+            Poly.remap dom_b.Bset.poly total (fun i ->
+                if i < ndim then i else i + nout)
+          in
+          let pm =
+            Poly.remap m.Bset.poly total (fun i ->
+                if i < ndim + nout then i else i + nd_dom)
+          in
+          Bset.range
+            (Bset.of_poly spm ~n_div:(nd_dom + nd_m) (Poly.append pdom pm))
+        in
+        let ranges_by_array = Hashtbl.create 8 in
+        List.iter
+          (fun ((a : Ir.access), m) ->
+            let range = image m in
+            Hashtbl.replace ranges_by_array a.Ir.array
+              (range
+              :: Option.value
+                   (Hashtbl.find_opt ranges_by_array a.Ir.array)
+                   ~default:[]))
+          info.Scop.access_maps;
+        let union_card ranges =
+          match ranges with
+          | [ r ] -> gov_card r
+          | rs -> (
+            match
+              Pset.cardinality ~ctx:(count_ctx ())
+                (Pset.of_bsets (Bset.space (List.hd rs)) rs)
+            with
+            | n -> n
+            | exception Engine.Budget.Exhausted _ ->
+              (* union too hard under the sample budget: bound it below
+                 by the largest member (exact unions of identical ranges
+                 — the common case — are unaffected) *)
+              List.fold_left (fun acc r -> max acc (gov_card r)) 0 rs)
+        in
+        let elems_by_array =
+          Hashtbl.fold
+            (fun array ranges acc -> (array, union_card ranges) :: acc)
+            ranges_by_array []
+        in
+        ( info, n_iter, reads, writes, elems_by_array ))
+      scop.Scop.stmt_infos
+  in
+  (* program-level distinct elements per array: max over statements of the
+     per-statement unions (arrays are shared; summing would double-count
+     the common case of every statement sweeping the same array) *)
+  let program_elems = Hashtbl.create 8 in
+  List.iter
+    (fun (_, _, _, _, elems_by_array) ->
+      List.iter
+        (fun (array, elems) ->
+          let prev =
+            Option.value (Hashtbl.find_opt program_elems array) ~default:0
+          in
+          Hashtbl.replace program_elems array (max prev elems))
+        elems_by_array)
+    stmts;
+  let elem_bytes array = (Layout.find layout array).Layout.decl.Ir.elem_size in
+  let footprint_lines =
+    Array.map
+      (fun (g : Hwsim.Machine.cache_geometry) ->
+        Hashtbl.fold
+          (fun array elems acc ->
+            acc + lines_of_elems elems (elem_bytes array) g.Hwsim.Machine.line_bytes)
+          program_elems 0)
+      geoms
+  in
+  (* the write-through presentation chain of the exact model, driven by
+     footprint-derived cold/capacity estimates for one scope (a statement
+     or the whole program) *)
+  let chain ~cold_lines ~p0 ~writes =
+    let counts = Array.make n_levels None in
+    let presented = ref p0 and demand = ref p0 in
+    for i = 0 to n_levels - 1 do
+      let g = geoms.(i) in
+      let cold = min cold_lines.(i) !presented in
+      let reuse = max 0 (!presented - cold) in
+      let fp_bytes = footprint_lines.(i) * g.Hwsim.Machine.line_bytes in
+      let capconf =
+        if fp_bytes <= g.Hwsim.Machine.size_bytes || fp_bytes = 0 then 0
+        else
+          min reuse
+            (int_of_float
+               (float_of_int reuse
+               *. (1.
+                  -. float_of_int g.Hwsim.Machine.size_bytes
+                     /. float_of_int fp_bytes)))
+      in
+      let hits = max 0 (!presented - cold - capconf) in
+      let demand_hits = min hits (max 0 (!demand - cold - capconf)) in
+      let misses = cold + capconf in
+      counts.(i) <-
+        Some
+          {
+            level_name = g.Hwsim.Machine.level_name;
+            presented = !presented;
+            cold;
+            capacity_conflict = capconf;
+            hits;
+            demand_hits;
+          };
+      (* level i+1 sees the misses plus the writes that hit here *)
+      let write_hits =
+        if !presented = 0 then 0 else writes * hits / !presented
+      in
+      demand := misses;
+      presented := misses + write_hits
+    done;
+    Array.map Option.get counts
+  in
+  let per_stmt =
+    List.map
+      (fun ((info : Scop.stmt_info), n_iter, reads, writes, elems_by_array) ->
+        let p0 = (reads + writes) * n_iter in
+        let w = writes * n_iter in
+        let cold_lines =
+          Array.map
+            (fun (g : Hwsim.Machine.cache_geometry) ->
+              List.fold_left
+                (fun acc (array, elems) ->
+                  acc
+                  + lines_of_elems elems (elem_bytes array)
+                      g.Hwsim.Machine.line_bytes)
+                0 elems_by_array)
+            geoms
+        in
+        (info, n_iter, w, chain ~cold_lines ~p0 ~writes:w))
+      stmts
+  in
+  let divisor =
+    if
+      apply_thread_heuristic
+      && List.exists has_parallel_loop prog.Ir.body
+      && machine.Hwsim.Machine.threads > 1
+    then machine.Hwsim.Machine.threads
+    else 1
+  in
+  let line = (Hwsim.Machine.llc machine).Hwsim.Machine.line_bytes in
+  let per_stmt_counts =
+    List.map
+      (fun ((info : Scop.stmt_info), n_iter, _w, stmt_levels) ->
+        let flops = Ir.flops_of_expr info.Scop.stmt.Ir.rhs * n_iter in
+        let m_llc =
+          float_of_int (total_misses stmt_levels.(n_levels - 1))
+          /. float_of_int divisor
+        in
+        let q = m_llc *. float_of_int line in
+        ( info.Scop.stmt.Ir.stmt_name,
+          {
+            stmt_levels;
+            stmt_flops = flops;
+            stmt_oi =
+              (if q > 0.0 then float_of_int flops /. q else Float.infinity);
+          } ))
+      per_stmt
+  in
+  (* program-level chain from the global footprint *)
+  let program_cold =
+    Array.map
+      (fun (g : Hwsim.Machine.cache_geometry) ->
+        Hashtbl.fold
+          (fun array elems acc ->
+            acc + lines_of_elems elems (elem_bytes array) g.Hwsim.Machine.line_bytes)
+          program_elems 0)
+      geoms
+  in
+  let p0_total, writes_total =
+    List.fold_left
+      (fun (p, w) (_, n_iter, reads, writes, _) ->
+        (p + ((reads + writes) * n_iter), w + (writes * n_iter)))
+      (0, 0) stmts
+  in
+  let counts = chain ~cold_lines:program_cold ~p0:p0_total ~writes:writes_total in
+  let llc = counts.(n_levels - 1) in
+  let miss_llc = float_of_int (total_misses llc) /. float_of_int divisor in
+  let q_dram = miss_llc *. float_of_int line in
+  let flops =
+    List.fold_left (fun acc (_, sc) -> acc + sc.stmt_flops) 0 per_stmt_counts
+  in
+  let hit_ratios =
+    Array.map
+      (fun c ->
+        if c.presented = 0 then 1.0
+        else float_of_int c.hits /. float_of_int c.presented)
+      counts
+  in
+  Engine.Fidelity.note_degraded ();
+  {
+    machine;
+    mode;
+    levels = counts;
+    per_stmt = per_stmt_counts;
+    threads_divisor = divisor;
+    miss_llc;
+    q_dram_bytes = q_dram;
+    flops;
+    oi = (if q_dram > 0.0 then float_of_int flops /. q_dram else Float.infinity);
+    hit_ratios;
+    miss_ratios = Array.map (fun h -> 1.0 -. h) hit_ratios;
+    fidelity = Engine.Fidelity.Degraded;
+  }
+
+let analyze_gov ?(ctx = Engine.Ctx.none) ?mode ?apply_thread_heuristic
+    ?set_sampling ~machine prog ~param_values =
+  match
+    analyze ~ctx ?mode ?apply_thread_heuristic ?set_sampling ~machine prog
+      ~param_values
+  with
+  | r -> r
+  | exception Engine.Budget.Exhausted _ when Engine.Ctx.degrade_allowed ctx ->
+    analyze_approx ~ctx ?mode ?apply_thread_heuristic ~machine prog
+      ~param_values
+
+let cold_misses_symbolic ?pool ?ctx ~machine ~level prog =
+  let ctx = Engine.Ctx.of_legacy ?pool ctx in
   match prog.Ir.params with
   | [ p ] ->
     (* [analyze] is self-contained, so sample instances may be counted from
        pool workers; the fitted quasi-polynomial is identical either way *)
-    Count.interpolate ?pool
+    Count.interpolate ~ctx
       ~count:(fun n ->
-        let r = analyze ~machine ~apply_thread_heuristic:false prog ~param_values:[ (p, n) ] in
+        let r =
+          analyze ~ctx:{ ctx with Engine.Ctx.pool = None; cache = None }
+            ~machine ~apply_thread_heuristic:false prog
+            ~param_values:[ (p, n) ]
+        in
         r.levels.(level).cold)
       ()
   | _ -> None
@@ -372,5 +694,8 @@ let pp_result ppf r =
          else float_of_int c.hits /. float_of_int c.presented))
     r.levels;
   Format.fprintf ppf
-    "  Miss_LLC=%.0f (÷%d threads) Q_DRAM=%.3g bytes Ω=%d flops OI=%.3f FpB@]"
-    r.miss_llc r.threads_divisor r.q_dram_bytes r.flops r.oi
+    "  Miss_LLC=%.0f (÷%d threads) Q_DRAM=%.3g bytes Ω=%d flops OI=%.3f FpB"
+    r.miss_llc r.threads_divisor r.q_dram_bytes r.flops r.oi;
+  if r.fidelity <> Engine.Fidelity.Exact then
+    Format.fprintf ppf "@,  fidelity: %a" Engine.Fidelity.pp r.fidelity;
+  Format.fprintf ppf "@]"

@@ -54,9 +54,13 @@ type result = {
   oi : float;  (** I = Ω / Q_DRAM, FLOP per byte (Eqn. 1) *)
   hit_ratios : float array;  (** ρ^h per level *)
   miss_ratios : float array;  (** ρ^m per level *)
+  fidelity : Engine.Fidelity.t;
+      (** [Exact] from {!analyze}; [Degraded] from {!analyze_approx} (and
+          from {!analyze_gov} after a budget-triggered fallback) *)
 }
 
 val analyze :
+  ?ctx:Engine.Ctx.t ->
   ?mode:assoc_mode ->
   ?apply_thread_heuristic:bool ->
   ?set_sampling:int ->
@@ -66,6 +70,12 @@ val analyze :
   result
 (** Run the model.  The thread heuristic applies only when the program
     contains a loop marked [parallel] (default on).
+
+    With a [ctx] carrying a budget or cancellation token, every simulated
+    access is metered (in batches of 8192) and the analysis raises
+    {!Engine.Budget.Exhausted} / {!Engine.Cancel.Cancelled} when the
+    budget trips — use {!analyze_gov} to fall back to the degraded
+    estimator instead.
 
     [set_sampling] (default 1 = exact) enables Bullseye-style set sampling
     (Shah et al., TACO 2022 — the paper's scalability companion) at the
@@ -77,10 +87,42 @@ val analyze :
     drops by roughly the factor.  [Fully_associative] mode ignores the
     option. *)
 
+val analyze_approx :
+  ?ctx:Engine.Ctx.t ->
+  ?mode:assoc_mode ->
+  ?apply_thread_heuristic:bool ->
+  machine:Hwsim.Machine.t ->
+  Poly_ir.Ir.t ->
+  param_values:(string * int) list ->
+  result
+(** Degraded static estimator: the same [result] shape as {!analyze}, but
+    computed from polyhedral footprints (governed domain/range
+    cardinalities, contiguous-line cold estimates, a capacity heuristic
+    from footprint vs. level capacity) instead of enumerating the access
+    stream.  Bounded work even after the caller's deadline: each
+    cardinality runs under a small fresh fuel-only budget (only [ctx]'s
+    cancellation token is inherited).  Always returns
+    [fidelity = Degraded]; accuracy tolerances are documented in
+    DESIGN.md. *)
+
+val analyze_gov :
+  ?ctx:Engine.Ctx.t ->
+  ?mode:assoc_mode ->
+  ?apply_thread_heuristic:bool ->
+  ?set_sampling:int ->
+  machine:Hwsim.Machine.t ->
+  Poly_ir.Ir.t ->
+  param_values:(string * int) list ->
+  result
+(** Governed analysis: {!analyze} under [ctx]; on budget exhaustion with
+    a degradation policy of [Interp], falls back to {!analyze_approx}.
+    With [degrade = Off] the exception propagates. *)
+
 val total_misses : level_counts -> int
 
 val cold_misses_symbolic :
   ?pool:Engine.Pool.t ->
+  ?ctx:Engine.Ctx.t ->
   machine:Hwsim.Machine.t ->
   level:int ->
   Poly_ir.Ir.t ->
@@ -88,8 +130,8 @@ val cold_misses_symbolic :
 (** Ehrhart quasi-polynomial for the level's cold misses as a function of a
     single program parameter (cold misses = distinct lines touched, an
     Ehrhart-countable quantity).  [None] for multi-parameter programs or
-    failed fits.  When [pool] is given, sample instances are analyzed in
-    parallel. *)
+    failed fits.  When a pool is available (via [?pool] — deprecated — or
+    [ctx]), sample instances are analyzed in parallel. *)
 
 val access_map_with_cache_dims :
   machine:Hwsim.Machine.t ->

@@ -98,6 +98,7 @@ let cm_to_json (r : M.result) =
         J.Arr (Array.to_list (Array.map hex_float r.M.hit_ratios)) );
       ( "miss_ratios",
         J.Arr (Array.to_list (Array.map hex_float r.M.miss_ratios)) );
+      ("fidelity", J.Str (Engine.Fidelity.to_string r.M.fidelity));
     ]
 
 (* --- decode --- *)
@@ -150,16 +151,40 @@ let cm_of_json ~machine ~mode j =
         Array.of_list (List.map flt_of (arr_of (get "hit_ratios" j)));
       miss_ratios =
         Array.of_list (List.map flt_of (arr_of (get "miss_ratios" j)));
+      fidelity =
+        (match Engine.Fidelity.of_string (str_of (get "fidelity" j)) with
+        | Some f -> f
+        | None -> raise Bad_shape);
     }
   with
   | r -> Some r
   | exception Bad_shape -> None
 
+let analyze_gov ?(ctx = Engine.Ctx.none) ~mode ~apply_thread_heuristic ~machine
+    prog ~param_values =
+  let compute () =
+    M.analyze_gov ~ctx ~mode ~apply_thread_heuristic ~machine prog
+      ~param_values
+  in
+  match Engine.Ctx.cache ctx with
+  | None -> compute ()
+  | Some cache -> (
+    let key =
+      cm_key ~machine ~mode ~apply_thread_heuristic ~param_values prog
+    in
+    match Option.bind (Engine.Rcache.find cache key) (cm_of_json ~machine ~mode) with
+    | Some r -> r
+    | None ->
+      let r = compute () in
+      (* a degraded result is what this budget could afford, not what the
+         analysis is worth: caching it would serve estimates to future
+         runs with healthy budgets, so only exact results are stored *)
+      if r.M.fidelity = Engine.Fidelity.Exact then
+        Engine.Rcache.store cache key (cm_to_json r);
+      r)
+
 let analyze_cached ~cache ~mode ~apply_thread_heuristic ~machine prog
     ~param_values =
-  let key = cm_key ~machine ~mode ~apply_thread_heuristic ~param_values prog in
-  Engine.Rcache.find_or_add cache ~key
-    ~decode:(cm_of_json ~machine ~mode)
-    ~encode:cm_to_json
-    (fun () ->
-      M.analyze ~mode ~apply_thread_heuristic ~machine prog ~param_values)
+  analyze_gov
+    ~ctx:(Engine.Ctx.create ~cache ())
+    ~mode ~apply_thread_heuristic ~machine prog ~param_values

@@ -31,6 +31,20 @@ val cm_of_json :
 (** [None] when the payload does not have the expected shape (treated by
     {!Engine.Rcache.find_or_add} as a corrupt entry). *)
 
+val analyze_gov :
+  ?ctx:Engine.Ctx.t ->
+  mode:Cache_model.Model.assoc_mode ->
+  apply_thread_heuristic:bool ->
+  machine:Hwsim.Machine.t ->
+  Poly_ir.Ir.t ->
+  param_values:(string * int) list ->
+  Cache_model.Model.result
+(** Governed analysis through the context: memoized through [ctx]'s cache
+    when present, budget-metered via {!Cache_model.Model.analyze_gov}.
+    Degraded results are returned but never stored — a future run with a
+    healthier budget must be able to compute (and then cache) the exact
+    analysis. *)
+
 val analyze_cached :
   cache:Engine.Rcache.t ->
   mode:Cache_model.Model.assoc_mode ->
@@ -39,4 +53,5 @@ val analyze_cached :
   Poly_ir.Ir.t ->
   param_values:(string * int) list ->
   Cache_model.Model.result
-(** {!Cache_model.Model.analyze} memoized through the result cache. *)
+(** {!Cache_model.Model.analyze} memoized through the result cache.
+    Deprecated spelling of [analyze_gov ~ctx:(Ctx.create ~cache ())]. *)

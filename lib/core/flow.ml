@@ -42,6 +42,7 @@ type compiled = {
   cm : Cache_model.Model.result;
   profile : Perfmodel.profile;
   timing : timing;
+  fidelity : Engine.Fidelity.t;
 }
 
 let profile_of_stmt_counts (sc : Cache_model.Model.stmt_counts) =
@@ -72,13 +73,23 @@ let rec stmt_names_of_item = function
     List.concat_map stmt_names_of_item b.Ir.then_
     @ List.concat_map stmt_names_of_item b.Ir.else_
 
-let compile ?pool ?cache ?(objective = Search.Edp) ?(epsilon = 1e-3)
+let compile ?pool ?cache ?ctx ?(objective = Search.Edp) ?(epsilon = 1e-3)
     ?(tile_size = 32) ?(tile = true)
     ?(mode = Cache_model.Model.Set_associative) ~machine ~rooflines prog
     ~param_values =
+  let ctx = Engine.Ctx.of_legacy ?pool ?cache ctx in
+  let pool = Engine.Ctx.pool ctx in
+  let cancel = Engine.Ctx.cancel ctx in
+  (* the per-stmt / per-region searches below may themselves run inside
+     pool workers; they must not re-enter the pool *)
+  let inner_ctx = { ctx with Engine.Ctx.pool = None; cache = None } in
   Telemetry.tick c_compiles;
   Telemetry.with_span "flow.compile" ~args:[ ("prog", prog.Ir.prog_name) ]
   @@ fun () ->
+  (* soft phase boundary: cancellation always aborts; an expired budget
+     aborts only under degrade=off — otherwise downstream phases run on
+     (possibly degraded) results *)
+  Engine.Ctx.checkpoint ctx;
   (* (1) preprocess: validation + SCoP extraction + per-statement domain
      sanity (an empty iteration domain under the given sizes means a dead
      statement and usually a sizing mistake) *)
@@ -106,13 +117,17 @@ let compile ?pool ?cache ?(objective = Search.Edp) ?(epsilon = 1e-3)
         match pool with
         | None -> List.iter check_domain scop.Scop.stmt_infos
         | Some pool ->
-          ignore (Engine.Pool.map pool check_domain scop.Scop.stmt_infos : unit list))
+          ignore
+            (Engine.Pool.map ?cancel pool check_domain scop.Scop.stmt_infos
+              : unit list))
   in
+  Engine.Ctx.checkpoint ctx;
   (* (2) Pluto *)
   let optimized, pluto_s =
     Telemetry.with_span_timed phase_pluto (fun () ->
         if tile then Tiling.tile_program ~tile_size prog else prog)
   in
+  Engine.Ctx.checkpoint ctx;
   (* (3) PolyUFC-CM on the whole program, with per-statement breakdown.
      The OpenMP sharing heuristic models multiple hardware threads
      splitting the working set; our simulated testbed executes a single
@@ -121,16 +136,12 @@ let compile ?pool ?cache ?(objective = Search.Edp) ?(epsilon = 1e-3)
   let (cm, profile), cm_s =
     Telemetry.with_span_timed phase_cm (fun () ->
         let cm =
-          match cache with
-          | Some cache ->
-            Analysis_cache.analyze_cached ~cache ~mode
-              ~apply_thread_heuristic:false ~machine optimized ~param_values
-          | None ->
-            Cache_model.Model.analyze ~mode ~apply_thread_heuristic:false
-              ~machine optimized ~param_values
+          Analysis_cache.analyze_gov ~ctx ~mode ~apply_thread_heuristic:false
+            ~machine optimized ~param_values
         in
         (cm, Perfmodel.profile_of_cm cm))
   in
+  Engine.Ctx.checkpoint ctx;
   (* (4–6) characterize, estimate, search per top-level region *)
   let decide_region (l : Ir.loop) =
     let names = List.concat_map stmt_names_of_item l.Ir.body in
@@ -141,7 +152,11 @@ let compile ?pool ?cache ?(objective = Search.Edp) ?(epsilon = 1e-3)
             let p = profile_of_stmt_counts sc in
             if p.Perfmodel.miss_llc = 0.0 && p.Perfmodel.omega = 0.0 then None
             else begin
-              let s = Search.run ~objective ~epsilon rooflines p in
+              let s =
+                Search.run ~ctx:inner_ctx
+                  ~fidelity:cm.Cache_model.Model.fidelity ~objective ~epsilon
+                  rooflines p
+              in
               Some
                 {
                   stmt_name = name;
@@ -187,7 +202,10 @@ let compile ?pool ?cache ?(objective = Search.Edp) ?(epsilon = 1e-3)
       else Float.infinity
     in
     let region_profile = { region_profile with Perfmodel.oi = region_oi } in
-    let search = Search.run ~objective ~epsilon rooflines region_profile in
+    let search =
+      Search.run ~ctx:inner_ctx ~fidelity:cm.Cache_model.Model.fidelity
+        ~objective ~epsilon rooflines region_profile
+    in
     let region_bound = search.Search.boundedness in
     (* paper's aggregation: min of statement caps for CB, max for BB *)
     let cap_ghz =
@@ -222,7 +240,7 @@ let compile ?pool ?cache ?(objective = Search.Edp) ?(epsilon = 1e-3)
         let decisions =
           match pool with
           | None -> List.map decide_region regions
-          | Some pool -> Engine.Pool.map pool decide_region regions
+          | Some pool -> Engine.Pool.map ?cancel pool decide_region regions
         in
         (* cap schedule with redundant-cap removal (the paper's
            pattern-rewrite): a region whose cap equals the previously
@@ -248,6 +266,7 @@ let compile ?pool ?cache ?(objective = Search.Edp) ?(epsilon = 1e-3)
     cm;
     profile;
     timing = { preprocess_s; pluto_s; cm_s; steps456_s };
+    fidelity = cm.Cache_model.Model.fidelity;
   }
 
 type evaluation = {
@@ -280,6 +299,8 @@ let evaluate ~machine compiled ~param_values =
 
 let pp_compiled ppf c =
   Format.fprintf ppf "@[<v>PolyUFC compile of %s:@," c.source.Ir.prog_name;
+  if c.fidelity <> Engine.Fidelity.Exact then
+    Format.fprintf ppf "  fidelity: %a@," Engine.Fidelity.pp c.fidelity;
   Format.fprintf ppf "  whole-program OI=%.3f FpB@," c.profile.Perfmodel.oi;
   List.iter
     (fun d ->

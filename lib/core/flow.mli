@@ -54,11 +54,15 @@ type compiled = {
   cm : Cache_model.Model.result;  (** whole-program PolyUFC-CM analysis *)
   profile : Perfmodel.profile;
   timing : timing;
+  fidelity : Engine.Fidelity.t;
+      (** [Exact] when the cache analysis ran to completion; [Degraded]
+          when the budget tripped and the estimator took over *)
 }
 
 val compile :
   ?pool:Engine.Pool.t ->
   ?cache:Engine.Rcache.t ->
+  ?ctx:Engine.Ctx.t ->
   ?objective:Search.objective ->
   ?epsilon:float ->
   ?tile_size:int ->
@@ -72,12 +76,21 @@ val compile :
 (** [tile] defaults to [true]; pass [false] when the input is already
     Pluto-optimized.
 
-    [pool] fans the per-region characterize/estimate/search step out over
-    the worker pool (deterministic: the result is identical to the
-    sequential compile).  [cache] memoizes the PolyUFC-CM analysis — the
-    dominant compile cost, Table IV — in the persistent result cache,
-    keyed by (SCoP isl export, machine fingerprint, model parameters,
-    schema version). *)
+    Resources come from [ctx] ({!Engine.Ctx.t}); [?pool]/[?cache] are the
+    deprecated pre-[Ctx] spellings and are merged into it ([ctx]'s fields
+    win).  The pool fans the per-statement domain checks and the
+    per-region characterize/estimate/search step out over the workers
+    (deterministic: the result is identical to the sequential compile).
+    The cache memoizes the PolyUFC-CM analysis — the dominant compile
+    cost, Table IV — in the persistent result cache, keyed by (SCoP isl
+    export, machine fingerprint, model parameters, schema version).
+
+    A budget in [ctx] governs the CM phase: on exhaustion with policy
+    [Interp] the degraded estimator takes over and the result carries
+    [fidelity = Degraded]; with [Off] the {!Engine.Budget.Exhausted}
+    exception propagates.  A cancellation token is honoured at phase
+    boundaries, inside the CM enumeration, and by pooled dispatch
+    (in-flight tasks abandon queued work; no partial cache writes). *)
 
 type evaluation = {
   baseline : Hwsim.Sim.outcome;  (** UFS-governor run of the same binary *)

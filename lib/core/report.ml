@@ -9,6 +9,8 @@ let f x = J.Float x
 
 let boundedness_str = function Roofline.CB -> "CB" | Roofline.BB -> "BB"
 
+let fidelity_str fd = J.Str (Engine.Fidelity.to_string fd)
+
 let json_of_level_counts (c : Cache_model.Model.level_counts) =
   J.Obj
     [
@@ -57,6 +59,7 @@ let json_of_cm (r : Cache_model.Model.result) =
       ("oi", f r.Cache_model.Model.oi);
       ( "hit_ratios",
         J.Arr (Array.to_list (Array.map f r.Cache_model.Model.hit_ratios)) );
+      ("fidelity", fidelity_str r.Cache_model.Model.fidelity);
     ]
 
 let json_of_outcome (o : Hwsim.Sim.outcome) =
@@ -122,6 +125,7 @@ let json_of_region_decision (d : Flow.region_decision) =
       ("boundedness", J.Str (boundedness_str d.Flow.region_bound));
       ("cap_ghz", f d.Flow.cap_ghz);
       ("search_steps", J.Int d.Flow.search.Search.steps);
+      ("fidelity", fidelity_str d.Flow.search.Search.fidelity);
       ("stmts", J.Arr (List.map json_of_stmt_decision d.Flow.stmts));
     ]
 
@@ -138,6 +142,7 @@ let json_of_compiled (c : Flow.compiled) =
              c.Flow.caps) );
       ("decisions", J.Arr (List.map json_of_region_decision c.Flow.decisions));
       ("timing", json_of_timing c.Flow.timing);
+      ("fidelity", fidelity_str c.Flow.fidelity);
     ]
 
 let json_of_evaluation (e : Flow.evaluation) =

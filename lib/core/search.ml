@@ -7,6 +7,7 @@ type outcome = {
   sweep : Perfmodel.estimate list;
   steps : int;
   boundedness : Roofline.boundedness;
+  fidelity : Engine.Fidelity.t;
 }
 
 let objective_value obj (e : Perfmodel.estimate) =
@@ -36,16 +37,18 @@ let admissible ~epsilon k bd ~(baseline : Perfmodel.estimate)
     let bw_gain = (bw_cap e.Perfmodel.f_c /. bw_cap bottom.Perfmodel.f_c) -. 1.0 in
     perf_gain >= (bw_gain *. 0.5) -. epsilon
 
-let run ?pool ?(objective = Edp) ?(epsilon = 1e-3) (k : Roofline.constants)
-    profile =
+let run ?pool ?ctx ?(fidelity = Engine.Fidelity.Exact) ?(objective = Edp)
+    ?(epsilon = 1e-3) (k : Roofline.constants) profile =
+  let ctx = Engine.Ctx.of_legacy ?pool ctx in
+  Engine.Ctx.checkpoint ctx;
   (* the sweep points are independent closed-form evaluations; with a pool
      they fan out across workers (order is preserved by Pool.map, so the
      search below sees the same frequency grid either way) *)
   let sweep =
-    match pool with
+    match Engine.Ctx.pool ctx with
     | None -> Perfmodel.sweep k profile
     | Some pool ->
-      Engine.Pool.map pool
+      Engine.Pool.map ?cancel:(Engine.Ctx.cancel ctx) pool
         (fun f -> Perfmodel.estimate k profile ~f_c:f)
         (Hwsim.Machine.uncore_freqs k.Roofline.machine)
   in
@@ -97,10 +100,13 @@ let run ?pool ?(objective = Edp) ?(epsilon = 1e-3) (k : Roofline.constants)
     sweep;
     steps = !steps;
     boundedness = bd;
+    fidelity;
   }
 
 let pp_outcome ppf o =
   Format.fprintf ppf
     "[%a] cap=%.1f GHz (%d steps): %a@ vs max-freq %a"
     Roofline.pp_boundedness o.boundedness o.cap_ghz o.steps
-    Perfmodel.pp_estimate o.chosen Perfmodel.pp_estimate o.baseline
+    Perfmodel.pp_estimate o.chosen Perfmodel.pp_estimate o.baseline;
+  if o.fidelity <> Engine.Fidelity.Exact then
+    Format.fprintf ppf "@ (fidelity: %a)" Engine.Fidelity.pp o.fidelity

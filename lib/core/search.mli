@@ -20,18 +20,27 @@ type outcome = {
   sweep : Perfmodel.estimate list;
   steps : int;  (** frequencies examined by the binary search *)
   boundedness : Roofline.boundedness;
+  fidelity : Engine.Fidelity.t;
+      (** fidelity of the profile the search ran on: a cap chosen from a
+          degraded OI is itself degraded *)
 }
 
 val run :
   ?pool:Engine.Pool.t ->
+  ?ctx:Engine.Ctx.t ->
+  ?fidelity:Engine.Fidelity.t ->
   ?objective:objective ->
   ?epsilon:float ->
   Roofline.constants ->
   Perfmodel.profile ->
   outcome
 (** Default [objective] is [Edp], default [epsilon] is [1e-3] (the paper's
-    setting, Sec. VII-E).  With [pool], the f_c sweep points are evaluated
-    in parallel on the worker pool; the outcome is identical to the
-    sequential one (results are re-ordered deterministically). *)
+    setting, Sec. VII-E).  With a pool (via [?pool] — deprecated — or
+    [ctx]), the f_c sweep points are evaluated in parallel on the worker
+    pool; the outcome is identical to the sequential one (results are
+    re-ordered deterministically).  [fidelity] (default [Exact]) records
+    the fidelity of the profile being searched and is copied into the
+    outcome.  The search itself is closed-form and cheap: [ctx] is only
+    consulted for cancellation / hard (degrade=off) deadlines at entry. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

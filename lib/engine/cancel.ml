@@ -1,0 +1,19 @@
+exception Cancelled of string
+
+(* [None] = live, [Some reason] = cancelled.  A single atomic cell keeps
+   flag and reason consistent without a lock, so [cancel] is safe from
+   signal handlers (no allocation beyond the [Some]). *)
+type t = string option Atomic.t
+
+let c_cancelled = Telemetry.counter "engine.cancelled"
+
+let create () : t = Atomic.make None
+
+let cancel ?(reason = "cancelled") t =
+  if Atomic.compare_and_set t None (Some reason) then Telemetry.tick c_cancelled
+
+let is_cancelled t = Atomic.get t <> None
+let reason t = Atomic.get t
+
+let check t =
+  match Atomic.get t with None -> () | Some r -> raise (Cancelled r)

@@ -1,0 +1,32 @@
+(** Cooperative cancellation tokens.
+
+    A token is a domain-safe flag that long-running analyses poll at
+    loop/phase boundaries ({!Poly.count_points} slice loops, {!Pool}
+    dispatch, [Flow.compile] phase boundaries).  Cancellation is
+    cooperative: setting the flag never interrupts a running
+    computation; the computation notices at its next checkpoint and
+    unwinds by raising {!Cancelled}.
+
+    Tokens are one-shot: once cancelled they stay cancelled. *)
+
+type t
+
+exception Cancelled of string
+(** Raised by {!check} (and by governed computations) once the token has
+    been cancelled.  The payload is the reason passed to {!cancel}. *)
+
+val create : unit -> t
+(** A fresh, un-cancelled token. *)
+
+val cancel : ?reason:string -> t -> unit
+(** Trip the token.  Idempotent; the first reason wins.  Safe to call
+    from any domain or from a signal handler. *)
+
+val is_cancelled : t -> bool
+
+val reason : t -> string option
+(** The reason recorded by the first {!cancel}, if any. *)
+
+val check : t -> unit
+(** Raise [Cancelled reason] if the token has been tripped; otherwise a
+    single atomic load. *)

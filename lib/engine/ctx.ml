@@ -1,0 +1,40 @@
+type t = {
+  pool : Pool.t option;
+  cache : Rcache.t option;
+  budget : Budget.t option;
+  cancel : Cancel.t option;
+}
+
+let none = { pool = None; cache = None; budget = None; cancel = None }
+
+let create ?pool ?cache ?budget ?cancel () = { pool; cache; budget; cancel }
+
+let or_else a b = match a with Some _ -> a | None -> b
+
+let of_legacy ?pool ?cache ctx =
+  let c = Option.value ctx ~default:none in
+  { c with pool = or_else c.pool pool; cache = or_else c.cache cache }
+
+let pool t = t.pool
+let cache t = t.cache
+let budget t = t.budget
+let cancel t = t.cancel
+
+let check t =
+  Option.iter Cancel.check t.cancel;
+  Option.iter Budget.check t.budget
+
+let checkpoint t =
+  Option.iter Cancel.check t.cancel;
+  match t.budget with
+  | Some b when Budget.degrade b = Budget.Off -> Budget.check b
+  | _ -> ()
+
+let spend t n =
+  Option.iter Cancel.check t.cancel;
+  Option.iter (fun b -> Budget.spend b n) t.budget
+
+let degrade_allowed t =
+  match t.budget with
+  | Some b -> Budget.degrade b = Budget.Interp
+  | None -> false

@@ -1,0 +1,57 @@
+(** The unified resource context threaded through the analysis pipeline.
+
+    [Ctx.t] bundles the four concerns every governed entry point used to
+    take (or not take) as separate optional arguments:
+
+    - [pool]: worker pool for parallel fan-out ({!Pool});
+    - [cache]: persistent result cache ({!Rcache});
+    - [budget]: deadline / fuel / degradation policy ({!Budget});
+    - [cancel]: cooperative cancellation token ({!Cancel}).
+
+    Entry points take a single [?ctx:Ctx.t]; the per-function
+    [?pool]/[?cache] optional arguments remain as thin deprecated
+    wrappers for one PR (see DESIGN.md, "Migrating to Ctx").  Passing no
+    context (or {!none}) reproduces the ungoverned, sequential,
+    uncached behaviour bit-for-bit. *)
+
+type t = {
+  pool : Pool.t option;
+  cache : Rcache.t option;
+  budget : Budget.t option;
+  cancel : Cancel.t option;
+}
+
+val none : t
+(** No pool, no cache, no budget, no cancellation: the legacy default. *)
+
+val create :
+  ?pool:Pool.t -> ?cache:Rcache.t -> ?budget:Budget.t -> ?cancel:Cancel.t ->
+  unit -> t
+
+val of_legacy : ?pool:Pool.t -> ?cache:Rcache.t -> t option -> t
+(** Merge a [?ctx] argument with legacy [?pool]/[?cache] arguments:
+    explicit context fields win, legacy arguments fill the gaps.  This
+    is what the deprecated wrappers call so both calling styles meet the
+    same code path. *)
+
+val pool : t -> Pool.t option
+val cache : t -> Rcache.t option
+val budget : t -> Budget.t option
+val cancel : t -> Cancel.t option
+
+val check : t -> unit
+(** Hard checkpoint: raises {!Cancel.Cancelled} if cancelled, then
+    {!Budget.Exhausted} if the budget is spent.  Use inside governed
+    computations that have a degradation fallback upstream. *)
+
+val checkpoint : t -> unit
+(** Soft phase-boundary checkpoint: cancellation always raises; budget
+    exhaustion raises only under [degrade = Off].  Under [Interp] an
+    expired budget must not abort the pipeline between phases — the
+    remaining phases run degraded instead (bounded, closed-form work). *)
+
+val spend : t -> int -> unit
+(** Meter [n] work units: cancellation check + {!Budget.spend}. *)
+
+val degrade_allowed : t -> bool
+(** [true] iff there is a budget whose policy is [Interp]. *)

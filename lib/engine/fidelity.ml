@@ -1,0 +1,26 @@
+type t = Exact | Degraded | Partial
+
+let rank = function Exact -> 0 | Degraded -> 1 | Partial -> 2
+let worst a b = if rank a >= rank b then a else b
+
+let to_string = function
+  | Exact -> "exact"
+  | Degraded -> "degraded"
+  | Partial -> "partial"
+
+let of_string = function
+  | "exact" -> Some Exact
+  | "degraded" -> Some Degraded
+  | "partial" -> Some Partial
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let c_degraded = Telemetry.counter "engine.degraded"
+let n_degraded = Atomic.make 0
+
+let note_degraded () =
+  Telemetry.tick c_degraded;
+  ignore (Atomic.fetch_and_add n_degraded 1)
+
+let degraded_count () = Atomic.get n_degraded

@@ -1,0 +1,35 @@
+(** Result fidelity: what a resource-governed analysis actually delivered.
+
+    Every result record of the pipeline (cache-model analyses, search
+    outcomes, compiled programs, CLI/bench JSON) carries one of these so
+    callers can tell an exact answer from a budget-degraded estimate.
+
+    - [Exact]: the documented exact semantics; byte-identical to an
+      ungoverned run.
+    - [Degraded]: the analysis hit its resource budget and fell back to a
+      cheaper estimator (Ehrhart-style interpolation, footprint
+      heuristics); values are within the tolerance documented in
+      DESIGN.md.
+    - [Partial]: some components are missing entirely (reserved for batch
+      entries whose siblings failed; stricter than [Degraded]). *)
+
+type t = Exact | Degraded | Partial
+
+val worst : t -> t -> t
+(** Pessimistic merge: [Exact < Degraded < Partial]. *)
+
+val to_string : t -> string
+(** ["exact" | "degraded" | "partial"] — the wire form used in JSON. *)
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+val note_degraded : unit -> unit
+(** Bump the process-wide degradation counter (and the
+    [engine.degraded] telemetry counter when enabled).  Called by every
+    fallback path that substitutes an estimate for an exact value. *)
+
+val degraded_count : unit -> int
+(** Process-wide number of degradation events since startup, independent
+    of telemetry enablement (mirrors {!Rcache.counts}). *)

@@ -124,7 +124,18 @@ let run_job f fut () =
     Telemetry.tick c_failed;
     fulfill fut (Failed e)
 
-let submit t f =
+let submit ?cancel t f =
+  (* a job enqueued under a cancellation token re-checks the token when a
+     worker picks it up, so queued-but-unstarted work is abandoned the
+     moment the token trips (in-flight jobs poll cooperatively instead) *)
+  let f =
+    match cancel with
+    | None -> f
+    | Some c ->
+      fun () ->
+        Cancel.check c;
+        f ()
+  in
   let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); f_state = Pending } in
   if t.n_jobs <= 1 || in_worker () then run_job f fut ()
   else begin
@@ -143,22 +154,30 @@ let submit t f =
   Telemetry.tick c_submitted;
   fut
 
-let mapi t f xs =
-  if t.n_jobs <= 1 || in_worker () then List.mapi f xs
+let mapi ?cancel t f xs =
+  if t.n_jobs <= 1 || in_worker () then
+    List.mapi
+      (fun i x ->
+        Option.iter Cancel.check cancel;
+        f i x)
+      xs
   else begin
     let xs = Array.of_list xs in
     (* first failure flips the token; queued-but-unstarted siblings then
-       bail out as [Cancelled] instead of doing their work *)
-    let cancel = Atomic.make false in
+       bail out as [Cancelled] instead of doing their work.  An external
+       [?cancel] token additionally aborts the whole map: its
+       [Cancel.Cancelled] is a real error (re-raised below), unlike the
+       internal first-error token. *)
+    let first_error_token = Atomic.make false in
     let futures =
       Array.mapi
         (fun i x ->
-          submit t (fun () ->
-              if Atomic.get cancel then raise Cancelled
+          submit ?cancel t (fun () ->
+              if Atomic.get first_error_token then raise Cancelled
               else
                 try f i x
                 with e ->
-                  Atomic.set cancel true;
+                  Atomic.set first_error_token true;
                   raise e))
         xs
     in
@@ -178,4 +197,4 @@ let mapi t f xs =
       (Array.map (function Ok v -> v | Error e -> raise e) results)
   end
 
-let map t f xs = mapi t (fun _ x -> f x) xs
+let map ?cancel t f xs = mapi ?cancel t (fun _ x -> f x) xs

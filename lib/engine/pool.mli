@@ -38,17 +38,23 @@ val shutdown : t -> unit
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run, [shutdown] (also on exceptions). *)
 
-val submit : t -> (unit -> 'a) -> 'a future
-(** Enqueue one job; blocks while the queue is full. *)
+val submit : ?cancel:Cancel.t -> t -> (unit -> 'a) -> 'a future
+(** Enqueue one job; blocks while the queue is full.  With [?cancel],
+    the job re-checks the token when a worker dequeues it, so work that
+    was queued but not yet started is abandoned (its future fails with
+    {!Cancel.Cancelled}) once the token trips. *)
 
 val await : 'a future -> ('a, exn) result
 
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?cancel:Cancel.t -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map] with deterministic result ordering and
     first-error cancellation.  On failure, re-raises the failed job's
-    exception (the lowest-index failure when several raced). *)
+    exception (the lowest-index failure when several raced).  With
+    [?cancel], tripping the token abandons queued-but-unstarted jobs and
+    makes the call raise {!Cancel.Cancelled} after every in-flight job
+    has quiesced — no domain outlives the call. *)
 
-val mapi : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+val mapi : ?cancel:Cancel.t -> t -> (int -> 'a -> 'b) -> 'a list -> 'b list
 
 val in_worker : unit -> bool
 (** True when called from inside a pool worker domain. *)

@@ -1,21 +1,31 @@
 (* Content-addressed on-disk memoization store.
 
    Layout: one file per entry, [<dir>/<digest>.json], containing
-   {"schema": V, "payload": <value>}.  The digest covers a canonical,
-   length-prefixed encoding of the key parts plus the schema version, so
-   collisions between fields ("ab"+"c" vs "a"+"bc") are impossible and a
-   version bump re-addresses everything. *)
+   {"schema": V, "checksum": <hex digest of payload>, "payload": <value>}.
+   The file-name digest covers a canonical, length-prefixed encoding of
+   the key parts plus the schema version, so collisions between fields
+   ("ab"+"c" vs "a"+"bc") are impossible and a version bump re-addresses
+   everything.  The embedded checksum covers the payload *contents*,
+   which the file name cannot: a truncated or bit-flipped entry that
+   still parses as JSON is detected here.
+
+   A read that fails (I/O error, bad JSON, bad checksum) is retried once
+   — a concurrent writer's rename can race the first read — and then the
+   entry is quarantined to [<dir>/quarantine/] for post-mortem instead of
+   being re-read forever or failing the analysis. *)
 
 module J = Telemetry.Json
 
 type t = { cache_dir : string }
 
-let schema_version = 1
+(* 2: payload checksum added (PR 4); 1: initial layout *)
+let schema_version = 2
 
 let c_hit = Telemetry.counter "engine.cache.hit"
 let c_miss = Telemetry.counter "engine.cache.miss"
 let c_store = Telemetry.counter "engine.cache.store"
 let c_corrupt = Telemetry.counter "engine.cache.corrupt"
+let c_quarantined = Telemetry.counter "engine.cache.quarantined"
 
 (* always-on process counters: the CLI's `cache stats` and the tests must
    see hit/miss activity even when the telemetry registry is disabled *)
@@ -23,6 +33,7 @@ let n_hit = Atomic.make 0
 let n_miss = Atomic.make 0
 let n_store = Atomic.make 0
 let n_corrupt = Atomic.make 0
+let n_quarantined = Atomic.make 0
 
 let bump telemetry_c process_c =
   Telemetry.tick telemetry_c;
@@ -52,6 +63,7 @@ let key ?(schema = schema_version) parts =
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let entry_path t key = Filename.concat t.cache_dir (key ^ ".json")
+let quarantine_dir t = Filename.concat t.cache_dir "quarantine"
 
 let warn fmt =
   Format.eprintf ("polyufc cache warning: " ^^ fmt ^^ "@.")
@@ -62,38 +74,81 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let payload_checksum payload = Digest.to_hex (Digest.string (J.to_string payload))
+
+(* move a corrupt entry out of the addressable namespace so it can be
+   inspected post-mortem and is never re-read; fall back to deleting it
+   when the move itself fails (read-only quarantine dir, cross-device) *)
+let quarantine t path why =
+  bump c_corrupt n_corrupt;
+  bump c_quarantined n_quarantined;
+  let qdir = quarantine_dir t in
+  match
+    if not (Sys.file_exists qdir) then Unix.mkdir qdir 0o755;
+    Sys.rename path (Filename.concat qdir (Filename.basename path))
+  with
+  | () -> warn "quarantined corrupt entry %s (%s)" path why
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+    (try Sys.remove path with Sys_error _ -> ());
+    warn "removed corrupt entry %s (%s; quarantine unavailable)" path why
+
+type parsed = Good of J.t | Stale | Bad of string
+
+let parse_entry text =
+  match J.of_string text with
+  | Error msg -> Bad msg
+  | Ok doc -> (
+    match J.member "schema" doc with
+    | Some (J.Int v) when v <> schema_version -> Stale
+    | Some (J.Int _) -> (
+      match (J.member "payload" doc, J.member "checksum" doc) with
+      | Some payload, Some (J.Str sum) ->
+        if String.equal (payload_checksum payload) sum then Good payload
+        else Bad "checksum mismatch"
+      | Some _, _ -> Bad "missing checksum field"
+      | None, _ -> Bad "missing payload field")
+    | _ -> Bad "missing schema field")
+
 let find t key =
   let path = entry_path t key in
   if not (Sys.file_exists path) then begin
     bump c_miss n_miss;
     None
   end
-  else
-    let corrupt why =
-      bump c_corrupt n_corrupt;
-      bump c_miss n_miss;
-      warn "ignoring unreadable entry %s (%s)" path why;
-      None
+  else begin
+    let attempt () =
+      match read_file path with
+      | exception Sys_error msg -> Bad msg
+      | text -> parse_entry text
     in
-    match read_file path with
-    | exception Sys_error msg -> corrupt msg
-    | text -> (
-      match J.of_string text with
-      | Error msg -> corrupt msg
-      | Ok doc -> (
-        match (J.member "schema" doc, J.member "payload" doc) with
-        | Some (J.Int v), Some payload when v = schema_version ->
-          bump c_hit n_hit;
-          Some payload
-        | Some (J.Int _), Some _ ->
-          (* stale schema: a plain miss, not corruption *)
-          bump c_miss n_miss;
-          None
-        | _ -> corrupt "missing schema/payload fields"))
+    let parsed =
+      match attempt () with
+      | Bad _ -> attempt () (* one retry: short read racing a writer *)
+      | ok -> ok
+    in
+    match parsed with
+    | Good payload ->
+      bump c_hit n_hit;
+      Some payload
+    | Stale ->
+      (* a well-formed entry from another schema version: a plain miss,
+         not corruption (left in place for the version that owns it) *)
+      bump c_miss n_miss;
+      None
+    | Bad why ->
+      quarantine t path why;
+      bump c_miss n_miss;
+      None
+  end
 
 let store t key payload =
   let doc =
-    J.Obj [ ("schema", J.Int schema_version); ("payload", payload) ]
+    J.Obj
+      [
+        ("schema", J.Int schema_version);
+        ("checksum", J.Str (payload_checksum payload));
+        ("payload", payload);
+      ]
   in
   try
     if not (Sys.file_exists t.cache_dir) then Unix.mkdir t.cache_dir 0o755;
@@ -115,7 +170,8 @@ let find_or_add t ~key ~decode ~encode f =
     match decode payload with
     | Some v -> v
     | None ->
-      (* decodable JSON but not the expected shape *)
+      (* decodable JSON but not the expected shape; the store below
+         overwrites (= repairs) the entry, no quarantine needed *)
       bump c_corrupt n_corrupt;
       warn "ignoring undecodable entry %s" key;
       let v = f () in
@@ -157,7 +213,13 @@ let clear t =
         else n)
       0 files
 
-type counts = { hits : int; misses : int; stores : int; corrupt : int }
+type counts = {
+  hits : int;
+  misses : int;
+  stores : int;
+  corrupt : int;
+  quarantined : int;
+}
 
 let counts () =
   {
@@ -165,4 +227,5 @@ let counts () =
     misses = Atomic.get n_miss;
     stores = Atomic.get n_store;
     corrupt = Atomic.get n_corrupt;
+    quarantined = Atomic.get n_quarantined;
   }

@@ -8,14 +8,19 @@
     export, machine description or model parameters that feed the parts —
     addresses different entries.
 
-    Robustness: entries are written atomically (temp file + rename), and
-    a corrupted or truncated entry is treated as a miss (warned on
-    stderr, counted), never an error.  Lookups and stores are safe from
-    concurrent pool workers.
+    Robustness: entries are written atomically (temp file + rename) and
+    embed a payload checksum, so truncated or bit-flipped files are
+    detected even when they still parse as JSON.  A failing read is
+    retried once (a concurrent writer's rename can race it); an entry
+    that is still unreadable is moved to [<cache-dir>/quarantine/] for
+    post-mortem and treated as a miss (warned on stderr, counted) —
+    never an error.  Lookups and stores are safe from concurrent pool
+    workers.
 
-    Hits/misses/stores/corruption are mirrored into telemetry counters
-    ([engine.cache.hit] etc., recorded when telemetry is enabled) and into
-    always-on process-local counters exposed by {!counts}. *)
+    Hits/misses/stores/corruption/quarantines are mirrored into
+    telemetry counters ([engine.cache.hit] etc., recorded when telemetry
+    is enabled) and into always-on process-local counters exposed by
+    {!counts}. *)
 
 type t
 
@@ -37,8 +42,13 @@ val key : ?schema:int -> (string * string) list -> string
     a fixed field layout).  [schema] defaults to {!schema_version} and is
     part of the digested content. *)
 
+val quarantine_dir : t -> string
+(** [<cache-dir>/quarantine], where corrupt entries are moved. *)
+
 val find : t -> string -> Telemetry.Json.t option
-(** [None] on absence, corruption, or schema mismatch. *)
+(** [None] on absence, corruption, or schema mismatch.  Corrupt entries
+    (unparsable, missing fields, checksum mismatch) are quarantined
+    after one failed retry. *)
 
 val store : t -> string -> Telemetry.Json.t -> unit
 (** Atomic; creates the cache directory on first use.  I/O failures are
@@ -59,9 +69,16 @@ type stats = { entries : int; bytes : int }
 
 val stats : t -> stats
 val clear : t -> int
-(** Remove every entry; returns how many were removed. *)
+(** Remove every entry; returns how many were removed.  Quarantined
+    files are kept (they are post-mortem evidence, not entries). *)
 
-type counts = { hits : int; misses : int; stores : int; corrupt : int }
+type counts = {
+  hits : int;
+  misses : int;
+  stores : int;
+  corrupt : int;
+  quarantined : int;
+}
 
 val counts : unit -> counts
 (** Process-wide counters since startup (independent of telemetry

@@ -242,13 +242,15 @@ let bind_domain info ~param_values =
   in
   Bset.fix_params info.domain values
 
-let domain_cardinality ?pool _t info ~param_values =
-  Bset.cardinality ?pool (bind_domain info ~param_values)
+let domain_cardinality ?pool ?ctx _t info ~param_values =
+  let ctx = Engine.Ctx.of_legacy ?pool ctx in
+  Bset.cardinality ~ctx (bind_domain info ~param_values)
 
-let flop_count ?pool t ~param_values =
+let flop_count ?pool ?ctx t ~param_values =
+  let ctx = Engine.Ctx.of_legacy ?pool ctx in
   List.fold_left
     (fun acc info ->
-      let card = domain_cardinality ?pool t info ~param_values in
+      let card = domain_cardinality ~ctx t info ~param_values in
       acc + (Ir.flops_of_expr info.stmt.Ir.rhs * card))
     0 t.stmt_infos
 
@@ -274,10 +276,11 @@ let pp_isl ppf t =
 
 let export_isl t = Format.asprintf "%a" pp_isl t
 
-let flop_count_sym ?pool t =
+let flop_count_sym ?pool ?ctx t =
+  let ctx = Engine.Ctx.of_legacy ?pool ctx in
   match t.prog.Ir.params with
   | [ p ] ->
-    Count.interpolate ?pool
-      ~count:(fun n -> flop_count t ~param_values:[ (p, n) ])
+    Count.interpolate ~ctx
+      ~count:(fun n -> flop_count ~ctx t ~param_values:[ (p, n) ])
       ()
   | _ -> None

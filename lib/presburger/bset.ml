@@ -304,8 +304,9 @@ let memo_key t n_scan =
     (List.sort String.compare lines);
   Buffer.contents b
 
-let cardinality ?pool t =
+let cardinality ?pool ?ctx t =
   require_ground t "Bset.cardinality";
+  let ctx = Engine.Ctx.of_legacy ?pool ctx in
   let n_scan = tuple_dims t in
   let key = memo_key t n_scan in
   match
@@ -315,7 +316,14 @@ let cardinality ?pool t =
     Telemetry.tick c_memo_hit;
     n
   | None ->
-    let n = Poly.count_points ?pool ~n_scan t.poly in
+    (* governance: an exhausted budget raises out of [count_points]
+       before the memo-add below, so only exact counts are ever
+       memoized (degraded estimates never pollute the table) *)
+    let n =
+      Poly.count_points ?pool:(Engine.Ctx.pool ctx)
+        ?budget:(Engine.Ctx.budget ctx) ?cancel:(Engine.Ctx.cancel ctx)
+        ~n_scan t.poly
+    in
     Mutex.protect count_memo_mutex (fun () ->
         if Hashtbl.length count_memo >= count_memo_cap then
           Hashtbl.reset count_memo;

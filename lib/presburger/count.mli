@@ -28,6 +28,7 @@ val pp : Format.formatter -> quasi_poly -> unit
 
 val interpolate :
   ?pool:Engine.Pool.t ->
+  ?ctx:Engine.Ctx.t ->
   ?max_degree:int ->
   ?max_period:int ->
   ?base:int ->
@@ -39,12 +40,15 @@ val interpolate :
     quasi-polynomial consistent with all samples (degrees up to
     [max_degree], default 6; periods up to [max_period], default 8; [base]
     default 4).  Each candidate is validated on extra held-out samples.
-    [None] if nothing fits.  When [pool] is given, the not-yet-memoized
-    samples of each candidate are counted in parallel ([count] must then be
-    safe to call from several domains); the result is unchanged. *)
+    [None] if nothing fits.  When a pool is available (via [?pool] —
+    deprecated — or [ctx]), the not-yet-memoized samples of each candidate
+    are counted in parallel ([count] must then be safe to call from
+    several domains); the result is unchanged.  [ctx]'s cancellation and
+    budget are polled between candidate fits. *)
 
 val card_poly :
   ?pool:Engine.Pool.t ->
+  ?ctx:Engine.Ctx.t ->
   ?max_degree:int ->
   ?max_period:int ->
   ?base:int ->
@@ -52,3 +56,24 @@ val card_poly :
   quasi_poly option
 (** [card_poly instance] interpolates the cardinality of the family
     [instance n] (each instance must have its parameters already fixed). *)
+
+val card_estimate : ?ctx:Engine.Ctx.t -> Bset.t -> int
+(** Cheap cardinality estimate of a ground basic set, for use after an
+    exact count exhausted its budget: counts two shrunken copies
+    ((1/r)·P and (1/2r)·P, each within a fixed ≈50k-point cap under a
+    fresh fuel-only budget) and extrapolates the two leading Ehrhart
+    terms to the full dilation — relative error O(1/r), see DESIGN.md.
+    Sets with division variables or equality constraints (whose lattice
+    structure does not survive scaling) fall back to the bounding-box
+    product, an upper estimate.  The caller's deadline is deliberately
+    ignored — only its cancellation token is honored — so a just-expired
+    deadline still yields a number after a bounded amount of work.
+    Raises {!Poly.Unbounded} when the set has no finite bounding box. *)
+
+val card_gov : ?ctx:Engine.Ctx.t -> Bset.t -> int * Engine.Fidelity.t
+(** Governed cardinality: exact {!Bset.cardinality} under [ctx]; when the
+    budget runs out and its policy allows degradation, retry once under a
+    small fresh fuel-only budget (small sets stay exact even after the
+    deadline) and otherwise fall back to {!card_estimate}, recording the
+    degradation ({!Engine.Fidelity.note_degraded}).  With [degrade = Off]
+    the {!Engine.Budget.Exhausted} exception propagates. *)

@@ -541,26 +541,54 @@ let collapse_levels tower s nvar =
   done;
   collapse
 
-let count_points ?pool ?n_scan t =
+let count_points ?pool ?budget ?cancel ?n_scan t =
   let s = match n_scan with None -> t.nvar | Some s -> s in
   assert (s >= 0 && s <= t.nvar);
+  (* resource governance: the enumeration below is the pipeline's one
+     potentially-unbounded loop, so this is where deadlines, fuel and
+     cancellation are polled — in batches of [meter_batch] work units
+     (points + slices) to keep the hot path at an increment per unit *)
+  let governed = budget <> None || cancel <> None in
+  let guard () =
+    Option.iter Engine.Cancel.check cancel;
+    Option.iter Engine.Budget.check budget
+  in
+  let flush pending =
+    if !pending > 0 then begin
+      Option.iter Engine.Cancel.check cancel;
+      Option.iter (fun b -> Engine.Budget.spend b !pending) budget;
+      pending := 0
+    end
+  in
+  let meter_batch = 1024 in
   if definitely_false t then 0
   else begin
+    if governed then guard ();
     (* minimize first: smaller towers, tighter bounds, same integer set *)
     let t = remove_redundant t in
     let tower = elimination_tower t in
+    if governed then guard ();
     let collapse = collapse_levels tower s t.nvar in
     (* one counting job over levels [k0 .. s), with x.(0 .. k0-1) assigned;
        telemetry is accumulated locally and bulk-reported on exit *)
     let count_from x k0 =
       let scanned = ref 0 and slices = ref 0 in
+      let pending = ref 0 in
+      let meter () =
+        if governed then begin
+          incr pending;
+          if !pending >= meter_batch then flush pending
+        end
+      in
       let rec count k =
         if k = s then begin
           incr scanned;
+          meter ();
           if s = t.nvar || exists_from tower x t.nvar s then 1 else 0
         end
         else if collapse.(k) then begin
           incr slices;
+          meter ();
           (* product of decoupled slice lengths, shallowest first, stopping
              at the first empty level — exactly the set of levels the naive
              scan would have reached, so [Unbounded] behavior matches.
@@ -594,9 +622,14 @@ let count_points ?pool ?n_scan t =
             !acc
           | Some _ -> raise Unbounded
       in
-      let r = count k0 in
-      Telemetry.add c_points !scanned;
-      Telemetry.add c_slices !slices;
+      let r =
+        Fun.protect
+          ~finally:(fun () ->
+            Telemetry.add c_points !scanned;
+            Telemetry.add c_slices !slices)
+          (fun () -> count k0)
+      in
+      if governed then flush pending;
       r
     in
     let seq () = count_from (Array.make (max t.nvar 1) 0) 0 in
@@ -621,7 +654,7 @@ let count_points ?pool ?n_scan t =
                   let b = a + base - 1 + (if i < extra then 1 else 0) in
                   (a, b))
             in
-            Engine.Pool.map pool
+            Engine.Pool.map ?cancel pool
               (fun (a, b) ->
                 let x = Array.make (max t.nvar 1) 0 in
                 let acc = ref 0 in

@@ -87,7 +87,13 @@ val fold_points :
 
 val iter_points : ?n_scan:int -> t -> f:(int array -> unit) -> unit
 
-val count_points : ?pool:Engine.Pool.t -> ?n_scan:int -> t -> int
+val count_points :
+  ?pool:Engine.Pool.t ->
+  ?budget:Engine.Budget.t ->
+  ?cancel:Engine.Cancel.t ->
+  ?n_scan:int ->
+  t ->
+  int
 (** Number of points (of scanned-prefix projections when [n_scan] is
     given).  Unlike {!fold_points} this does not enumerate every point:
     after constraint minimization ({!remove_redundant}) it detects scan
@@ -95,7 +101,14 @@ val count_points : ?pool:Engine.Pool.t -> ?n_scan:int -> t -> int
     closed-form interval lengths instead of iterating (a box costs O(1),
     a triangular domain O(N)).  The result — including {!Unbounded}
     behavior — is identical to [count_points_naive].  When [pool] is given
-    the outermost scanned dimension is chunked across its workers. *)
+    the outermost scanned dimension is chunked across its workers.
+
+    Resource governance: with [budget]/[cancel], the slice loops meter
+    one work unit per scanned point or counted slice (polled in batches
+    of 1024) and raise {!Engine.Budget.Exhausted} /
+    {!Engine.Cancel.Cancelled} — the count is then abandoned; callers
+    with a degradation policy substitute an estimate
+    ({!Count.card_gov}). *)
 
 val count_points_naive : ?n_scan:int -> t -> int
 (** Reference implementation: enumerate with {!fold_points} and count.

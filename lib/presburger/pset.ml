@@ -265,10 +265,11 @@ let fold_points t ~init ~f =
    to small div-free unions (subtraction requires a div-free subtrahend
    and its piece count grows with the constraint count); everything else
    falls back to the enumerating dedup. *)
-let cardinality ?pool t =
+let cardinality ?pool ?ctx t =
+  let ctx = Engine.Ctx.of_legacy ?pool ctx in
   match t.disjuncts with
   | [] -> 0
-  | [ b ] -> Bset.cardinality ?pool b
+  | [ b ] -> Bset.cardinality ~ctx b
   | ds
     when List.length ds <= 8
          && List.for_all (fun b -> Bset.n_div b = 0) ds ->
@@ -283,13 +284,27 @@ let cardinality ?pool t =
         in
         let acc =
           List.fold_left
-            (fun acc piece -> Linalg.Ints.add acc (Bset.cardinality ?pool piece))
+            (fun acc piece -> Linalg.Ints.add acc (Bset.cardinality ~ctx piece))
             acc pieces
         in
         go acc (d :: prev) rest
     in
     go 0 [] ds
-  | _ -> fold_points t ~init:0 ~f:(fun n _ -> n + 1)
+  | _ ->
+    (* enumerating dedup fallback: meter each deduplicated point so the
+       budget bounds this path too *)
+    let pending = ref 0 in
+    let n =
+      fold_points t ~init:0 ~f:(fun n _ ->
+          incr pending;
+          if !pending >= 1024 then begin
+            Engine.Ctx.spend ctx !pending;
+            pending := 0
+          end;
+          n + 1)
+    in
+    Engine.Ctx.spend ctx !pending;
+    n
 
 let card = cardinality
 

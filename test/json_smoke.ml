@@ -1,13 +1,24 @@
 (* Smoke checker for `polyufc ... --json` output: the file must parse as
-   JSON and carry the expected top-level fields. Exit 0 on success. *)
+   JSON and carry the expected top-level fields.  An argument of the form
+   key=value additionally asserts the field's (stringified) value — used
+   by the deadline smoke rule to pin "fidelity=degraded".  Exit 0 on
+   success. *)
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
+let string_of_json = function
+  | Telemetry.Json.Str s -> s
+  | Telemetry.Json.Int i -> string_of_int i
+  | Telemetry.Json.Bool b -> string_of_bool b
+  | Telemetry.Json.Float f -> string_of_float f
+  | Telemetry.Json.Null -> "null"
+  | j -> Telemetry.Json.to_string j
+
 let () =
-  let path, required_keys =
+  let path, checks =
     match Array.to_list Sys.argv with
     | _ :: path :: keys -> (path, keys)
-    | _ -> fail "usage: json_smoke FILE [required-key...]"
+    | _ -> fail "usage: json_smoke FILE [required-key | key=value ...]"
   in
   let ic = open_in_bin path in
   let len = in_channel_length ic in
@@ -17,8 +28,20 @@ let () =
   | Error msg -> fail "%s: invalid JSON: %s" path msg
   | Ok doc ->
     List.iter
-      (fun key ->
-        if Telemetry.Json.member key doc = None then
-          fail "%s: missing required key %S" path key)
-      required_keys;
+      (fun check ->
+        let key, expected =
+          match String.index_opt check '=' with
+          | Some i ->
+            ( String.sub check 0 i,
+              Some (String.sub check (i + 1) (String.length check - i - 1)) )
+          | None -> (check, None)
+        in
+        match (Telemetry.Json.member key doc, expected) with
+        | None, _ -> fail "%s: missing required key %S" path key
+        | Some _, None -> ()
+        | Some v, Some expected ->
+          let got = string_of_json v in
+          if got <> expected then
+            fail "%s: key %S is %S, expected %S" path key got expected)
+      checks;
     Printf.printf "%s: ok (%d bytes)\n" path len

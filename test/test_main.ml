@@ -17,4 +17,5 @@ let () =
       ("workloads", Test_workloads.tests);
       ("telemetry", Test_telemetry.tests);
       ("engine", Test_engine.tests);
+      ("govern", Test_govern.tests);
     ]
