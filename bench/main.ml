@@ -826,10 +826,16 @@ let write_report path experiment_times =
         ("telemetry", Telemetry.stats_json ());
       ]
   in
-  let oc = open_out path in
-  output_string oc (J.to_string report);
-  close_out oc;
-  pf "[report written to %s]\n" path
+  (* atomic write: a crash (or an injected io.report_write fault) mid-way
+     never leaves a truncated bench_report.json for trajectory tooling to
+     choke on — either the old report survives or the new one is complete *)
+  match
+    Engine.Io.write_atomic ~fault:Engine.Faultsim.Io_report_write path
+      (J.to_string report)
+  with
+  | () -> pf "[report written to %s]\n" path
+  | exception (Sys_error _ | Unix.Unix_error _ | Engine.Faultsim.Injected _) ->
+    pf "[warning: report not written to %s]\n" path
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -126,7 +126,24 @@ let with_telemetry (trace, stats) f =
     Format.eprintf "%a@.%a@." Telemetry.pp_tree () Telemetry.pp_stats ();
   r
 
+(* Crash-proof boundary: a subcommand body that lets any exception
+   escape — malformed input, exhausted budget, a fault that survived the
+   engine's retries — terminates through a structured Guard diagnostic
+   with a defined exit code.  In --json mode the diagnostic is printed as
+   a top-level {"error": ...} object on stdout, so consumers always get
+   well-formed JSON. *)
+let guarded ?(json = false) f =
+  match Engine.Guard.protect f with
+  | Ok () -> ()
+  | Error d ->
+    if json then
+      Report.print_json
+        (Telemetry.Json.Obj [ ("error", Engine.Guard.json_of d) ]);
+    Format.eprintf "polyufc: %a@." Engine.Guard.pp d;
+    exit d.Engine.Guard.code
+
 let load ~workload ~file ~sizes =
+  Engine.Guard.phase "parse" @@ fun () ->
   match workload with
   | Some name ->
     let w = Workloads.find name in
@@ -146,6 +163,7 @@ let load_term =
 
 let parse_cmd =
   let run (workload, file, sizes) =
+    guarded @@ fun () ->
     let prog, _ = load ~workload ~file ~sizes in
     Format.printf "%s@." (Polylang.to_string prog)
   in
@@ -154,6 +172,7 @@ let parse_cmd =
 
 let tile_cmd =
   let run (workload, file, sizes) tile_size =
+    guarded @@ fun () ->
     let prog, _ = load ~workload ~file ~sizes in
     let r = Poly_ir.Tiling.tile ~tile_size prog in
     Format.printf "%a@.%s@." Poly_ir.Tiling.pp_report r
@@ -164,6 +183,7 @@ let tile_cmd =
 
 let analyze_cmd =
   let run (workload, file, sizes) machine tile_size telemetry json res =
+    guarded ~json @@ fun () ->
     with_telemetry telemetry @@ fun () ->
     Resource_flags.with_ctx res @@ fun ~ctx ->
     let prog, sizes = load ~workload ~file ~sizes in
@@ -182,6 +202,7 @@ let analyze_cmd =
 
 let characterize_cmd =
   let run (workload, file, sizes) machine tile_size telemetry =
+    guarded @@ fun () ->
     with_telemetry telemetry @@ fun () ->
     let prog, sizes = load ~workload ~file ~sizes in
     let tiled = Poly_ir.Tiling.tile_program ~tile_size prog in
@@ -202,6 +223,7 @@ let characterize_cmd =
 let search_cmd =
   let run (workload, file, sizes) machine tile_size epsilon objective telemetry
       json res =
+    guarded ~json @@ fun () ->
     with_telemetry telemetry @@ fun () ->
     Resource_flags.with_ctx res @@ fun ~ctx ->
     let prog, sizes = load ~workload ~file ~sizes in
@@ -222,6 +244,7 @@ let search_cmd =
 let run_cmd =
   let run (workload, file, sizes) machine tile_size epsilon objective telemetry
       json res =
+    guarded ~json @@ fun () ->
     with_telemetry telemetry @@ fun () ->
     Resource_flags.with_ctx res @@ fun ~ctx ->
     let prog, sizes = load ~workload ~file ~sizes in
@@ -246,6 +269,7 @@ let run_cmd =
 
 let scop_cmd =
   let run (workload, file, sizes) tile tile_size =
+    guarded @@ fun () ->
     let prog, _ = load ~workload ~file ~sizes in
     let prog =
       if tile then Poly_ir.Tiling.tile_program ~tile_size prog else prog
@@ -309,9 +333,12 @@ let parse_manifest path =
 
 let batch_cmd =
   let run manifest machine tile_size epsilon objective telemetry json res =
+    guarded ~json @@ fun () ->
     with_telemetry telemetry @@ fun () ->
     Resource_flags.with_ctx res @@ fun ~ctx ->
-    let entries = parse_manifest manifest in
+    let entries =
+      Engine.Guard.phase "parse" (fun () -> parse_manifest manifest)
+    in
     let k = Roofline.microbench machine in
     let compile_one (line, name, sizes) =
       match Workloads.find_opt name with

@@ -1,7 +1,7 @@
 (* Shared resource-governance flags for the CLI.
 
    Every analysis subcommand (analyze / search / run / batch) takes the
-   same six flags and resolves them into one Engine.Ctx.t:
+   same flag set and resolves it into one Engine.Ctx.t:
 
      --jobs N         worker domains (0 = one per core)
      --no-cache       do not consult or populate the result cache
@@ -9,10 +9,20 @@
      --deadline SEC   wall-clock budget for the whole request
      --fuel N         abstract work-unit budget
      --degrade MODE   off | interp: what to do when the budget trips
+     --fault-plan P   (hidden) arm Engine.Faultsim injection sites
 
-   SIGINT is wired to the context's cancellation token, so ^C unwinds
-   the pipeline cooperatively (workers abandon queued jobs, no partial
-   cache writes) instead of killing the process mid-write. *)
+   Flag values are validated here (exit 2 on nonsense like a negative
+   deadline) so downstream code never sees them.
+
+   SIGINT is wired to the context's cancellation token, so the first ^C
+   unwinds the pipeline cooperatively (workers abandon queued jobs, no
+   partial cache writes).  The handler then restores the default SIGINT
+   disposition: the token is one-shot, so a second ^C force-quits
+   instead of being swallowed.
+
+   Governance exceptions (Budget.Exhausted / Cancel.Cancelled) are *not*
+   handled here — they unwind to the subcommand's Engine.Guard boundary,
+   which owns exit codes and the --json error object. *)
 
 open Cmdliner
 
@@ -23,11 +33,8 @@ type t = {
   deadline_s : float option;
   fuel : int option;
   degrade : Engine.Budget.degrade;
+  fault_plan : string option;
 }
-
-(* distinct from Cmdliner's own 123/124/125 reserved codes *)
-let exit_exhausted = 4
-let exit_cancelled = 130 (* shell convention for death-by-SIGINT *)
 
 let jobs_arg =
   Arg.(
@@ -85,19 +92,54 @@ let degrade_arg =
            estimators and marks the result $(i,degraded); $(b,off) makes \
            exhaustion a hard error (exit 4).")
 
+(* Hidden from the manpage: a chaos-testing hook, same syntax as the
+   FAULTSIM environment variable (which it overrides). *)
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"PLAN" ~docs:Manpage.s_none
+        ~doc:"Arm fault-injection sites ($(b,site:prob:seed,...)).")
+
 let term =
-  let make jobs no_cache cache_dir deadline_s fuel degrade =
-    { jobs; no_cache; cache_dir; deadline_s; fuel; degrade }
+  let make jobs no_cache cache_dir deadline_s fuel degrade fault_plan =
+    { jobs; no_cache; cache_dir; deadline_s; fuel; degrade; fault_plan }
   in
   Term.(
     const make $ jobs_arg $ no_cache_arg $ cache_dir_arg $ deadline_arg
-    $ fuel_arg $ degrade_arg)
+    $ fuel_arg $ degrade_arg $ fault_plan_arg)
+
+let usage_error fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "polyufc: %s@." msg;
+      exit Engine.Guard.exit_usage)
+    fmt
+
+let validate t =
+  if t.jobs < 0 then
+    usage_error "invalid --jobs %d (want N >= 0; 0 means one per core)" t.jobs;
+  (match t.deadline_s with
+  | Some d when d <= 0.0 ->
+    usage_error "invalid --deadline %g (want a positive number of seconds)" d
+  | _ -> ());
+  (match t.fuel with
+  | Some n when n <= 0 ->
+    usage_error "invalid --fuel %d (want a positive work-unit count)" n
+  | _ -> ());
+  match t.fault_plan with
+  | None -> ()
+  | Some plan -> (
+    match Engine.Faultsim.parse_plan plan with
+    | Ok p -> Engine.Faultsim.install p
+    | Error msg -> usage_error "invalid --fault-plan: %s" msg)
 
 (* Resolve the flags into a live context and run [f] with it; the pool is
-   shut down afterwards (also on exceptions), SIGINT cancels the token,
-   and governance exceptions become exit codes. *)
+   shut down afterwards (also on exceptions) and SIGINT cancels the
+   token. *)
 let with_ctx t f =
-  let jobs = if t.jobs <= 0 then Engine.Pool.default_jobs () else t.jobs in
+  validate t;
+  let jobs = if t.jobs = 0 then Engine.Pool.default_jobs () else t.jobs in
   let cache =
     if t.no_cache then None else Some (Engine.Rcache.create ?dir:t.cache_dir ())
   in
@@ -115,7 +157,11 @@ let with_ctx t f =
         (Sys.signal Sys.sigint
            (Sys.Signal_handle
               (fun _ ->
-                Engine.Cancel.cancel ~reason:"interrupted (SIGINT)" cancel)))
+                Engine.Cancel.cancel ~reason:"interrupted (SIGINT)" cancel;
+                (* the token is spent: hand ^C back to the default
+                   disposition so a second one force-quits *)
+                try Sys.set_signal Sys.sigint Sys.Signal_default
+                with Invalid_argument _ | Sys_error _ -> ())))
     with Invalid_argument _ | Sys_error _ -> None
   in
   let restore () =
@@ -124,18 +170,6 @@ let with_ctx t f =
     | None -> ()
   in
   Fun.protect ~finally:restore @@ fun () ->
-  match
-    Engine.Pool.with_pool ~jobs (fun pool ->
-        let ctx = Engine.Ctx.create ~pool ?cache ?budget ~cancel () in
-        f ~ctx)
-  with
-  | r -> r
-  | exception Engine.Budget.Exhausted msg ->
-    Format.eprintf
-      "polyufc: resource budget exhausted: %s (re-run with a larger \
-       --deadline/--fuel, or --degrade=interp for an estimate)@."
-      msg;
-    exit exit_exhausted
-  | exception Engine.Cancel.Cancelled reason ->
-    Format.eprintf "polyufc: cancelled: %s@." reason;
-    exit exit_cancelled
+  Engine.Pool.with_pool ~jobs (fun pool ->
+      let ctx = Engine.Ctx.create ~pool ?cache ?budget ~cancel () in
+      f ~ctx)

@@ -163,8 +163,17 @@ let cm_of_json ~machine ~mode j =
 let analyze_gov ?(ctx = Engine.Ctx.none) ~mode ~apply_thread_heuristic ~machine
     prog ~param_values =
   let compute () =
-    M.analyze_gov ~ctx ~mode ~apply_thread_heuristic ~machine prog
-      ~param_values
+    (* Self-healing: losing pool jobs inside the counting fan-outs would
+       silently skew the cache-model numbers, so when the supervised pool
+       gives up on a job we redo the whole analysis inline (exact, just
+       not parallel) rather than accept partial counts. *)
+    try
+      M.analyze_gov ~ctx ~mode ~apply_thread_heuristic ~machine prog
+        ~param_values
+    with Engine.Pool.Worker_failure _ ->
+      M.analyze_gov
+        ~ctx:(Engine.Ctx.without_pool ctx)
+        ~mode ~apply_thread_heuristic ~machine prog ~param_values
   in
   match Engine.Ctx.cache ctx with
   | None -> compute ()

@@ -90,6 +90,13 @@ let compile ?pool ?cache ?ctx ?(objective = Search.Edp) ?(epsilon = 1e-3)
      aborts only under degrade=off — otherwise downstream phases run on
      (possibly degraded) results *)
   Engine.Ctx.checkpoint ctx;
+  (* Jobs terminally abandoned by the supervised pool (Worker_failure
+     after max_retries) degrade the result instead of failing it; the
+     worst pool fidelity across fan-outs merges into [compiled.fidelity]. *)
+  let pool_fidelity = ref Engine.Fidelity.Exact in
+  let note_partial fid =
+    pool_fidelity := Engine.Fidelity.worst !pool_fidelity fid
+  in
   (* (1) preprocess: validation + SCoP extraction + per-statement domain
      sanity (an empty iteration domain under the given sizes means a dead
      statement and usually a sizing mistake) *)
@@ -117,9 +124,11 @@ let compile ?pool ?cache ?ctx ?(objective = Search.Edp) ?(epsilon = 1e-3)
         match pool with
         | None -> List.iter check_domain scop.Scop.stmt_infos
         | Some pool ->
-          ignore
-            (Engine.Pool.map ?cancel pool check_domain scop.Scop.stmt_infos
-              : unit list))
+          let (_ : unit list), fid =
+            Engine.Pool.map_partial ?cancel pool check_domain
+              scop.Scop.stmt_infos
+          in
+          note_partial fid)
   in
   Engine.Ctx.checkpoint ctx;
   (* (2) Pluto *)
@@ -240,7 +249,12 @@ let compile ?pool ?cache ?ctx ?(objective = Search.Edp) ?(epsilon = 1e-3)
         let decisions =
           match pool with
           | None -> List.map decide_region regions
-          | Some pool -> Engine.Pool.map ?cancel pool decide_region regions
+          | Some pool ->
+            let ds, fid =
+              Engine.Pool.map_partial ?cancel pool decide_region regions
+            in
+            note_partial fid;
+            ds
         in
         (* cap schedule with redundant-cap removal (the paper's
            pattern-rewrite): a region whose cap equals the previously
@@ -266,7 +280,8 @@ let compile ?pool ?cache ?ctx ?(objective = Search.Edp) ?(epsilon = 1e-3)
     cm;
     profile;
     timing = { preprocess_s; pluto_s; cm_s; steps456_s };
-    fidelity = cm.Cache_model.Model.fidelity;
+    fidelity =
+      Engine.Fidelity.worst cm.Cache_model.Model.fidelity !pool_fidelity;
   }
 
 type evaluation = {

@@ -38,3 +38,5 @@ let degrade_allowed t =
   match t.budget with
   | Some b -> Budget.degrade b = Budget.Interp
   | None -> false
+
+let without_pool t = { t with pool = None }

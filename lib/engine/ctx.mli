@@ -55,3 +55,8 @@ val spend : t -> int -> unit
 
 val degrade_allowed : t -> bool
 (** [true] iff there is a budget whose policy is [Interp]. *)
+
+val without_pool : t -> t
+(** The same context with parallel fan-out disabled.  Self-healing
+    fallbacks use this to re-run a computation inline after a pooled
+    attempt lost jobs to {!Pool.Worker_failure}. *)

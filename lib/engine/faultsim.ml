@@ -1,0 +1,196 @@
+(* Deterministic, seeded fault injection.
+
+   Each armed site owns a splitmix64 stream seeded only by the plan, so a
+   given plan replays the same fault sequence on every run of a
+   deterministic program.  Streams advance by CAS so concurrent domains
+   never observe the same draw twice; the *set* of firings is then
+   deterministic even if their assignment to domains is not. *)
+
+type site =
+  | Pool_worker_crash
+  | Pool_worker_stall
+  | Rcache_torn_write
+  | Rcache_enospc
+  | Rcache_read_corrupt
+  | Io_report_write
+
+let all_sites =
+  [
+    Pool_worker_crash;
+    Pool_worker_stall;
+    Rcache_torn_write;
+    Rcache_enospc;
+    Rcache_read_corrupt;
+    Io_report_write;
+  ]
+
+let site_index = function
+  | Pool_worker_crash -> 0
+  | Pool_worker_stall -> 1
+  | Rcache_torn_write -> 2
+  | Rcache_enospc -> 3
+  | Rcache_read_corrupt -> 4
+  | Io_report_write -> 5
+
+let n_sites = List.length all_sites
+
+let site_name = function
+  | Pool_worker_crash -> "pool.worker_crash"
+  | Pool_worker_stall -> "pool.worker_stall"
+  | Rcache_torn_write -> "rcache.torn_write"
+  | Rcache_enospc -> "rcache.enospc"
+  | Rcache_read_corrupt -> "rcache.read_corrupt"
+  | Io_report_write -> "io.report_write"
+
+let site_of_name s =
+  List.find_opt (fun site -> String.equal (site_name site) s) all_sites
+
+exception Injected of site
+
+let () =
+  Printexc.register_printer (function
+    | Injected site ->
+        Some (Printf.sprintf "Engine.Faultsim.Injected(%s)" (site_name site))
+    | _ -> None)
+
+type arm = { prob : float; seed : int }
+type plan = arm option array (* indexed by site_index; length n_sites *)
+
+let empty_plan : plan = Array.make n_sites None
+
+(* splitmix64 — tiny, high-quality, and trivially seedable. *)
+let splitmix64_next state =
+  let z = Int64.add state 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (z, Int64.logxor z (Int64.shift_right_logical z 31))
+
+(* Map a draw to a float in [0, 1) using the top 53 bits. *)
+let u01_of_bits bits =
+  Int64.to_float (Int64.shift_right_logical bits 11) *. (1.0 /. 9007199254740992.0)
+
+type stream = { arm : arm; state : int64 Atomic.t }
+
+(* The armed runtime: one optional stream per site.  Replaced wholesale by
+   [install]; [fire] reads it through a single Atomic.get. *)
+let streams : stream option array Atomic.t =
+  Atomic.make (Array.make n_sites None)
+
+let fired : int Atomic.t array = Array.init n_sites (fun _ -> Atomic.make 0)
+
+let fault_counters =
+  let by_index = Array.make n_sites (Telemetry.counter "engine.fault.none") in
+  List.iter
+    (fun site ->
+      by_index.(site_index site) <-
+        Telemetry.counter ("engine.fault." ^ site_name site))
+    all_sites;
+  by_index
+
+let parse_arm s =
+  match String.split_on_char ':' s with
+  | [ name; prob; seed ] -> (
+      match site_of_name (String.trim name) with
+      | None -> Error (Printf.sprintf "unknown fault site %S" (String.trim name))
+      | Some site -> (
+          match (float_of_string_opt (String.trim prob), int_of_string_opt (String.trim seed)) with
+          | Some p, Some sd when p >= 0.0 && p <= 1.0 && sd >= 0 ->
+              Ok (site, { prob = p; seed = sd })
+          | Some p, _ when p < 0.0 || p > 1.0 ->
+              Error (Printf.sprintf "fault probability %g out of [0,1] for %s" p (String.trim name))
+          | _ -> Error (Printf.sprintf "malformed fault entry %S (want site:prob:seed)" s)))
+  | _ -> Error (Printf.sprintf "malformed fault entry %S (want site:prob:seed)" s)
+
+let parse_plan s =
+  let entries =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun e -> e <> "")
+  in
+  if entries = [] then Error "empty fault plan"
+  else
+    let plan = Array.make n_sites None in
+    let rec go = function
+      | [] -> Ok plan
+      | e :: rest -> (
+          match parse_arm e with
+          | Error _ as err -> err
+          | Ok (site, arm) ->
+              plan.(site_index site) <- Some arm;
+              go rest)
+    in
+    go entries
+
+let plan_to_string (plan : plan) =
+  List.filter_map
+    (fun site ->
+      match plan.(site_index site) with
+      | None -> None
+      | Some { prob; seed } ->
+          Some (Printf.sprintf "%s:%g:%d" (site_name site) prob seed))
+    all_sites
+  |> String.concat ","
+
+let installed_plan : plan Atomic.t = Atomic.make empty_plan
+
+let install (plan : plan) =
+  Atomic.set installed_plan plan;
+  Atomic.set streams
+    (Array.map
+       (function
+         | None -> None
+         | Some arm ->
+             (* Mix the seed through one splitmix step so seed 0 does not
+                yield the all-zero state. *)
+             let state, _ = splitmix64_next (Int64.of_int arm.seed) in
+             Some { arm; state = Atomic.make state })
+       plan)
+
+let installed () = Atomic.get installed_plan
+
+let active () =
+  Array.exists (function Some _ -> true | None -> false) (Atomic.get streams)
+
+let with_plan plan f =
+  let prev = installed () in
+  install plan;
+  Fun.protect ~finally:(fun () -> install prev) f
+
+let suspended f = with_plan empty_plan f
+
+let fire site =
+  match (Atomic.get streams).(site_index site) with
+  | None -> false
+  | Some { arm; state } ->
+      if arm.prob <= 0.0 then false
+      else
+        (* Advance the stream with CAS so each draw is consumed once. *)
+        let rec draw () =
+          let cur = Atomic.get state in
+          let next, bits = splitmix64_next cur in
+          if Atomic.compare_and_set state cur next then bits else draw ()
+        in
+        let hit = arm.prob >= 1.0 || u01_of_bits (draw ()) < arm.prob in
+        if hit then begin
+          Atomic.incr fired.(site_index site);
+          Telemetry.tick fault_counters.(site_index site)
+        end;
+        hit
+
+let raise_if site = if fire site then raise (Injected site)
+let injected_count site = Atomic.get fired.(site_index site)
+
+let stall_seconds () =
+  match Sys.getenv_opt "FAULTSIM_STALL_S" with
+  | Some s -> ( match float_of_string_opt s with Some f when f >= 0.0 -> f | _ -> 0.2)
+  | None -> 0.2
+
+(* Arm from the environment at startup so FAULTSIM=... reaches every
+   entry point (CLI, bench, tests) without plumbing. *)
+let () =
+  match Sys.getenv_opt "FAULTSIM" with
+  | None | Some "" -> ()
+  | Some s -> (
+      match parse_plan s with
+      | Ok plan -> install plan
+      | Error msg ->
+          Printf.eprintf "polyufc: warning: ignoring FAULTSIM (%s)\n%!" msg)

@@ -1,0 +1,82 @@
+(** Deterministic, seeded fault injection for the analysis engine.
+
+    Every failure mode the engine claims to survive — a worker domain
+    dying mid-job, a stalled worker, a torn or [ENOSPC]-interrupted cache
+    write, a corrupted cache read, a failing report write — has a named
+    {e injection site} here.  A {e fault plan} arms sites with a firing
+    probability and a seed; the per-site pseudo-random stream is derived
+    only from the seed, so a given plan reproduces the same fault
+    sequence in every run of a deterministic program.  With no plan
+    installed (the default), every [fire] is a single array load — the
+    production hot paths stay effectively free.
+
+    Plans come from the [FAULTSIM] environment variable (read once at
+    startup) or the hidden [--fault-plan] CLI flag, both in the syntax
+    accepted by {!parse_plan}: [site:prob:seed] triplets separated by
+    commas, e.g. [pool.worker_crash:0.05:42,rcache.torn_write:0.05:42]. *)
+
+type site =
+  | Pool_worker_crash  (** a pool worker domain dies with a job in flight *)
+  | Pool_worker_stall  (** a pool worker sleeps {!stall_seconds} before a job *)
+  | Rcache_torn_write  (** a cache store writes only half its payload *)
+  | Rcache_enospc  (** a cache store hits [ENOSPC] *)
+  | Rcache_read_corrupt  (** a cache read returns flipped bytes *)
+  | Io_report_write  (** an atomic report write fails *)
+
+val all_sites : site list
+
+val site_name : site -> string
+(** The wire name used in plans and telemetry ([pool.worker_crash], …). *)
+
+val site_of_name : string -> site option
+
+exception Injected of site
+(** Raised by {!raise_if} (and by {!Io.write_atomic} under an armed
+    [?fault] site) where an injected failure is simulated as an
+    exception. *)
+
+type plan
+
+val empty_plan : plan
+(** Arms nothing; {!install}ing it disables injection. *)
+
+val parse_plan : string -> (plan, string) result
+(** Parse [site:prob:seed,...].  [prob] is a float in [\[0, 1\]], [seed]
+    a non-negative integer.  Unknown sites, malformed triplets and
+    out-of-range probabilities are errors. *)
+
+val plan_to_string : plan -> string
+
+val install : plan -> unit
+(** Replace the process-wide plan (per-site streams restart from their
+    seeds).  Installing {!empty_plan} disarms every site. *)
+
+val installed : unit -> plan
+(** The currently armed plan (for save/restore). *)
+
+val active : unit -> bool
+(** True iff at least one site is armed. *)
+
+val with_plan : plan -> (unit -> 'a) -> 'a
+(** [install] the plan, run, restore the previous plan (also on
+    exceptions).  Process-global: not for use from concurrent domains. *)
+
+val suspended : (unit -> 'a) -> 'a
+(** [with_plan empty_plan] — run with injection disabled.  For tests that
+    pin exact non-faulty behaviour while a global chaos plan is armed. *)
+
+val fire : site -> bool
+(** Advance the site's seeded stream and report whether the fault fires
+    this time.  Always [false] for an unarmed site (without touching any
+    stream).  Domain-safe; each firing is counted (telemetry counter
+    [engine.fault.<site>] and {!injected_count}). *)
+
+val raise_if : site -> unit
+(** [if fire site then raise (Injected site)]. *)
+
+val injected_count : site -> int
+(** Process-wide firings of the site since startup (across plans). *)
+
+val stall_seconds : unit -> float
+(** How long {!Pool_worker_stall} sleeps (default 0.2 s; override with
+    the [FAULTSIM_STALL_S] environment variable). *)

@@ -1,0 +1,104 @@
+let exit_ok = 0
+let exit_usage = 2
+let exit_invalid_input = 3
+let exit_exhausted = 4
+let exit_internal = 5
+let exit_interrupted = 130
+
+type diagnostic = {
+  code : int;
+  phase : string;
+  message : string;
+  span : string option;
+}
+
+let json_of d =
+  let open Telemetry.Json in
+  Obj
+    [
+      ("code", Int d.code);
+      ("phase", Str d.phase);
+      ("message", Str d.message);
+      ("span", match d.span with Some s -> Str s | None -> Null);
+    ]
+
+let pp ppf d =
+  Format.fprintf ppf "error [%s%s]: %s" d.phase
+    (match d.span with Some s -> ", " ^ s | None -> "")
+    d.message
+
+type verdict = Invalid_input of { message : string; span : string option }
+
+let classifiers : (exn -> verdict option) list ref = ref []
+let classifiers_mutex = Mutex.create ()
+
+let register_classifier c =
+  Mutex.protect classifiers_mutex (fun () -> classifiers := !classifiers @ [ c ])
+
+let classify e =
+  List.find_map (fun c -> try c e with _ -> None) !classifiers
+
+(* Frontend errors conventionally read "line N: <what>"; lift the
+   location prefix into the span field so machine consumers need not
+   re-parse the message. *)
+let invalid msg =
+  let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s in
+  match String.index_opt msg ':' with
+  | Some i
+    when i > 5
+         && String.sub msg 0 5 = "line "
+         && is_digits (String.sub msg 5 (i - 5)) ->
+      let rest = String.sub msg (i + 1) (String.length msg - i - 1) in
+      Invalid_input
+        { message = String.trim rest; span = Some (String.sub msg 0 i) }
+  | _ -> Invalid_input { message = msg; span = None }
+
+(* The innermost phase label is deliberately *not* restored when [f]
+   raises: the enclosing [protect] reads it to attribute the failure. *)
+let current_phase = ref "run"
+
+let phase name f =
+  let prev = !current_phase in
+  current_phase := name;
+  let r = f () in
+  current_phase := prev;
+  r
+
+let trapped = Telemetry.counter "engine.guard_trapped"
+
+let protect ?phase:(label = "run") f =
+  let prev = !current_phase in
+  current_phase := label;
+  let finish r =
+    current_phase := prev;
+    r
+  in
+  match f () with
+  | v -> finish (Ok v)
+  | exception e ->
+      let at = !current_phase in
+      let diag =
+        match e with
+        | Budget.Exhausted msg ->
+            { code = exit_exhausted; phase = at; message = msg; span = None }
+        | Cancel.Cancelled reason ->
+            { code = exit_interrupted; phase = at; message = reason; span = None }
+        | e -> (
+            match classify e with
+            | Some (Invalid_input { message; span }) ->
+                Telemetry.tick trapped;
+                { code = exit_invalid_input; phase = at; message; span }
+            | None -> (
+                Telemetry.tick trapped;
+                match e with
+                | Invalid_argument m | Failure m | Sys_error m ->
+                    { code = exit_invalid_input; phase = at; message = m; span = None }
+                | e ->
+                    {
+                      code = exit_internal;
+                      phase = at;
+                      message = Printexc.to_string e;
+                      span = None;
+                    }))
+      in
+      finish (Error diag)

@@ -1,0 +1,69 @@
+(** Crash-proof boundary for the CLI and other frontends: run a
+    computation and convert any escaped exception into a structured
+    diagnostic with a defined exit code, so callers always terminate
+    cleanly and [--json] output always stays well-formed.
+
+    Frontend libraries register {e classifiers} that recognise their own
+    exception types (parse errors, lowering errors) as invalid input;
+    everything unclassified is an internal fault. *)
+
+(** {1 Exit codes} *)
+
+val exit_ok : int (* 0  — success *)
+val exit_usage : int (* 2  — bad command line *)
+val exit_invalid_input : int (* 3  — malformed input program *)
+val exit_exhausted : int (* 4  — deadline/fuel exhausted, no degrade *)
+val exit_internal : int (* 5  — internal fault that survived retries *)
+val exit_interrupted : int (* 130 — cancelled by SIGINT *)
+
+(** {1 Diagnostics} *)
+
+type diagnostic = {
+  code : int;  (** process exit code, one of the values above *)
+  phase : string;  (** innermost {!phase} active when the exception escaped *)
+  message : string;
+  span : string option;  (** input location such as ["line 3"], when known *)
+}
+
+val json_of : diagnostic -> Telemetry.Json.t
+(** [{"code": .., "phase": .., "message": .., "span": ..}] — the object
+    emitted under the top-level ["error"] key in [--json] mode. *)
+
+val pp : Format.formatter -> diagnostic -> unit
+(** One-line human rendering for stderr. *)
+
+(** {1 Classification} *)
+
+type verdict =
+  | Invalid_input of { message : string; span : string option }
+      (** the exception means the {e input} is bad (exit 3), not the tool *)
+
+val register_classifier : (exn -> verdict option) -> unit
+(** Called by frontend libraries at module initialization.  Classifiers
+    are consulted in registration order; the first [Some] wins. *)
+
+val invalid : string -> verdict
+(** Build an [Invalid_input] verdict from a frontend message, lifting a
+    leading ["line N"] prefix (the frontends' conventional location
+    format) into the span. *)
+
+(** {1 Protection} *)
+
+val phase : string -> (unit -> 'a) -> 'a
+(** Label the current pipeline phase ("parse", "lower", "analyze", …) for
+    diagnostics.  Nests; an exception escaping [f] leaves the innermost
+    label visible to the enclosing {!protect}. *)
+
+val protect : ?phase:string -> (unit -> 'a) -> ('a, diagnostic) result
+(** Run [f], trapping every exception:
+
+    - {!Budget.Exhausted} → {!exit_exhausted}
+    - {!Cancel.Cancelled} → {!exit_interrupted}
+    - a registered classifier's [Invalid_input], or a bare
+      [Invalid_argument] / [Failure] / [Sys_error] → {!exit_invalid_input}
+    - anything else (including {!Pool.Worker_failure} and
+      {!Faultsim.Injected}) → {!exit_internal}
+
+    Invalid-input and internal traps tick the [engine.guard_trapped]
+    counter; resource outcomes (4/130) do not — they are cooperative
+    shutdowns, not trapped crashes. *)

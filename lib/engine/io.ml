@@ -1,0 +1,31 @@
+let enospc = function
+  | Unix.Unix_error (Unix.ENOSPC, _, _) -> true
+  | _ -> false
+
+let write_once ?(fsync = true) ?fault path contents =
+  (match fault with Some site -> Faultsim.raise_if site | None -> ());
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc contents;
+        flush oc;
+        if fsync then
+          try Unix.fsync (Unix.descr_of_out_channel oc) with _ -> ());
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let write_atomic ?fsync ?fault ?(on_retry = ignore) path contents =
+  try write_once ?fsync ?fault path contents with
+  | Unix.Unix_error _ as e when enospc e -> raise e
+  | Sys_error _ | Unix.Unix_error _ | Faultsim.Injected _ ->
+      (* One retry on transient failure; a second failure propagates. *)
+      on_retry ();
+      write_once ?fsync ?fault path contents

@@ -1,0 +1,27 @@
+(** Durable single-file writes shared by the result cache and report
+    emitters: temp file in the destination directory, flush + [fsync],
+    atomic rename.  A reader can never observe a half-written file. *)
+
+val write_atomic :
+  ?fsync:bool ->
+  ?fault:Faultsim.site ->
+  ?on_retry:(unit -> unit) ->
+  string ->
+  string ->
+  unit
+(** [write_atomic path contents] writes [contents] to [path] atomically.
+
+    [?fsync] (default [true]) syncs the temp file before the rename so
+    the rename never publishes data the kernel has not persisted; fsync
+    errors on exotic filesystems are ignored (the rename still gives
+    atomicity).
+
+    [?fault] names a {!Faultsim} site to probe before writing — if the
+    site fires, the write fails with {!Faultsim.Injected} as if the OS
+    had failed it.
+
+    Transient failures ([Sys_error], non-[ENOSPC] [Unix.Unix_error],
+    injected faults) are retried once, calling [?on_retry] in between;
+    the temp file is removed on every failure path.  [ENOSPC] is not
+    transient and is re-raised immediately so callers can degrade
+    (e.g. {!Rcache} flips to read-only). *)

@@ -5,14 +5,34 @@
 
    A domain-local flag marks pool workers so that a nested [map] issued
    from inside a job runs inline on that worker instead of deadlocking on
-   the queue it is itself supposed to drain. *)
+   the queue it is itself supposed to drain.
+
+   Workers are *supervised*: a worker domain that dies (in practice via
+   the [pool.worker_crash] fault-injection site — job exceptions proper
+   are caught into futures and cannot kill a worker) requeues its
+   in-flight job with capped exponential backoff, spawns its own
+   replacement, and only then exits.  A job that keeps landing on dying
+   workers is abandoned after [max_retries] requeues with
+   {!Worker_failure}, turning unbounded bad luck into a bounded, counted
+   per-job failure instead of a hang or a poisoned pool. *)
 
 exception Cancelled
 
-type job = unit -> unit
+exception Worker_failure of string
+
+type job = {
+  mutable attempts : int;  (* completed crash-requeue cycles *)
+  run : unit -> unit;
+  abandon : exn -> unit;  (* fail the job's future without running it *)
+}
+
+(* Simulated worker death carrying the in-flight job out of the worker
+   loop to the supervisor.  Never escapes the domain body. *)
+exception Crashed of job
 
 type t = {
   n_jobs : int;
+  max_retries : int;
   queue : job Queue.t;
   capacity : int;
   mutex : Mutex.t;
@@ -34,12 +54,16 @@ let c_submitted = Telemetry.counter "engine.pool.submitted"
 let c_completed = Telemetry.counter "engine.pool.completed"
 let c_failed = Telemetry.counter "engine.pool.failed"
 let c_cancelled = Telemetry.counter "engine.pool.cancelled"
+let c_worker_crashes = Telemetry.counter "engine.worker_crashes"
+let c_job_retries = Telemetry.counter "engine.job_retries"
 
 let worker_key : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
 let in_worker () = !(Domain.DLS.get worker_key)
 
 let default_jobs () = Domain.recommended_domain_count ()
+
+let default_max_retries = 5
 
 let worker_loop t =
   Domain.DLS.get worker_key := true;
@@ -53,19 +77,62 @@ let worker_loop t =
       let job = Queue.pop t.queue in
       Condition.signal t.not_full;
       Mutex.unlock t.mutex;
-      job ();
+      if Faultsim.fire Faultsim.Pool_worker_stall then
+        Unix.sleepf (Faultsim.stall_seconds ());
+      if Faultsim.fire Faultsim.Pool_worker_crash then raise (Crashed job);
+      job.run ();
       loop ()
     end
   in
   loop ()
 
-let create ?jobs () =
+(* Delay before the [attempts]-th requeue: 1ms doubling, capped at 100ms,
+   so a crashy site neither spins nor stalls the pipeline. *)
+let backoff_delay attempts =
+  Float.min 0.1 (0.001 *. Float.pow 2.0 (float_of_int (attempts - 1)))
+
+let requeue_crashed t job =
+  job.attempts <- job.attempts + 1;
+  if job.attempts > t.max_retries then
+    job.abandon
+      (Worker_failure
+         (Printf.sprintf
+            "job abandoned after %d worker crash%s (max_retries=%d)"
+            job.attempts
+            (if job.attempts = 1 then "" else "es")
+            t.max_retries))
+  else begin
+    Telemetry.tick c_job_retries;
+    Unix.sleepf (backoff_delay job.attempts);
+    Mutex.lock t.mutex;
+    (* bypass the capacity gate: a dying domain must never block *)
+    Queue.push job t.queue;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.mutex
+  end
+
+(* The domain body.  [worker_loop] only returns on orderly shutdown; any
+   exception means this domain is dying, so recover its in-flight job,
+   spawn a replacement while the pool still needs one, and exit normally
+   (an exception escaping the body would poison [Domain.join]). *)
+let rec supervised t () =
+  try worker_loop t
+  with e ->
+    Telemetry.tick c_worker_crashes;
+    (match e with Crashed job -> requeue_crashed t job | _ -> ());
+    Mutex.lock t.mutex;
+    if (not t.closed) || not (Queue.is_empty t.queue) then
+      t.workers <- Domain.spawn (supervised t) :: t.workers;
+    Mutex.unlock t.mutex
+
+let create ?jobs ?(max_retries = default_max_retries) () =
   let n_jobs =
     match jobs with Some n -> max 1 n | None -> default_jobs ()
   in
   let t =
     {
       n_jobs;
+      max_retries = max 0 max_retries;
       queue = Queue.create ();
       capacity = max 16 (4 * n_jobs);
       mutex = Mutex.create ();
@@ -76,22 +143,35 @@ let create ?jobs () =
     }
   in
   if n_jobs > 1 then
-    t.workers <- List.init n_jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t.workers <- List.init n_jobs (fun _ -> Domain.spawn (supervised t));
   t
 
 let jobs t = t.n_jobs
+let max_retries t = t.max_retries
 
+(* A crashed worker may respawn a replacement (and requeue its job) while
+   we are joining the previous generation, so drain generations until the
+   worker list stays empty.  Joining the dying domain happens-before its
+   replacement appears in [t.workers], so no domain is orphaned. *)
 let shutdown t =
   Mutex.lock t.mutex;
   t.closed <- true;
   Condition.broadcast t.not_empty;
   Mutex.unlock t.mutex;
-  let workers = t.workers in
-  t.workers <- [];
-  List.iter Domain.join workers
+  let rec drain () =
+    Mutex.lock t.mutex;
+    let workers = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.mutex;
+    if workers <> [] then begin
+      List.iter Domain.join workers;
+      drain ()
+    end
+  in
+  drain ()
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let with_pool ?jobs ?max_retries f =
+  let t = create ?jobs ?max_retries () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let fulfill fut st =
@@ -139,6 +219,16 @@ let submit ?cancel t f =
   let fut = { f_mutex = Mutex.create (); f_cond = Condition.create (); f_state = Pending } in
   if t.n_jobs <= 1 || in_worker () then run_job f fut ()
   else begin
+    let job =
+      {
+        attempts = 0;
+        run = run_job f fut;
+        abandon =
+          (fun e ->
+            Telemetry.tick c_failed;
+            fulfill fut (Failed e));
+      }
+    in
     Mutex.lock t.mutex;
     while Queue.length t.queue >= t.capacity && not t.closed do
       Condition.wait t.not_full t.mutex
@@ -147,7 +237,7 @@ let submit ?cancel t f =
       Mutex.unlock t.mutex;
       invalid_arg "Engine.Pool.submit: pool is shut down"
     end;
-    Queue.push (run_job f fut) t.queue;
+    Queue.push job t.queue;
     Condition.signal t.not_empty;
     Mutex.unlock t.mutex
   end;
@@ -198,3 +288,53 @@ let mapi ?cancel t f xs =
   end
 
 let map ?cancel t f xs = mapi ?cancel t (fun _ x -> f x) xs
+
+let map_partial ?cancel t f xs =
+  if t.n_jobs <= 1 || in_worker () then
+    ( List.map
+        (fun x ->
+          Option.iter Cancel.check cancel;
+          f x)
+        xs,
+      Fidelity.Exact )
+  else begin
+    let xs = Array.of_list xs in
+    let first_error_token = Atomic.make false in
+    let futures =
+      Array.map
+        (fun x ->
+          submit ?cancel t (fun () ->
+              if Atomic.get first_error_token then raise Cancelled
+              else
+                try f x
+                with e ->
+                  Atomic.set first_error_token true;
+                  raise e))
+        xs
+    in
+    let results = Array.map await futures in
+    (* Abandoned jobs ([Worker_failure]) degrade the result instead of
+       failing it; any other failure keeps [map]'s raising semantics.
+       [Error Cancelled] implies such a real failure exists in [results]
+       (abandonment never trips the first-error token). *)
+    let first_error =
+      Array.to_seq results
+      |> Seq.filter_map (function
+           | Error Cancelled | Error (Worker_failure _) | Ok _ -> None
+           | Error e -> Some e)
+      |> Seq.uncons
+    in
+    (match first_error with
+    | Some (e, _) -> raise e
+    | None -> ());
+    let kept =
+      Array.to_seq results
+      |> Seq.filter_map (function Ok v -> Some v | Error _ -> None)
+      |> List.of_seq
+    in
+    let fidelity =
+      if List.length kept = Array.length results then Fidelity.Exact
+      else Fidelity.Partial
+    in
+    (kept, fidelity)
+  end

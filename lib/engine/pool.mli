@@ -11,7 +11,16 @@
 
     Nesting is safe: a [map] issued from inside a pool worker runs inline
     on that worker (no deadlock, no oversubscription).  With [jobs = 1] no
-    domain is spawned and everything runs on the caller. *)
+    domain is spawned and everything runs on the caller.
+
+    Workers are supervised: a worker domain that dies (exercised through
+    the [pool.worker_crash] {!Faultsim} site; ordinary job exceptions are
+    caught into futures and cannot kill a worker) is counted in telemetry
+    ([engine.worker_crashes]), its in-flight job is requeued with capped
+    exponential backoff ([engine.job_retries]), and a replacement domain
+    is spawned.  A job that crashes its worker more than [max_retries]
+    times is abandoned with {!Worker_failure} — its future fails, but the
+    pool and its sibling jobs keep running. *)
 
 type t
 
@@ -22,20 +31,34 @@ exception Cancelled
     same [map] failed; never escapes to the caller ([map] re-raises the
     original failure instead). *)
 
+exception Worker_failure of string
+(** A single job's terminal failure after exhausting its crash-requeue
+    budget.  {!map} re-raises it; {!map_partial} absorbs it into a
+    [Fidelity.Partial] result. *)
+
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
-val create : ?jobs:int -> unit -> t
+val default_max_retries : int
+(** Crash-requeue budget per job when [?max_retries] is omitted (5). *)
+
+val create : ?jobs:int -> ?max_retries:int -> unit -> t
 (** Spawn a pool of [jobs] workers (default {!default_jobs}, clamped to at
-    least 1).  [jobs = 1] spawns no domains. *)
+    least 1).  [jobs = 1] spawns no domains.  [max_retries] (default
+    {!default_max_retries}, clamped to at least 0) bounds how many times a
+    single job is requeued after killing its worker; [0] abandons a job on
+    its first crash. *)
 
 val jobs : t -> int
 
-val shutdown : t -> unit
-(** Drain the queue, join every worker.  Idempotent.  Submitting to a
-    shut-down pool raises [Invalid_argument]. *)
+val max_retries : t -> int
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val shutdown : t -> unit
+(** Drain the queue, join every worker (including respawned
+    replacements).  Idempotent.  Submitting to a shut-down pool raises
+    [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> ?max_retries:int -> (t -> 'a) -> 'a
 (** [create], run, [shutdown] (also on exceptions). *)
 
 val submit : ?cancel:Cancel.t -> t -> (unit -> 'a) -> 'a future
@@ -55,6 +78,15 @@ val map : ?cancel:Cancel.t -> t -> ('a -> 'b) -> 'a list -> 'b list
     has quiesced — no domain outlives the call. *)
 
 val mapi : ?cancel:Cancel.t -> t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+val map_partial :
+  ?cancel:Cancel.t -> t -> ('a -> 'b) -> 'a list -> 'b list * Fidelity.t
+(** Like {!map}, but a job abandoned with {!Worker_failure} drops its
+    slot (order among survivors is preserved) and degrades the fidelity
+    to [Partial] instead of failing the call.  Any other job failure —
+    including {!Cancel.Cancelled} — keeps {!map}'s raising semantics.
+    Inline execution (no workers) cannot lose slots and is always
+    [Exact]. *)
 
 val in_worker : unit -> bool
 (** True when called from inside a pool worker domain. *)

@@ -12,11 +12,17 @@
    A read that fails (I/O error, bad JSON, bad checksum) is retried once
    — a concurrent writer's rename can race the first read — and then the
    entry is quarantined to [<dir>/quarantine/] for post-mortem instead of
-   being re-read forever or failing the analysis. *)
+   being re-read forever or failing the analysis.
+
+   Writes go through [Io.write_atomic] (tmp + fsync + rename, one retry
+   on transient errors).  ENOSPC is not transient: it flips the cache to
+   a degraded read-only mode — hits keep being served, stores become
+   no-ops — because retrying writes on a full disk only burns time and
+   log lines.  The flip is counted and warned once, never fatal. *)
 
 module J = Telemetry.Json
 
-type t = { cache_dir : string }
+type t = { cache_dir : string; read_only : bool Atomic.t }
 
 (* 2: payload checksum added (PR 4); 1: initial layout *)
 let schema_version = 2
@@ -26,6 +32,8 @@ let c_miss = Telemetry.counter "engine.cache.miss"
 let c_store = Telemetry.counter "engine.cache.store"
 let c_corrupt = Telemetry.counter "engine.cache.corrupt"
 let c_quarantined = Telemetry.counter "engine.cache.quarantined"
+let c_write_retry = Telemetry.counter "engine.cache_write_retries"
+let c_readonly_flip = Telemetry.counter "engine.cache_readonly_flips"
 
 (* always-on process counters: the CLI's `cache stats` and the tests must
    see hit/miss activity even when the telemetry registry is disabled *)
@@ -34,6 +42,8 @@ let n_miss = Atomic.make 0
 let n_store = Atomic.make 0
 let n_corrupt = Atomic.make 0
 let n_quarantined = Atomic.make 0
+let n_write_retry = Atomic.make 0
+let n_readonly_flip = Atomic.make 0
 
 let bump telemetry_c process_c =
   Telemetry.tick telemetry_c;
@@ -45,9 +55,13 @@ let default_dir () =
   | _ -> "_polyufc_cache"
 
 let create ?dir () =
-  { cache_dir = (match dir with Some d -> d | None -> default_dir ()) }
+  {
+    cache_dir = (match dir with Some d -> d | None -> default_dir ());
+    read_only = Atomic.make false;
+  }
 
 let dir t = t.cache_dir
+let read_only t = Atomic.get t.read_only
 
 let key ?(schema = schema_version) parts =
   let buf = Buffer.create 256 in
@@ -70,9 +84,20 @@ let warn fmt =
 
 let read_file path =
   let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (* simulate a bad read (flaky medium, bit rot in the page cache): the
+     on-disk entry may be fine, but this read of it is not *)
+  if Faultsim.fire Faultsim.Rcache_read_corrupt && String.length text > 0 then begin
+    let b = Bytes.of_string text in
+    Bytes.set b (String.length text / 2)
+      (Char.chr (Char.code (Bytes.get b (String.length text / 2)) lxor 0x20));
+    Bytes.to_string b
+  end
+  else text
 
 let payload_checksum payload = Digest.to_hex (Digest.string (J.to_string payload))
 
@@ -141,28 +166,47 @@ let find t key =
       None
   end
 
+(* ENOSPC means every further write will fail too: stop trying, keep
+   serving hits.  One warning, one counted flip; stores become no-ops. *)
+let flip_read_only t =
+  if Atomic.compare_and_set t.read_only false true then begin
+    bump c_readonly_flip n_readonly_flip;
+    warn "disk full: cache %s now read-only (existing entries still served)"
+      t.cache_dir
+  end
+
 let store t key payload =
-  let doc =
-    J.Obj
-      [
-        ("schema", J.Int schema_version);
-        ("checksum", J.Str (payload_checksum payload));
-        ("payload", payload);
-      ]
-  in
-  try
-    if not (Sys.file_exists t.cache_dir) then Unix.mkdir t.cache_dir 0o755;
-    let tmp =
-      Filename.temp_file ~temp_dir:t.cache_dir "entry" ".tmp"
+  if not (Atomic.get t.read_only) then begin
+    let doc =
+      J.Obj
+        [
+          ("schema", J.Int schema_version);
+          ("checksum", J.Str (payload_checksum payload));
+          ("payload", payload);
+        ]
     in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (J.to_string doc));
-    Sys.rename tmp (entry_path t key);
-    bump c_store n_store
-  with Sys_error msg | Unix.Unix_error (_, msg, _) ->
-    warn "cannot store entry %s (%s)" key msg
+    let text = J.to_string doc in
+    (* a torn write lands a prefix of the entry: the atomic rename makes
+       this impossible for real, so simulate the *outcome* (truncated
+       bytes at the final path) to exercise detection + quarantine *)
+    let text =
+      if Faultsim.fire Faultsim.Rcache_torn_write then
+        String.sub text 0 (String.length text / 2)
+      else text
+    in
+    try
+      if not (Sys.file_exists t.cache_dir) then Unix.mkdir t.cache_dir 0o755;
+      if Faultsim.fire Faultsim.Rcache_enospc then
+        raise (Unix.Unix_error (Unix.ENOSPC, "write", entry_path t key));
+      Io.write_atomic
+        ~on_retry:(fun () -> bump c_write_retry n_write_retry)
+        (entry_path t key) text;
+      bump c_store n_store
+    with
+    | Unix.Unix_error (Unix.ENOSPC, _, _) -> flip_read_only t
+    | Sys_error msg | Unix.Unix_error (_, msg, _) ->
+      warn "cannot store entry %s (%s)" key msg
+  end
 
 let find_or_add t ~key ~decode ~encode f =
   match find t key with
@@ -219,6 +263,8 @@ type counts = {
   stores : int;
   corrupt : int;
   quarantined : int;
+  write_retries : int;
+  readonly_flips : int;
 }
 
 let counts () =
@@ -228,4 +274,6 @@ let counts () =
     stores = Atomic.get n_store;
     corrupt = Atomic.get n_corrupt;
     quarantined = Atomic.get n_quarantined;
+    write_retries = Atomic.get n_write_retry;
+    readonly_flips = Atomic.get n_readonly_flip;
   }

@@ -8,14 +8,16 @@
     export, machine description or model parameters that feed the parts —
     addresses different entries.
 
-    Robustness: entries are written atomically (temp file + rename) and
-    embed a payload checksum, so truncated or bit-flipped files are
-    detected even when they still parse as JSON.  A failing read is
-    retried once (a concurrent writer's rename can race it); an entry
-    that is still unreadable is moved to [<cache-dir>/quarantine/] for
-    post-mortem and treated as a miss (warned on stderr, counted) —
-    never an error.  Lookups and stores are safe from concurrent pool
-    workers.
+    Robustness: entries are written atomically (temp file + fsync +
+    rename, with one retry on transient I/O errors) and embed a payload
+    checksum, so truncated or bit-flipped files are detected even when
+    they still parse as JSON.  A failing read is retried once (a
+    concurrent writer's rename can race it); an entry that is still
+    unreadable is moved to [<cache-dir>/quarantine/] for post-mortem and
+    treated as a miss (warned on stderr, counted) — never an error.
+    [ENOSPC] on a store flips the cache to a degraded {!read_only} mode:
+    hits keep being served, further stores are silently skipped.
+    Lookups and stores are safe from concurrent pool workers.
 
     Hits/misses/stores/corruption/quarantines are mirrored into
     telemetry counters ([engine.cache.hit] etc., recorded when telemetry
@@ -37,6 +39,10 @@ val create : ?dir:string -> unit -> t
 
 val dir : t -> string
 
+val read_only : t -> bool
+(** True once a store hit [ENOSPC]; the cache then serves hits but skips
+    every further store. *)
+
 val key : ?schema:int -> (string * string) list -> string
 (** Content address of the given parts (field order is significant; pass
     a fixed field layout).  [schema] defaults to {!schema_version} and is
@@ -51,8 +57,9 @@ val find : t -> string -> Telemetry.Json.t option
     after one failed retry. *)
 
 val store : t -> string -> Telemetry.Json.t -> unit
-(** Atomic; creates the cache directory on first use.  I/O failures are
-    warnings (the cache is an accelerator, never a correctness
+(** Atomic; creates the cache directory on first use.  Transient I/O
+    failures are retried once, persistent ones are warnings, [ENOSPC]
+    flips {!read_only} (the cache is an accelerator, never a correctness
     dependency). *)
 
 val find_or_add :
@@ -78,6 +85,8 @@ type counts = {
   stores : int;
   corrupt : int;
   quarantined : int;
+  write_retries : int;  (** transient store failures that were retried *)
+  readonly_flips : int;  (** caches flipped read-only by [ENOSPC] *)
 }
 
 val counts : unit -> counts

@@ -417,3 +417,10 @@ let nest_program (m : Dialect.t) op =
       body = [ i ];
     }
   | _ -> fail "nest_program: not a loop nest"
+
+(* Lowering failures reflect unsupported/malformed input IR: classify as
+   invalid input (exit 3) at the Guard boundary. *)
+let () =
+  Engine.Guard.register_classifier (function
+    | Lowering_error msg -> Some (Engine.Guard.invalid msg)
+    | _ -> None)

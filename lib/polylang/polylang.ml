@@ -494,3 +494,11 @@ let to_string prog =
   List.iter (item "  ") prog.Ir.body;
   pf "}\n";
   Buffer.contents buf
+
+(* Teach the CLI's crash-proof boundary that our parse errors mean the
+   *input* is bad (exit 3), not the tool; the "line N" prefix becomes the
+   diagnostic span. *)
+let () =
+  Engine.Guard.register_classifier (function
+    | Parse_error msg -> Some (Engine.Guard.invalid msg)
+    | _ -> None)

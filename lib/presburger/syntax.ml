@@ -549,3 +549,9 @@ let pp_pset ppf p =
 
 let to_string p = Format.asprintf "%a" pp_pset p
 let bset_to_string b = Format.asprintf "%a" pp_bset b
+
+(* isl-syntax errors are invalid input (exit 3) at the Guard boundary. *)
+let () =
+  Engine.Guard.register_classifier (function
+    | Parse_error msg -> Some (Engine.Guard.invalid msg)
+    | _ -> None)

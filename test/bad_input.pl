@@ -1,0 +1,6 @@
+program broken(n) {
+  arrays { A[n][n] : f64; }
+  for (i = 0; i < n; i++ {
+    A[i][i] = 1.0;
+  }
+}

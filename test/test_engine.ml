@@ -110,6 +110,7 @@ let test_schema_bump_changes_key () =
     <> R.key ~schema:(R.schema_version + 1) [ ("a", "x") ])
 
 let test_store_find_roundtrip () =
+  Engine.Faultsim.suspended @@ fun () ->
   let c = R.create ~dir:(fresh_cache_dir ()) () in
   let k = R.key [ ("t", "roundtrip") ] in
   Alcotest.(check bool) "cold miss" true (R.find c k = None);
@@ -123,6 +124,7 @@ let test_store_find_roundtrip () =
   Alcotest.(check bool) "gone" true (R.find c k = None)
 
 let test_stale_schema_is_a_miss () =
+  Engine.Faultsim.suspended @@ fun () ->
   let dir = fresh_cache_dir () in
   let c = R.create ~dir () in
   let k = R.key [ ("t", "stale") ] in
@@ -140,6 +142,7 @@ let test_stale_schema_is_a_miss () =
     (R.counts ()).R.corrupt
 
 let test_corrupt_entry_ignored () =
+  Engine.Faultsim.suspended @@ fun () ->
   let dir = fresh_cache_dir () in
   let c = R.create ~dir () in
   let k = R.key [ ("t", "corrupt") ] in
@@ -163,6 +166,7 @@ let test_corrupt_entry_ignored () =
   Alcotest.(check bool) "entry repaired" true (R.find c k = Some (J.Int 99))
 
 let test_find_or_add_memoizes () =
+  Engine.Faultsim.suspended @@ fun () ->
   let c = R.create ~dir:(fresh_cache_dir ()) () in
   let k = R.key [ ("t", "memo") ] in
   let calls = ref 0 in
@@ -209,6 +213,7 @@ let stable_report c =
   | j -> J.to_string j
 
 let test_flow_cache_hit_reproduces_compile () =
+  Engine.Faultsim.suspended @@ fun () ->
   let cache = R.create ~dir:(fresh_cache_dir ()) () in
   let cold = compile_two ~cache () in
   let before = R.counts () in

@@ -238,6 +238,7 @@ let test_degraded_off_raises () =
   | exception B.Exhausted _ -> ()
 
 let test_degraded_never_cached () =
+  Engine.Faultsim.suspended @@ fun () ->
   let dir = fresh_cache_dir () in
   let cache = R.create ~dir () in
   let ir = Lazy.force two_region_ir in
@@ -293,6 +294,7 @@ let test_ctx_parity () =
     (stable_report (compile_two ()) = stable_report (compile_two ~ctx:Ctx.none ()))
 
 let test_cancelled_compile () =
+  Engine.Faultsim.suspended @@ fun () ->
   let dir = fresh_cache_dir () in
   let cache = R.create ~dir () in
   let cancel = C.create () in
@@ -317,6 +319,7 @@ let overwrite path text =
   close_out oc
 
 let test_quarantine_corrupt_entry () =
+  Engine.Faultsim.suspended @@ fun () ->
   let dir = fresh_cache_dir () in
   let c = R.create ~dir () in
   let k = R.key [ ("t", "quarantine") ] in
@@ -335,6 +338,7 @@ let test_quarantine_corrupt_entry () =
     (Sys.file_exists qdir && Array.length (Sys.readdir qdir) > 0)
 
 let test_quarantine_checksum_mismatch () =
+  Engine.Faultsim.suspended @@ fun () ->
   (* parses fine, right schema — but the payload does not match the
      embedded checksum (a bit-flip survivor) *)
   let dir = fresh_cache_dir () in

@@ -18,4 +18,5 @@ let () =
       ("telemetry", Test_telemetry.tests);
       ("engine", Test_engine.tests);
       ("govern", Test_govern.tests);
+      ("fault", Test_fault.tests);
     ]
