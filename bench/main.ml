@@ -794,6 +794,13 @@ let all_experiments =
     ("micro", micro);
   ]
 
+(* Experiments cheap enough for CI smoke and the regression gate: the
+   frequency-sweep figures (fig1/6/7/8) and tab4 each cost minutes of
+   hwsim time, so `--quick` with no explicit experiment list runs this
+   curated subset (~30-60 s total) instead of everything. *)
+let quick_experiments =
+  [ "tab2"; "tab3"; "fig5"; "abl-eps"; "abl-counting"; "ehrhart"; "micro" ]
+
 (* Per-phase / per-counter JSON report for BENCH_*.json trajectory
    tracking: experiment wall times, telemetry counters, histograms and the
    span rollup, all through the telemetry JSON emitter. *)
@@ -802,7 +809,8 @@ let write_report path experiment_times =
   let report =
     J.Obj
       [
-        ("schema", J.Str "polyufc-bench-report/v1");
+        ("schema", J.Str "polyufc-bench-report/v2");
+        ("meta", Telemetry.run_meta ());
         ( "experiments",
           J.Obj
             (List.map
@@ -837,12 +845,102 @@ let write_report path experiment_times =
   | exception (Sys_error _ | Unix.Unix_error _ | Engine.Faultsim.Injected _) ->
     pf "[warning: report not written to %s]\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Regression gate                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Compare this run's per-experiment wall times against a stored
+   baseline.  Per-experiment ratio = (cur + slack) / (base + slack) — the
+   slack keeps sub-10ms experiments from dominating on timer noise — and
+   the run regresses when the geomean ratio exceeds the tolerance, or any
+   single experiment exceeds twice the tolerance.  The default tolerance
+   (5x) is deliberately loose: the gate is meant to catch accidental
+   complexity blowups (a 10x+ slowdown), not machine-speed differences
+   between the baseline host and CI. *)
+
+let gate_slack_s = 0.01
+let gate_default_tolerance = 5.0
+
+let check_baseline path experiment_times tolerance_override =
+  let module J = Telemetry.Json in
+  let fail_unreadable msg =
+    Printf.eprintf "bench: cannot use baseline %s: %s\n%!" path msg;
+    exit 2
+  in
+  let doc =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error msg -> fail_unreadable msg
+    | text -> (
+      match J.of_string text with
+      | Ok doc -> doc
+      | Error msg -> fail_unreadable ("bad JSON: " ^ msg))
+  in
+  let base_times =
+    match J.member "experiments" doc with
+    | Some (J.Obj kvs) ->
+      List.filter_map
+        (fun (name, v) -> Option.map (fun t -> (name, t)) (J.number v))
+        kvs
+    | _ -> fail_unreadable "missing \"experiments\" object"
+  in
+  let tolerance =
+    match tolerance_override with
+    | Some t -> t
+    | None -> (
+      match Option.bind (J.member "tolerance" doc) J.number with
+      | Some t when t > 1.0 -> t
+      | _ -> gate_default_tolerance)
+  in
+  let compared =
+    List.filter_map
+      (fun (name, base_t) ->
+        match List.assoc_opt name experiment_times with
+        | Some cur_t ->
+          Some
+            (name, base_t, cur_t,
+             (cur_t +. gate_slack_s) /. (base_t +. gate_slack_s))
+        | None -> None)
+      base_times
+  in
+  if compared = [] then begin
+    Printf.eprintf
+      "bench: baseline %s shares no experiments with this run\n%!" path;
+    exit 2
+  end;
+  pf "\n[regression gate vs %s, tolerance %.1fx]\n" path tolerance;
+  pf "%-18s %12s %12s %8s\n" "experiment" "baseline (s)" "current (s)" "ratio";
+  let worst = ref ("", 0.0) in
+  List.iter
+    (fun (name, base_t, cur_t, ratio) ->
+      if ratio > snd !worst then worst := (name, ratio);
+      pf "%-18s %12.3f %12.3f %7.2fx%s\n" name base_t cur_t ratio
+        (if ratio > 2.0 *. tolerance then "  ** REGRESSION **" else ""))
+    compared;
+  let gm = geomean (List.map (fun (_, _, _, r) -> r) compared) in
+  let single_fail = snd !worst > 2.0 *. tolerance in
+  let geomean_fail = gm > tolerance in
+  pf "geomean ratio: %.2fx (limit %.1fx); worst: %s at %.2fx (limit %.1fx)\n"
+    gm tolerance (fst !worst) (snd !worst) (2.0 *. tolerance);
+  if geomean_fail || single_fail then begin
+    Printf.eprintf
+      "bench: PERFORMANCE REGRESSION vs %s (%s)\n%!" path
+      (if geomean_fail then
+         Printf.sprintf "geomean %.2fx > %.1fx" gm tolerance
+       else
+         Printf.sprintf "%s %.2fx > %.1fx" (fst !worst) (snd !worst)
+           (2.0 *. tolerance));
+    exit 1
+  end
+  else pf "[regression gate passed]\n"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let report_path = ref "bench_report.json" in
   let report_requested = ref false in
   let telemetry_on = ref true in
   let jobs = ref 1 in
+  let baseline = ref None in
+  let tolerance = ref None in
   let requested =
     List.filter
       (fun a ->
@@ -859,6 +957,20 @@ let () =
           report_requested := true;
           false
         end
+        else if String.length a > 11 && String.sub a 0 11 = "--baseline="
+        then begin
+          baseline := Some (String.sub a 11 (String.length a - 11));
+          false
+        end
+        else if String.length a > 12 && String.sub a 0 12 = "--tolerance="
+        then begin
+          (match
+             float_of_string_opt (String.sub a 12 (String.length a - 12))
+           with
+          | Some t when t > 1.0 -> tolerance := Some t
+          | _ -> pf "bad --tolerance value %S (want a ratio > 1)\n" a);
+          false
+        end
         else if String.length a > 7 && String.sub a 0 7 = "--jobs=" then begin
           (match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
           | Some n when n >= 1 -> jobs := n
@@ -870,8 +982,12 @@ let () =
       args
   in
   if !jobs > 1 then the_pool := Some (Engine.Pool.create ~jobs:!jobs ());
+  Telemetry.set_meta "jobs" (Telemetry.Json.Int !jobs);
   let requested =
-    match requested with [] -> List.map fst all_experiments | names -> names
+    match requested with
+    | [] when !bench_quick -> quick_experiments
+    | [] -> List.map fst all_experiments
+    | names -> names
   in
   if !telemetry_on then begin
     Telemetry.reset ();
@@ -902,4 +1018,7 @@ let () =
   (* an explicit --report= is honored even under --no-telemetry (the
      wall times are measured either way; only counters will be empty) *)
   if !telemetry_on || !report_requested then
-    write_report !report_path !experiment_times
+    write_report !report_path !experiment_times;
+  match !baseline with
+  | Some path -> check_baseline path (List.rev !experiment_times) !tolerance
+  | None -> ()

@@ -88,9 +88,24 @@ let trace_arg =
 let stats_arg =
   Arg.(
     value
-    & flag
-    & info [ "stats" ]
-        ~doc:"Print telemetry counters, histograms and the span tree on stderr.")
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "stats" ] ~docv:"FILE"
+        ~doc:
+          "Telemetry counters, quantile histograms and the span tree. With \
+           no value (or $(b,-)): pretty-printed on stderr. With \
+           $(b,--stats=FILE): the stats JSON document is written to FILE \
+           atomically.")
+
+let log_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Emit structured JSON-lines events. With no value (or $(b,-)): on \
+           stderr; otherwise appended to FILE. Level filtered by \
+           $(b,POLYUFC_LOG_LEVEL) (debug|info|warn|error, default info); \
+           $(b,POLYUFC_LOG) arms the same sink from the environment.")
 
 let json_arg =
   Arg.(
@@ -101,18 +116,28 @@ let json_arg =
 let cache_dir_arg = Resource_flags.cache_dir_arg
 
 let telemetry_term =
-  let combine trace stats = (trace, stats) in
-  Term.(const combine $ trace_arg $ stats_arg)
+  let combine trace stats log = (trace, stats, log) in
+  Term.(const combine $ trace_arg $ stats_arg $ log_arg)
 
-(* Enable the registry when any telemetry output was requested, run [f],
-   then emit the requested views. *)
-let with_telemetry (trace, stats) f =
-  let active = trace <> None || stats in
+(* Enable the registry when any telemetry output was requested, arm the
+   event sink, run [f], then emit the requested views. *)
+let with_telemetry (trace, stats, log) f =
+  let active = trace <> None || stats <> None || log <> None in
   if active then begin
     Telemetry.reset ();
     Telemetry.enable ()
   end;
+  (match log with
+  | None -> ()
+  | Some path -> (
+    match Telemetry.Event.set_sink_path path with
+    | Ok () -> ()
+    | Error msg ->
+      Format.eprintf "error: cannot open --log sink: %s@." msg;
+      exit 1));
+  Telemetry.Event.info "cli.start";
   let r = f () in
+  Telemetry.Event.info "cli.done";
   (match trace with
   | Some path -> (
     try
@@ -122,8 +147,23 @@ let with_telemetry (trace, stats) f =
       Format.eprintf "error: cannot write trace: %s@." msg;
       exit 1)
   | None -> ());
-  if stats then
-    Format.eprintf "%a@.%a@." Telemetry.pp_tree () Telemetry.pp_stats ();
+  (match stats with
+  | None -> ()
+  | Some "-" ->
+    Format.eprintf "%a@.%a@." Telemetry.pp_tree () Telemetry.pp_stats ()
+  | Some path -> (
+    try
+      Engine.Io.write_atomic ~fault:Engine.Faultsim.Io_report_write path
+        (Telemetry.Json.to_string (Telemetry.stats_json ()) ^ "\n");
+      Format.eprintf "stats written to %s@." path
+    with
+    | Engine.Faultsim.Injected _ as e ->
+      (* a write that failed through the retry is an internal fault: let
+         Guard trap it, dump the flight recorder and exit 5 *)
+      raise e
+    | e ->
+      Format.eprintf "error: cannot write stats: %s@." (Printexc.to_string e);
+      exit 1));
   r
 
 (* Crash-proof boundary: a subcommand body that lets any exception
@@ -412,18 +452,154 @@ let batch_cmd =
       const run $ manifest_arg $ machine_arg $ tile_size_arg $ epsilon_arg
       $ objective_arg $ telemetry_term $ json_arg $ Resource_flags.term)
 
+(* ---- stats: render a stats document in several formats ---------------- *)
+
+(* Text rendering of a stats JSON document (the Telemetry.stats_json
+   shape), used when the stats came from a file rather than the live
+   registry. *)
+let pp_stats_doc ppf doc =
+  let module J = Telemetry.Json in
+  let obj key = match J.member key doc with Some (J.Obj kvs) -> kvs | _ -> [] in
+  let num field o =
+    match Option.bind (J.member field o) J.number with
+    | Some v -> v
+    | None -> Float.nan
+  in
+  Format.fprintf ppf "@[<v>";
+  (match obj "counters" with
+  | [] -> ()
+  | cs ->
+    Format.fprintf ppf "counters:@,";
+    List.iter
+      (fun (name, v) ->
+        match J.number v with
+        | Some n -> Format.fprintf ppf "  %-36s %.0f@," name n
+        | None -> ())
+      cs);
+  (match obj "histograms" with
+  | [] -> ()
+  | hs ->
+    Format.fprintf ppf "histograms:@,";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf
+          "  %-36s n=%.0f mean=%.3g min=%.3g max=%.3g p50=%.3g p90=%.3g \
+           p99=%.3g p999=%.3g@,"
+          name (num "count" h) (num "mean" h) (num "min" h) (num "max" h)
+          (num "p50" h) (num "p90" h) (num "p99" h) (num "p999" h))
+      hs);
+  (match obj "spans" with
+  | [] -> ()
+  | ss ->
+    Format.fprintf ppf "spans:@,";
+    List.iter
+      (fun (name, s) ->
+        Format.fprintf ppf "  %-36s n=%.0f total_us=%.0f@," name
+          (num "count" s) (num "total_us" s))
+      ss);
+  Format.fprintf ppf "@]"
+
+let stats_top_cmd =
+  let format_arg =
+    let fmt_conv =
+      Arg.enum
+        [ ("text", `Text); ("json", `Json); ("openmetrics", `Openmetrics) ]
+    in
+    Arg.(
+      value
+      & opt fmt_conv `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,text), $(b,json), or $(b,openmetrics) \
+             (Prometheus text exposition, terminated by $(b,# EOF)).")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Stats JSON document to render (as written by \
+             $(b,--stats=FILE)); $(b,-) reads stdin. Omitted: the live \
+             registry of this process.")
+  in
+  let run format file =
+    guarded @@ fun () ->
+    let doc =
+      match file with
+      | None -> Telemetry.stats_json ()
+      | Some path -> (
+        let text =
+          if path = "-" then In_channel.input_all stdin
+          else In_channel.with_open_bin path In_channel.input_all
+        in
+        match Telemetry.Json.of_string text with
+        | Ok doc -> doc
+        | Error msg ->
+          failwith (Printf.sprintf "%s: not a stats JSON document (%s)"
+                      (if path = "-" then "<stdin>" else path) msg))
+    in
+    match format with
+    | `Json -> Format.printf "%s@." (Telemetry.Json.to_string doc)
+    | `Text -> Format.printf "%a@." pp_stats_doc doc
+    | `Openmetrics -> (
+      match Telemetry.openmetrics_of_stats doc with
+      | Ok text -> print_string text
+      | Error msg -> failwith ("cannot render OpenMetrics: " ^ msg))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Render a telemetry stats document (text, JSON or OpenMetrics \
+          exposition)")
+    Term.(const run $ format_arg $ file_arg)
+
 (* ---- cache: inspect / clear the persistent result cache --------------- *)
 
 let cache_cmd =
   let stats_cmd =
-    let run cache_dir =
+    let run cache_dir json =
       let c = Engine.Rcache.create ?dir:cache_dir () in
       let s = Engine.Rcache.stats c in
-      Format.printf "cache directory: %s@.entries: %d@.bytes: %d@."
-        (Engine.Rcache.dir c) s.Engine.Rcache.entries s.Engine.Rcache.bytes
+      let k = Engine.Rcache.cumulative c in
+      let total = k.Engine.Rcache.hits + k.Engine.Rcache.misses in
+      if json then
+        Report.print_json
+          (Telemetry.Json.Obj
+             [
+               ("dir", Telemetry.Json.Str (Engine.Rcache.dir c));
+               ("entries", Telemetry.Json.Int s.Engine.Rcache.entries);
+               ("bytes", Telemetry.Json.Int s.Engine.Rcache.bytes);
+               ("hits", Telemetry.Json.Int k.Engine.Rcache.hits);
+               ("misses", Telemetry.Json.Int k.Engine.Rcache.misses);
+               ("stores", Telemetry.Json.Int k.Engine.Rcache.stores);
+               ("corrupt", Telemetry.Json.Int k.Engine.Rcache.corrupt);
+               ("quarantined", Telemetry.Json.Int k.Engine.Rcache.quarantined);
+               ( "write_retries",
+                 Telemetry.Json.Int k.Engine.Rcache.write_retries );
+               ( "readonly_flips",
+                 Telemetry.Json.Int k.Engine.Rcache.readonly_flips );
+             ])
+      else begin
+        Format.printf "cache directory: %s@.entries: %d@.bytes: %d@."
+          (Engine.Rcache.dir c) s.Engine.Rcache.entries s.Engine.Rcache.bytes;
+        Format.printf
+          "hits: %d@.misses: %d@.stores: %d@.corrupt: %d@.quarantined: \
+           %d@.write retries: %d@.read-only flips: %d@."
+          k.Engine.Rcache.hits k.Engine.Rcache.misses k.Engine.Rcache.stores
+          k.Engine.Rcache.corrupt k.Engine.Rcache.quarantined
+          k.Engine.Rcache.write_retries k.Engine.Rcache.readonly_flips;
+        if total > 0 then
+          Format.printf "hit rate: %.1f%%@."
+            (100.0 *. float_of_int k.Engine.Rcache.hits /. float_of_int total)
+      end
     in
-    Cmd.v (Cmd.info "stats" ~doc:"Show entry count and size on disk")
-      Term.(const run $ cache_dir_arg)
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Show entry count, size on disk, and cumulative \
+            hit/miss/retry/quarantine counters")
+      Term.(const run $ cache_dir_arg $ json_arg)
   in
   let clear_cmd =
     let run cache_dir =
@@ -465,4 +641,5 @@ let () =
           [
             parse_cmd; tile_cmd; analyze_cmd; characterize_cmd; search_cmd;
             run_cmd; batch_cmd; cache_cmd; scop_cmd; workloads_cmd;
+            stats_top_cmd;
           ]))

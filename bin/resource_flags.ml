@@ -169,6 +169,21 @@ let with_ctx t f =
     | Some h -> ( try Sys.set_signal Sys.sigint h with _ -> ())
     | None -> ()
   in
+  Telemetry.set_meta "jobs" (Telemetry.Json.Int jobs);
+  Telemetry.Event.info "cli.ctx"
+    ~fields:
+      [
+        ("jobs", Telemetry.Json.Int jobs);
+        ("cache", Telemetry.Json.Bool (cache <> None));
+        ( "deadline_s",
+          match t.deadline_s with
+          | Some d -> Telemetry.Json.Float d
+          | None -> Telemetry.Json.Null );
+        ( "fuel",
+          match t.fuel with
+          | Some n -> Telemetry.Json.Int n
+          | None -> Telemetry.Json.Null );
+      ];
   Fun.protect ~finally:restore @@ fun () ->
   Engine.Pool.with_pool ~jobs (fun pool ->
       let ctx = Engine.Ctx.create ~pool ?cache ?budget ~cancel () in

@@ -21,6 +21,8 @@ let degrade t = t.policy
 
 let trip msg =
   Telemetry.tick c_exhausted;
+  Telemetry.Event.warn "budget.exhausted"
+    ~fields:[ ("why", Telemetry.Json.Str msg) ];
   raise (Exhausted msg)
 
 let check_deadline t =

@@ -172,7 +172,9 @@ let fire site =
         let hit = arm.prob >= 1.0 || u01_of_bits (draw ()) < arm.prob in
         if hit then begin
           Atomic.incr fired.(site_index site);
-          Telemetry.tick fault_counters.(site_index site)
+          Telemetry.tick fault_counters.(site_index site);
+          Telemetry.Event.debug "faultsim.injected"
+            ~fields:[ ("site", Telemetry.Json.Str (site_name site)) ]
         end;
         hit
 

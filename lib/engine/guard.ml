@@ -10,6 +10,7 @@ type diagnostic = {
   phase : string;
   message : string;
   span : string option;
+  dump : string option;
 }
 
 let json_of d =
@@ -20,12 +21,16 @@ let json_of d =
       ("phase", Str d.phase);
       ("message", Str d.message);
       ("span", match d.span with Some s -> Str s | None -> Null);
+      ("dump", match d.dump with Some p -> Str p | None -> Null);
     ]
 
 let pp ppf d =
-  Format.fprintf ppf "error [%s%s]: %s" d.phase
+  Format.fprintf ppf "error [%s%s]: %s%s" d.phase
     (match d.span with Some s -> ", " ^ s | None -> "")
     d.message
+    (match d.dump with
+    | Some p -> Printf.sprintf " (flight recorder: %s)" p
+    | None -> "")
 
 type verdict = Invalid_input of { message : string; span : string option }
 
@@ -66,6 +71,51 @@ let phase name f =
 
 let trapped = Telemetry.counter "engine.guard_trapped"
 
+(* Flight-recorder dump: on an internal fault (exit 5) write the last
+   ring of events, the spans still open, and the diagnostic itself to
+   [polyufc-crash-<pid>.json] so a chaos-CI failure leaves an attachable
+   artifact.  The directory defaults to the CWD and is overridable with
+   POLYUFC_CRASH_DIR (tests point it at a tmpdir); the dump is written
+   without fsync — it must never slow down or block dying. *)
+let crash_dump_doc d =
+  let open Telemetry.Json in
+  let open_spans =
+    List.map
+      (fun (id, name, start_us, domain) ->
+        Obj
+          [
+            ("id", Int id);
+            ("name", Str name);
+            ("start_us", Float start_us);
+            ("domain", Int domain);
+          ])
+      (Telemetry.open_spans ())
+  in
+  Obj
+    [
+      ("schema", Str "polyufc-crash/v1");
+      ("meta", Telemetry.run_meta ());
+      ("error", json_of d);
+      ("open_spans", Arr open_spans);
+      ("events", Arr (Telemetry.Event.recent ()));
+    ]
+
+let write_crash_dump d =
+  let dir =
+    match Sys.getenv_opt "POLYUFC_CRASH_DIR" with
+    | Some "" | None -> Filename.current_dir_name
+    | Some d -> d
+  in
+  let path =
+    Filename.concat dir (Printf.sprintf "polyufc-crash-%d.json" (Unix.getpid ()))
+  in
+  match
+    Io.write_atomic ~fsync:false path
+      (Telemetry.Json.to_string (crash_dump_doc d) ^ "\n")
+  with
+  | () -> Some path
+  | exception _ -> None
+
 let protect ?phase:(label = "run") f =
   let prev = !current_phase in
   current_phase := label;
@@ -77,28 +127,35 @@ let protect ?phase:(label = "run") f =
   | v -> finish (Ok v)
   | exception e ->
       let at = !current_phase in
+      let mk code message span =
+        { code; phase = at; message; span; dump = None }
+      in
       let diag =
         match e with
-        | Budget.Exhausted msg ->
-            { code = exit_exhausted; phase = at; message = msg; span = None }
-        | Cancel.Cancelled reason ->
-            { code = exit_interrupted; phase = at; message = reason; span = None }
+        | Budget.Exhausted msg -> mk exit_exhausted msg None
+        | Cancel.Cancelled reason -> mk exit_interrupted reason None
         | e -> (
             match classify e with
             | Some (Invalid_input { message; span }) ->
                 Telemetry.tick trapped;
-                { code = exit_invalid_input; phase = at; message; span }
+                mk exit_invalid_input message span
             | None -> (
                 Telemetry.tick trapped;
                 match e with
                 | Invalid_argument m | Failure m | Sys_error m ->
-                    { code = exit_invalid_input; phase = at; message = m; span = None }
-                | e ->
-                    {
-                      code = exit_internal;
-                      phase = at;
-                      message = Printexc.to_string e;
-                      span = None;
-                    }))
+                    mk exit_invalid_input m None
+                | e -> mk exit_internal (Printexc.to_string e) None))
+      in
+      let diag =
+        if diag.code = exit_internal then begin
+          Telemetry.Event.error "guard.trapped"
+            ~fields:
+              [
+                ("phase", Telemetry.Json.Str diag.phase);
+                ("message", Telemetry.Json.Str diag.message);
+              ];
+          { diag with dump = write_crash_dump diag }
+        end
+        else diag
       in
       finish (Error diag)

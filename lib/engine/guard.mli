@@ -23,11 +23,14 @@ type diagnostic = {
   phase : string;  (** innermost {!phase} active when the exception escaped *)
   message : string;
   span : string option;  (** input location such as ["line 3"], when known *)
+  dump : string option;
+      (** path of the flight-recorder crash dump, for internal faults *)
 }
 
 val json_of : diagnostic -> Telemetry.Json.t
-(** [{"code": .., "phase": .., "message": .., "span": ..}] — the object
-    emitted under the top-level ["error"] key in [--json] mode. *)
+(** [{"code": .., "phase": .., "message": .., "span": .., "dump": ..}] —
+    the object emitted under the top-level ["error"] key in [--json]
+    mode. *)
 
 val pp : Format.formatter -> diagnostic -> unit
 (** One-line human rendering for stderr. *)
@@ -66,4 +69,12 @@ val protect : ?phase:string -> (unit -> 'a) -> ('a, diagnostic) result
 
     Invalid-input and internal traps tick the [engine.guard_trapped]
     counter; resource outcomes (4/130) do not — they are cooperative
-    shutdowns, not trapped crashes. *)
+    shutdowns, not trapped crashes.
+
+    An internal fault (exit 5) additionally emits a [guard.trapped]
+    error event and dumps the flight recorder — the last ring of events,
+    open spans, run metadata and the diagnostic — to
+    [polyufc-crash-<pid>.json] in the current directory (or
+    [POLYUFC_CRASH_DIR]), recording the path in [diagnostic.dump].
+    Dump-write failures are swallowed: forensics must never mask the
+    original fault. *)

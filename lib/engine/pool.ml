@@ -93,7 +93,13 @@ let backoff_delay attempts =
 
 let requeue_crashed t job =
   job.attempts <- job.attempts + 1;
-  if job.attempts > t.max_retries then
+  if job.attempts > t.max_retries then begin
+    Telemetry.Event.error "pool.job_abandoned"
+      ~fields:
+        [
+          ("attempts", Telemetry.Json.Int job.attempts);
+          ("max_retries", Telemetry.Json.Int t.max_retries);
+        ];
     job.abandon
       (Worker_failure
          (Printf.sprintf
@@ -101,8 +107,15 @@ let requeue_crashed t job =
             job.attempts
             (if job.attempts = 1 then "" else "es")
             t.max_retries))
+  end
   else begin
     Telemetry.tick c_job_retries;
+    Telemetry.Event.info "pool.job_requeued"
+      ~fields:
+        [
+          ("attempt", Telemetry.Json.Int job.attempts);
+          ("backoff_s", Telemetry.Json.Float (backoff_delay job.attempts));
+        ];
     Unix.sleepf (backoff_delay job.attempts);
     Mutex.lock t.mutex;
     (* bypass the capacity gate: a dying domain must never block *)
@@ -119,10 +132,21 @@ let rec supervised t () =
   try worker_loop t
   with e ->
     Telemetry.tick c_worker_crashes;
+    Telemetry.Event.warn "pool.worker_crash"
+      ~fields:
+        [
+          ( "exn",
+            Telemetry.Json.Str
+              (match e with
+              | Crashed _ -> "injected crash"
+              | e -> Printexc.to_string e) );
+        ];
     (match e with Crashed job -> requeue_crashed t job | _ -> ());
     Mutex.lock t.mutex;
-    if (not t.closed) || not (Queue.is_empty t.queue) then
-      t.workers <- Domain.spawn (supervised t) :: t.workers;
+    if (not t.closed) || not (Queue.is_empty t.queue) then begin
+      Telemetry.Event.info "pool.worker_respawn";
+      t.workers <- Domain.spawn (supervised t) :: t.workers
+    end;
     Mutex.unlock t.mutex
 
 let create ?jobs ?(max_retries = default_max_retries) () =

@@ -54,11 +54,14 @@ let default_dir () =
   | Some d when d <> "" -> d
   | _ -> "_polyufc_cache"
 
+(* forward declaration: [create] below registers the cache directory as
+   the process's counter-persistence target (see "Cumulative counters") *)
+let register_persist_dir = ref (fun (_ : string) -> ())
+
 let create ?dir () =
-  {
-    cache_dir = (match dir with Some d -> d | None -> default_dir ());
-    read_only = Atomic.make false;
-  }
+  let cache_dir = match dir with Some d -> d | None -> default_dir () in
+  !register_persist_dir cache_dir;
+  { cache_dir; read_only = Atomic.make false }
 
 let dir t = t.cache_dir
 let read_only t = Atomic.get t.read_only
@@ -107,6 +110,8 @@ let payload_checksum payload = Digest.to_hex (Digest.string (J.to_string payload
 let quarantine t path why =
   bump c_corrupt n_corrupt;
   bump c_quarantined n_quarantined;
+  Telemetry.Event.warn "rcache.quarantine"
+    ~fields:[ ("entry", J.Str (Filename.basename path)); ("why", J.Str why) ];
   let qdir = quarantine_dir t in
   match
     if not (Sys.file_exists qdir) then Unix.mkdir qdir 0o755;
@@ -171,6 +176,8 @@ let find t key =
 let flip_read_only t =
   if Atomic.compare_and_set t.read_only false true then begin
     bump c_readonly_flip n_readonly_flip;
+    Telemetry.Event.warn "rcache.readonly_flip"
+      ~fields:[ ("dir", J.Str t.cache_dir) ];
     warn "disk full: cache %s now read-only (existing entries still served)"
       t.cache_dir
   end
@@ -199,12 +206,17 @@ let store t key payload =
       if Faultsim.fire Faultsim.Rcache_enospc then
         raise (Unix.Unix_error (Unix.ENOSPC, "write", entry_path t key));
       Io.write_atomic
-        ~on_retry:(fun () -> bump c_write_retry n_write_retry)
+        ~on_retry:(fun () ->
+          bump c_write_retry n_write_retry;
+          Telemetry.Event.info "rcache.write_retry"
+            ~fields:[ ("entry", J.Str key) ])
         (entry_path t key) text;
       bump c_store n_store
     with
     | Unix.Unix_error (Unix.ENOSPC, _, _) -> flip_read_only t
     | Sys_error msg | Unix.Unix_error (_, msg, _) ->
+      Telemetry.Event.warn "rcache.store_failed"
+        ~fields:[ ("entry", J.Str key); ("why", J.Str msg) ];
       warn "cannot store entry %s (%s)" key msg
   end
 
@@ -277,3 +289,102 @@ let counts () =
     write_retries = Atomic.get n_write_retry;
     readonly_flips = Atomic.get n_readonly_flip;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Cumulative counters across processes                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The process counters die with the process, so a later
+   [polyufc cache stats] would always report zeros.  On exit, a process
+   that touched a cache merges its counters into a sidecar at
+   [<dir>/meta/counters.json] (outside the entry namespace: [stats] and
+   [clear] only look at top-level [*.json] entries, and the digest keys
+   never collide with a subdirectory).  [cumulative] = sidecar + the
+   current process, giving hit-rate numbers that survive restarts. *)
+
+let counters_sidecar dir = Filename.concat (Filename.concat dir "meta") "counters.json"
+
+let count_fields =
+  [
+    ("hits", (fun c -> c.hits), fun c v -> { c with hits = v });
+    ("misses", (fun c -> c.misses), fun c v -> { c with misses = v });
+    ("stores", (fun c -> c.stores), fun c v -> { c with stores = v });
+    ("corrupt", (fun c -> c.corrupt), fun c v -> { c with corrupt = v });
+    ( "quarantined",
+      (fun c -> c.quarantined),
+      fun c v -> { c with quarantined = v } );
+    ( "write_retries",
+      (fun c -> c.write_retries),
+      fun c v -> { c with write_retries = v } );
+    ( "readonly_flips",
+      (fun c -> c.readonly_flips),
+      fun c v -> { c with readonly_flips = v } );
+  ]
+
+let zero_counts =
+  {
+    hits = 0;
+    misses = 0;
+    stores = 0;
+    corrupt = 0;
+    quarantined = 0;
+    write_retries = 0;
+    readonly_flips = 0;
+  }
+
+let json_of_counts c =
+  J.Obj
+    (("schema", J.Str "polyufc-cache-counters/v1")
+    :: List.map (fun (name, get, _) -> (name, J.Int (get c))) count_fields)
+
+let counts_of_json doc =
+  List.fold_left
+    (fun c (name, _, set) ->
+      match J.member name doc with
+      | Some (J.Int v) when v >= 0 -> set c v
+      | _ -> c)
+    zero_counts count_fields
+
+let saved_counts dir =
+  match read_file (counters_sidecar dir) with
+  | exception (Sys_error _ | Unix.Unix_error _) -> zero_counts
+  | text -> (
+    match J.of_string text with
+    | Ok doc -> counts_of_json doc
+    | Error _ -> zero_counts)
+
+let add_counts a b =
+  List.fold_left
+    (fun c (_, get, set) -> set c (get a + get b))
+    zero_counts count_fields
+
+let cumulative t = add_counts (saved_counts t.cache_dir) (counts ())
+
+(* One sidecar per process: counters are process-wide, so they are
+   persisted to the most recently created cache's directory (in practice
+   there is exactly one cache per process). *)
+let persist_to = ref None
+let persist_mutex = Mutex.create ()
+
+let () =
+  register_persist_dir :=
+    fun dir -> Mutex.protect persist_mutex (fun () -> persist_to := Some dir)
+
+let flush_counts () =
+  let dir = Mutex.protect persist_mutex (fun () -> !persist_to) in
+  match dir with
+  | None -> ()
+  | Some dir ->
+    let now = counts () in
+    if now <> zero_counts then begin
+      try
+        let meta_dir = Filename.concat dir "meta" in
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        if not (Sys.file_exists meta_dir) then Unix.mkdir meta_dir 0o755;
+        Io.write_atomic ~fsync:false (counters_sidecar dir)
+          (J.to_string (json_of_counts (add_counts (saved_counts dir) now))
+          ^ "\n")
+      with Sys_error _ | Unix.Unix_error _ -> ()
+    end
+
+let () = at_exit flush_counts

@@ -92,3 +92,11 @@ type counts = {
 val counts : unit -> counts
 (** Process-wide counters since startup (independent of telemetry
     enablement). *)
+
+val cumulative : t -> counts
+(** {!counts} plus the counters persisted by previous processes that
+    used the same cache directory.  A process that touched a cache
+    merges its counters into [<dir>/meta/counters.json] at exit (the
+    sidecar lives outside the entry namespace, so {!stats} and {!clear}
+    ignore it), which is what lets [polyufc cache stats] report hit
+    rates without having run the analysis itself. *)

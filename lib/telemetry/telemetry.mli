@@ -67,13 +67,42 @@ val count : ?by:int -> string -> unit
 val counter_value : string -> int
 val counters_snapshot : unit -> (string * int) list
 
-(** {1 Histograms} *)
+(** {1 Histograms}
+
+    Histograms are fixed-bucket log-linear (HDR-histogram style): each
+    power-of-two binade is split into 16 equal-width sub-buckets, giving
+    quantile estimates with at most ~3.1% relative error over the value
+    range [2^-20, 2^40). Zero, negative and out-of-range observations
+    land in underflow/overflow buckets whose estimates are pinned to the
+    observed min/max, so {!quantile} is total on any non-empty
+    histogram. NaN observations are dropped. *)
 
 val observe : string -> float -> unit
+
+(** Immutable snapshot of one histogram. [hist_buckets] lists only
+    non-empty buckets as [(upper_bound, count)] in increasing bound
+    order; the overflow bucket's bound is [infinity]. *)
+type hist = {
+  hist_count : int;
+  hist_sum : float;
+  hist_min : float;
+  hist_max : float;
+  hist_buckets : (float * int) list;
+}
 
 (** [(name, (count, sum, min, max))] for every histogram observed at
     least once. *)
 val histograms_snapshot : unit -> (string * (int * float * float * float)) list
+
+(** Full bucketed snapshots, sorted by name. *)
+val histograms_detailed : unit -> (string * hist) list
+
+val histogram_snapshot : string -> hist option
+
+(** [quantile h q] is the nearest-rank quantile estimate for
+    [q] in [0,1], clamped to the observed [min, max]. NaN when
+    [h.hist_count = 0]. *)
+val quantile : hist -> float -> float
 
 (** {1 Spans} *)
 
@@ -93,6 +122,71 @@ val spans : unit -> span list
 (** Per-name rollup: [(name, (count, total_us))]. *)
 val span_summary : unit -> (string * (int * float)) list
 
+(** Spans entered but not yet closed, across all domains:
+    [(id, name, start_us, domain)] sorted by id. Used by the flight
+    recorder to capture in-progress work at crash time. *)
+val open_spans : unit -> (int * string * float * int) list
+
+(** Name of the innermost open span on the calling domain, if any. *)
+val current_span_name : unit -> string option
+
+(** {1 Run metadata} *)
+
+(** Attribution block stamped into {!stats_json}, bench reports and
+    crash dumps: timestamp (ISO-8601 UTC), git commit (resolved by
+    reading [.git], [null] outside a work tree), hostname, pid, OCaml
+    version, OS type, plus any fields added with {!set_meta}. *)
+val run_meta : unit -> Json.t
+
+(** [set_meta key v] adds (or replaces) an extra field in {!run_meta},
+    e.g. the frontend's job count. *)
+val set_meta : string -> Json.t -> unit
+
+(** {1 Structured event log} *)
+
+(** Leveled JSON-lines event log with a built-in flight recorder.
+
+    Every event is a one-line JSON object
+    [{"ts": ..., "level": ..., "event": ..., "domain": ..., "span": ...,
+    <extra fields>}]. Events at or above the threshold level go to the
+    configured sink; {e all} events (regardless of sink or level) are
+    additionally recorded in a bounded in-memory ring consulted by the
+    crash dumper. Emission is domain-safe.
+
+    The sink can be armed without code via the [POLYUFC_LOG] environment
+    variable ([FILE], [-] or [stderr]) and filtered via
+    [POLYUFC_LOG_LEVEL] ([debug|info|warn|error], default [info]). *)
+module Event : sig
+  type level = Debug | Info | Warn | Error
+
+  val level_of_string : string -> level option
+  val level_name : level -> string
+
+  (** Set the minimum level forwarded to the sink (ring recording is
+      unaffected). *)
+  val set_level : level -> unit
+
+  (** Route events to a sink: [-] or [stderr] for standard error, [""],
+      [off] or [null] to disable, anything else is opened (append,
+      create) as a file. Replaces and closes any previous sink. *)
+  val set_sink_path : string -> (unit, string) result
+
+  (** Close the current sink (also installed as an [at_exit] hook). *)
+  val close_sink : unit -> unit
+
+  val emit : ?fields:(string * Json.t) list -> level -> string -> unit
+  val debug : ?fields:(string * Json.t) list -> string -> unit
+  val info : ?fields:(string * Json.t) list -> string -> unit
+  val warn : ?fields:(string * Json.t) list -> string -> unit
+  val error : ?fields:(string * Json.t) list -> string -> unit
+
+  (** Flight-recorder contents, oldest first (at most the last 256
+      events). *)
+  val recent : unit -> Json.t list
+
+  val clear_ring : unit -> unit
+end
+
 (** {1 Export} *)
 
 (** Chrome trace_event JSON (load in chrome://tracing or Perfetto). *)
@@ -101,8 +195,21 @@ val trace_json : unit -> Json.t
 val trace_to_string : unit -> string
 val write_trace : string -> unit
 
-(** Counters + histograms + span rollup as one JSON object. *)
+(** Counters + histograms (with buckets and p50/p90/p99/p999) + span
+    rollup + {!run_meta}, as one JSON object. *)
 val stats_json : unit -> Json.t
+
+(** Render a stats document (the {!stats_json} shape) as OpenMetrics /
+    Prometheus text exposition: [polyufc_]-prefixed sanitized names,
+    [# TYPE] metadata, counters as [_total], histograms as cumulative
+    [_bucket{le="..."}] series plus [_sum]/[_count], run metadata as a
+    [polyufc_build_info] gauge, terminated by [# EOF]. Errors if the
+    document is not a JSON object. *)
+val openmetrics_of_stats : Json.t -> (string, string) result
+
+(** [openmetrics_of_stats (stats_json ())], raising [Invalid_argument]
+    on malformed input (cannot happen for the live registry). *)
+val to_openmetrics : unit -> string
 
 val pp_tree : Format.formatter -> unit -> unit
 val pp_stats : Format.formatter -> unit -> unit

@@ -2,9 +2,43 @@
    JSON and carry the expected top-level fields.  An argument of the form
    key=value additionally asserts the field's (stringified) value — used
    by the deadline smoke rule to pin "fidelity=degraded".  Exit 0 on
-   success. *)
+   success.
+
+   `json_smoke --lines FILE [N]` instead checks a JSON-lines event log:
+   every non-empty line must parse as a JSON object carrying the event
+   envelope fields (ts, level, event), and there must be at least N lines
+   (default 1). *)
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let check_lines path min_count =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  List.iteri
+    (fun i line ->
+      match Telemetry.Json.of_string line with
+      | Error msg -> fail "%s:%d: invalid JSON line: %s" path (i + 1) msg
+      | Ok (Telemetry.Json.Obj _ as doc) ->
+        List.iter
+          (fun key ->
+            if Telemetry.Json.member key doc = None then
+              fail "%s:%d: event missing %S field" path (i + 1) key)
+          [ "ts"; "level"; "event" ]
+      | Ok _ -> fail "%s:%d: event line is not a JSON object" path (i + 1))
+    lines;
+  if List.length lines < min_count then
+    fail "%s: expected at least %d event line(s), found %d" path min_count
+      (List.length lines);
+  Printf.printf "%s: ok (%d event lines)\n" path (List.length lines);
+  exit 0
 
 let string_of_json = function
   | Telemetry.Json.Str s -> s
@@ -15,6 +49,19 @@ let string_of_json = function
   | j -> Telemetry.Json.to_string j
 
 let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "--lines" :: path :: rest ->
+    let min_count =
+      match rest with
+      | [] -> 1
+      | [ n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> n
+        | _ -> fail "usage: json_smoke --lines FILE [min-count]")
+      | _ -> fail "usage: json_smoke --lines FILE [min-count]"
+    in
+    check_lines path min_count
+  | _ -> ());
   let path, checks =
     match Array.to_list Sys.argv with
     | _ :: path :: keys -> (path, keys)

@@ -19,4 +19,5 @@ let () =
       ("engine", Test_engine.tests);
       ("govern", Test_govern.tests);
       ("fault", Test_fault.tests);
+      ("observability", Test_observability.tests);
     ]

@@ -91,6 +91,233 @@ let test_histograms () =
     Alcotest.(check (float 1e-9)) "min" 2.0 mn;
     Alcotest.(check (float 1e-9)) "max" 6.0 mx
 
+(* log-linear buckets with 16 sub-buckets per binade: any quantile
+   estimate is within half a sub-bucket of the truth, a relative error
+   of at most 1/32 ~ 3.2% (we allow 3.5% for the nearest-rank off-by-one
+   at small counts) *)
+let test_quantile_accuracy () =
+  with_fresh_telemetry @@ fun () ->
+  (* deterministic log-uniform values over ~6 decades *)
+  let st = Random.State.make [| 0x5eed |] in
+  let n = 20_000 in
+  let values =
+    Array.init n (fun _ -> Float.exp (Random.State.float st 14.0 -. 4.0))
+  in
+  Array.iter (T.observe "test.q") values;
+  Array.sort compare values;
+  let h =
+    match T.histogram_snapshot "test.q" with
+    | Some h -> h
+    | None -> Alcotest.fail "histogram missing"
+  in
+  List.iter
+    (fun q ->
+      let est = T.quantile h q in
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+      let true_v = values.(rank - 1) in
+      let rel = Float.abs (est -. true_v) /. true_v in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%g rel err %.4f <= 0.035" q rel)
+        true (rel <= 0.035))
+    [ 0.5; 0.9; 0.99; 0.999 ]
+
+let test_quantile_degenerate () =
+  with_fresh_telemetry @@ fun () ->
+  for _ = 1 to 100 do
+    T.observe "test.same" 37.25
+  done;
+  (* out-of-range observations land in the edge buckets but stay pinned
+     to the observed min/max *)
+  T.observe "test.edge" 0.0;
+  T.observe "test.edge" (-3.0);
+  T.observe "test.edge" 1e14;
+  let h name =
+    match T.histogram_snapshot name with
+    | Some h -> h
+    | None -> Alcotest.fail "histogram missing"
+  in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "all-equal q=%g exact" q)
+        37.25
+        (T.quantile (h "test.same") q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  let edge = h "test.edge" in
+  Alcotest.(check bool) "quantiles clamped to observed range" true
+    (List.for_all
+       (fun q ->
+         let v = T.quantile edge q in
+         v >= -3.0 && v <= 1e14)
+       [ 0.001; 0.5; 0.999 ]);
+  Alcotest.(check bool) "empty histogram quantile is NaN" true
+    (Float.is_nan
+       (T.quantile
+          {
+            T.hist_count = 0;
+            hist_sum = 0.0;
+            hist_min = Float.infinity;
+            hist_max = Float.neg_infinity;
+            hist_buckets = [];
+          }
+          0.5))
+
+let test_stats_json_shape () =
+  with_fresh_telemetry @@ fun () ->
+  T.count ~by:3 "test.ticks";
+  for i = 1 to 100 do
+    T.observe "test.lat" (float_of_int i)
+  done;
+  let doc = T.stats_json () in
+  Alcotest.(check bool) "meta present" true (J.member "meta" doc <> None);
+  let meta = Option.get (J.member "meta" doc) in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) ("meta has " ^ k) true (J.member k meta <> None))
+    [ "timestamp"; "hostname"; "pid"; "ocaml_version" ];
+  let hist =
+    match J.member "histograms" doc with
+    | Some hs -> (
+      match J.member "test.lat" hs with
+      | Some h -> h
+      | None -> Alcotest.fail "test.lat histogram missing from stats_json")
+    | None -> Alcotest.fail "histograms missing"
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        ("histogram has " ^ k)
+        true
+        (J.member k hist <> None))
+    [ "count"; "sum"; "mean"; "p50"; "p90"; "p99"; "p999"; "buckets" ];
+  (* bucket counts must sum to the observation count *)
+  let bucket_sum =
+    match J.member "buckets" hist with
+    | Some (J.Arr bs) ->
+      List.fold_left
+        (fun acc b ->
+          match Option.bind (J.member "n" b) J.number with
+          | Some n -> acc + int_of_float n
+          | None -> acc)
+        0 bs
+    | _ -> -1
+  in
+  Alcotest.(check int) "bucket counts sum to count" 100 bucket_sum
+
+(* OpenMetrics exposition sanity: parses line-by-line, `# TYPE` metadata
+   precedes samples, histogram bucket series are cumulative and agree
+   with _count, and the document is # EOF-terminated. *)
+let test_openmetrics_exposition () =
+  with_fresh_telemetry @@ fun () ->
+  T.count ~by:7 "test.om_counter";
+  for i = 1 to 50 do
+    T.observe "test.om-lat.us" (float_of_int (i * 3))
+  done;
+  ignore (T.with_span "om.span" (fun () -> ()));
+  let text = T.to_openmetrics () in
+  let lines = String.split_on_char '\n' text in
+  let non_empty = List.filter (fun l -> l <> "") lines in
+  Alcotest.(check string) "EOF-terminated" "# EOF"
+    (List.nth non_empty (List.length non_empty - 1));
+  let typed = Hashtbl.create 16 in
+  let bucket_cum = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      if line = "" || line = "# EOF" then ()
+      else if String.length line > 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ] ->
+          Alcotest.(check bool)
+            ("known metric kind " ^ kind)
+            true
+            (List.mem kind [ "counter"; "gauge"; "histogram" ]);
+          Hashtbl.replace typed name kind
+        | _ -> Alcotest.fail ("malformed TYPE line: " ^ line)
+      end
+      else begin
+        (* sample line: name[{labels}] value *)
+        let name_end =
+          match (String.index_opt line '{', String.index_opt line ' ') with
+          | Some b, Some sp when b < sp -> b
+          | _, Some sp -> sp
+          | _ -> Alcotest.fail ("malformed sample line: " ^ line)
+        in
+        let name = String.sub line 0 name_end in
+        Alcotest.(check bool)
+          ("metric name sanitized: " ^ name)
+          true
+          (String.length name > 8
+          && String.sub name 0 8 = "polyufc_"
+          && String.for_all
+               (function
+                 | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+                 | _ -> false)
+               name);
+        let value =
+          match String.rindex_opt line ' ' with
+          | Some i ->
+            float_of_string_opt
+              (String.sub line (i + 1) (String.length line - i - 1))
+          | None -> None
+        in
+        Alcotest.(check bool)
+          ("sample has a numeric value: " ^ line)
+          true (value <> None);
+        (* every sample's base family must have a TYPE line *)
+        let strip suffix n =
+          if
+            String.length n > String.length suffix
+            && String.sub n
+                 (String.length n - String.length suffix)
+                 (String.length suffix)
+               = suffix
+          then Some (String.sub n 0 (String.length n - String.length suffix))
+          else None
+        in
+        let family =
+          List.fold_left
+            (fun acc suffix ->
+              match acc with
+              | Some _ -> acc
+              | None -> strip suffix name)
+            None
+            [ "_total"; "_bucket"; "_sum"; "_count" ]
+          |> Option.value ~default:name
+        in
+        Alcotest.(check bool)
+          ("TYPE declared for " ^ family)
+          true
+          (Hashtbl.mem typed family);
+        (* cumulative bucket check *)
+        match strip "_bucket" name with
+        | Some fam ->
+          let v = Option.get value in
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt bucket_cum fam) in
+          Alcotest.(check bool)
+            (fam ^ " buckets cumulative")
+            true (v >= prev);
+          Hashtbl.replace bucket_cum fam v
+        | None -> (
+          match strip "_count" name with
+          | Some fam when Hashtbl.mem bucket_cum fam ->
+            Alcotest.(check (float 1e-9))
+              (fam ^ " count = last bucket")
+              (Hashtbl.find bucket_cum fam)
+              (Option.get value)
+          | _ -> ())
+      end)
+    lines;
+  Alcotest.(check bool) "histogram family present" true
+    (Hashtbl.fold
+       (fun _ kind acc -> acc || kind = "histogram")
+       typed false)
+
+let test_openmetrics_rejects_non_object () =
+  Alcotest.(check bool) "non-object stats rejected" true
+    (match T.openmetrics_of_stats (J.Arr []) with
+    | Error _ -> true
+    | Ok _ -> false)
+
 let test_disabled_noop () =
   T.reset ();
   T.disable ();
@@ -320,6 +547,15 @@ let tests =
       test_span_timed_agrees;
     Alcotest.test_case "counter aggregation" `Quick test_counter_aggregation;
     Alcotest.test_case "histograms" `Quick test_histograms;
+    Alcotest.test_case "quantile accuracy bound" `Quick test_quantile_accuracy;
+    Alcotest.test_case "quantile degenerate cases" `Quick
+      test_quantile_degenerate;
+    Alcotest.test_case "stats_json meta + quantiles" `Quick
+      test_stats_json_shape;
+    Alcotest.test_case "openmetrics exposition sanity" `Quick
+      test_openmetrics_exposition;
+    Alcotest.test_case "openmetrics rejects non-object" `Quick
+      test_openmetrics_rejects_non_object;
     Alcotest.test_case "disabled mode is a no-op" `Quick test_disabled_noop;
     Alcotest.test_case "concurrent counters lose nothing" `Quick
       test_concurrent_counters;
