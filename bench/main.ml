@@ -3,11 +3,12 @@
    ablations called out in DESIGN.md and a Bechamel micro-benchmark suite
    for the analysis components.
 
-   Usage:  main.exe [--jobs=N] [--quick] [experiment...]
+   Usage:  main.exe [--jobs=N] [--quick] [--daemon] [experiment...]
      experiments: tab2 tab3 tab4 fig1 fig5 fig6 fig7 fig8
                   abl-eps abl-granularity abl-objective abl-counting
-                  ehrhart micro
-     default: all of the above.
+                  ehrhart micro daemon
+     default: all of the above except daemon (which needs the polyufc
+     binary on disk; opt in with --daemon or by naming it).
    --quick shrinks the ehrhart domain sizes for CI smoke runs.
 
    --jobs=N runs the per-workload bodies of fig6 / fig7 / tab4 on an
@@ -772,6 +773,179 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Daemon: warm `polyufc serve` round-trips vs cold CLI processes      *)
+(* ------------------------------------------------------------------ *)
+
+(* The serve daemon's pitch is amortization: process startup, workload
+   parsing and the warm result cache are paid for once, so a steady-state
+   request costs one socket round-trip.  This experiment measures exactly
+   that — the same analyze request, (a) as a fresh `polyufc analyze`
+   process per rep, (b) as a request stream to one daemon — and reports
+   p50/p99 of the warm latencies next to the cold wall times.  Both
+   paths share one pre-populated result cache (steady state for both),
+   so the delta is what serving amortizes: exec + runtime startup +
+   flag parsing vs a framed request on a hot connection. *)
+
+let find_polyufc () =
+  match Sys.getenv_opt "POLYUFC_BIN" with
+  | Some p when Sys.file_exists p -> Some p
+  | Some p ->
+    Printf.eprintf "bench: POLYUFC_BIN=%s does not exist\n%!" p;
+    None
+  | None ->
+    (* bench runs as _build/default/bench/main.exe; the CLI lives next
+       door at _build/default/bin/polyufc.exe *)
+    let guess =
+      Filename.concat
+        (Filename.concat
+           (Filename.dirname (Filename.dirname Sys.executable_name))
+           "bin")
+        "polyufc.exe"
+    in
+    if Sys.file_exists guess then Some guess else None
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+(* nearest-rank quantile over a sorted array; total for q in [0,1] *)
+let quantile_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else
+    let i = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+    sorted.(max 0 (min (n - 1) i))
+
+let daemon () =
+  section
+    "DAEMON — analysis-as-a-service: warm `polyufc serve` round-trips vs\n\
+     cold CLI processes (identical analyze request on both paths)";
+  match find_polyufc () with
+  | None ->
+    pf "skipped: polyufc binary not found (set POLYUFC_BIN or run from the\n\
+       \ dune build tree)\n"
+  | Some exe ->
+    let module J = Telemetry.Json in
+    let n = if !bench_quick then 16 else 32 in
+    let cold_reps = if !bench_quick then 2 else 5 in
+    let warm_reps = if !bench_quick then 8 else 40 in
+    let cache_dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "polyufc-bench-cache-%d" (Unix.getpid ()))
+    in
+    pf "binary: %s\nrequest: analyze gemm n=%d (shared warm cache on both paths)\n"
+      exe n;
+    (* --- cold path: one process per request ------------------------- *)
+    let dev_null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+    let run_cold () =
+      let t0 = Unix.gettimeofday () in
+      let pid =
+        Unix.create_process exe
+          [|
+            exe; "analyze"; "-w"; "gemm"; "-s"; Printf.sprintf "n=%d" n;
+            "--json"; "--cache-dir"; cache_dir;
+          |]
+          dev_null dev_null dev_null
+      in
+      let _, status = Unix.waitpid [] pid in
+      let dt = Unix.gettimeofday () -. t0 in
+      (match status with
+      | Unix.WEXITED 0 -> ()
+      | _ -> pf "** cold CLI rep failed **\n");
+      dt
+    in
+    (* populate the cache once, untimed: every measured rep on either
+       path then runs at steady state (cache hit) *)
+    ignore (run_cold ());
+    let cold = Array.init cold_reps (fun _ -> run_cold ()) in
+    Unix.close dev_null;
+    Array.iter (fun dt -> Telemetry.observe "bench.cold_cli_s" dt) cold;
+    Array.sort compare cold;
+    (* --- warm path: one daemon, a stream of requests ---------------- *)
+    let socket =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "polyufc-bench-%d.sock" (Unix.getpid ()))
+    in
+    (match
+       Serve.Client.spawn_and_connect
+         ~spawn_args:[ "--cache-dir"; cache_dir; "--workers"; "2" ]
+         ~exe ~socket ()
+     with
+    | Error msg -> pf "warm path skipped: %s\n" msg
+    | Ok client ->
+      let params =
+        J.Obj
+          [
+            ("workload", J.Str "gemm");
+            ("sizes", J.Obj [ ("n", J.Int n) ]);
+          ]
+      in
+      let one () =
+        let t0 = Unix.gettimeofday () in
+        match Serve.Client.request client ~op:Serve.Protocol.Analyze ~params () with
+        | Ok _ -> Some (Unix.gettimeofday () -. t0)
+        | Error e ->
+          pf "** warm rep failed: %s **\n" e.Serve.Protocol.message;
+          None
+      in
+      (* one untimed warm-up request pays the daemon's first-touch costs
+         (workload parse, count-memo population) exactly once *)
+      ignore (one ());
+      let warm =
+        Array.of_list
+          (List.filter_map
+             (fun _ -> one ())
+             (List.init warm_reps Fun.id))
+      in
+      Array.iter (fun dt -> Telemetry.observe "bench.daemon_request_s" dt) warm;
+      Array.sort compare warm;
+      (* daemon-side view of the same stream *)
+      (match
+         Serve.Client.request client ~op:Serve.Protocol.Stats
+           ~params:(J.Obj []) ()
+       with
+      | Ok stats ->
+        let counter name =
+          match Option.bind (J.member "counters" stats) (J.member name) with
+          | Some (J.Int v) -> v
+          | _ -> 0
+        in
+        pf "daemon counters: %d requests, %d responses, %d rejected\n"
+          (counter "serve.requests") (counter "serve.responses")
+          (counter "serve.rejected")
+      | Error e -> pf "(stats request failed: %s)\n" e.Serve.Protocol.message);
+      ignore
+        (Serve.Client.request client ~op:Serve.Protocol.Shutdown
+           ~params:(J.Obj []) ());
+      Serve.Client.close client;
+      (* the drained daemon unlinks its socket last; don't leak /tmp *)
+      let rec await_exit tries =
+        if Sys.file_exists socket && tries > 0 then begin
+          Unix.sleepf 0.05;
+          await_exit (tries - 1)
+        end
+      in
+      await_exit 100;
+      let ms x = x *. 1e3 in
+      let q a p = ms (quantile_sorted a p) in
+      pf "\n%-22s %6s %10s %10s %10s\n" "path" "reps" "min (ms)" "p50 (ms)"
+        "p99 (ms)";
+      pf "%-22s %6d %10.1f %10.1f %10.1f\n" "cold CLI process"
+        (Array.length cold) (q cold 0.0) (q cold 0.5) (q cold 0.99);
+      pf "%-22s %6d %10.2f %10.2f %10.2f\n" "warm daemon request"
+        (Array.length warm) (q warm 0.0) (q warm 0.5) (q warm 0.99);
+      if Array.length warm > 0 && Array.length cold > 0 then
+        pf "warm p50 speedup vs cold p50: %.1fx\n"
+          (quantile_sorted cold 0.5 /. Float.max (quantile_sorted warm 0.5) 1e-9));
+    rm_rf cache_dir
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [
@@ -792,6 +966,7 @@ let all_experiments =
     ("abl-core", abl_core);
     ("ehrhart", ehrhart);
     ("micro", micro);
+    ("daemon", daemon);
   ]
 
 (* Experiments cheap enough for CI smoke and the regression gate: the
@@ -941,6 +1116,7 @@ let () =
   let jobs = ref 1 in
   let baseline = ref None in
   let tolerance = ref None in
+  let want_daemon = ref false in
   let requested =
     List.filter
       (fun a ->
@@ -950,6 +1126,10 @@ let () =
         end
         else if a = "--quick" then begin
           bench_quick := true;
+          false
+        end
+        else if a = "--daemon" then begin
+          want_daemon := true;
           false
         end
         else if String.length a > 9 && String.sub a 0 9 = "--report=" then begin
@@ -984,10 +1164,17 @@ let () =
   if !jobs > 1 then the_pool := Some (Engine.Pool.create ~jobs:!jobs ());
   Telemetry.set_meta "jobs" (Telemetry.Json.Int !jobs);
   let requested =
+    (* `daemon` needs the polyufc binary on disk and a writable /tmp, so
+       the default sweep leaves it out; --daemon (or naming it) opts in *)
     match requested with
     | [] when !bench_quick -> quick_experiments
-    | [] -> List.map fst all_experiments
+    | [] -> List.filter (fun n -> n <> "daemon") (List.map fst all_experiments)
     | names -> names
+  in
+  let requested =
+    if !want_daemon && not (List.mem "daemon" requested) then
+      requested @ [ "daemon" ]
+    else requested
   in
   if !telemetry_on then begin
     Telemetry.reset ();

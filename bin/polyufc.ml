@@ -476,6 +476,16 @@ let pp_stats_doc ppf doc =
         | Some n -> Format.fprintf ppf "  %-36s %.0f@," name n
         | None -> ())
       cs);
+  (match obj "gauges" with
+  | [] -> ()
+  | gs ->
+    Format.fprintf ppf "gauges:@,";
+    List.iter
+      (fun (name, v) ->
+        match J.number v with
+        | Some n -> Format.fprintf ppf "  %-36s %.0f@," name n
+        | None -> ())
+      gs);
   (match obj "histograms" with
   | [] -> ()
   | hs ->
@@ -553,6 +563,403 @@ let stats_top_cmd =
          "Render a telemetry stats document (text, JSON or OpenMetrics \
           exposition)")
     Term.(const run $ format_arg $ file_arg)
+
+(* ---- serve / client: analysis as a service ---------------------------- *)
+
+let default_socket () =
+  Option.value (Sys.getenv_opt "POLYUFC_SOCKET") ~default:"_polyufc.sock"
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string (default_socket ())
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket the daemon listens on (default \
+           $(b,_polyufc.sock), or $(b,POLYUFC_SOCKET)).")
+
+let serve_cmd =
+  let pos_int ~what v = if v <= 0 then
+      Resource_flags.usage_error "invalid %s %d (want a positive integer)" what v
+  in
+  let max_clients_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:"Concurrent connections beyond which new ones are rejected \
+                with an $(b,overloaded) error (scope $(b,server)).")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Pending requests (queued + executing, all clients) beyond \
+                which admission rejects with $(b,overloaded) (scope \
+                $(b,queue)).")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Unanswered requests one connection may pipeline before \
+                being rejected with $(b,overloaded) (scope $(b,client)).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Executor threads draining the request queue (each fans out \
+                onto the shared $(b,--jobs) domain pool).")
+  in
+  let max_deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "max-deadline" ] ~docv:"SEC"
+          ~doc:"Ceiling for per-request QoS deadlines; requests asking for \
+                more (or for none) are clamped down to it.")
+  in
+  let max_fuel_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-fuel" ] ~docv:"N"
+          ~doc:"Ceiling for per-request QoS fuel budgets.")
+  in
+  let serve_jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains shared by every request; $(b,0) (the \
+                default) means one per core.")
+  in
+  let run socket max_clients queue_depth max_inflight workers max_deadline
+      max_fuel jobs no_cache cache_dir log fault_plan =
+    pos_int ~what:"--max-clients" max_clients;
+    pos_int ~what:"--queue-depth" queue_depth;
+    pos_int ~what:"--max-inflight" max_inflight;
+    pos_int ~what:"--workers" workers;
+    if jobs < 0 then
+      Resource_flags.usage_error
+        "invalid --jobs %d (want N >= 0; 0 means one per core)" jobs;
+    (match max_deadline with
+    | Some d when d <= 0.0 ->
+      Resource_flags.usage_error
+        "invalid --max-deadline %g (want a positive number of seconds)" d
+    | _ -> ());
+    (match max_fuel with
+    | Some n when n <= 0 ->
+      Resource_flags.usage_error
+        "invalid --max-fuel %d (want a positive work-unit count)" n
+    | _ -> ());
+    (match fault_plan with
+    | None -> ()
+    | Some plan -> (
+      match Engine.Faultsim.parse_plan plan with
+      | Ok p -> Engine.Faultsim.install p
+      | Error msg -> Resource_flags.usage_error "invalid --fault-plan: %s" msg));
+    (* the daemon always runs with live telemetry: stats requests serve
+       the registry, and the event log is its operational journal *)
+    Telemetry.reset ();
+    Telemetry.enable ();
+    (match log with
+    | None -> ()
+    | Some path -> (
+      match Telemetry.Event.set_sink_path path with
+      | Ok () -> ()
+      | Error msg ->
+        Format.eprintf "error: cannot open --log sink: %s@." msg;
+        exit 1));
+    guarded @@ fun () ->
+    let jobs = if jobs = 0 then Engine.Pool.default_jobs () else jobs in
+    Telemetry.set_meta "jobs" (Telemetry.Json.Int jobs);
+    Engine.Pool.with_pool ~jobs @@ fun pool ->
+    let cache =
+      if no_cache then None else Some (Engine.Rcache.create ?dir:cache_dir ())
+    in
+    let shared =
+      Serve.Handler.create ~pool ?cache ?max_deadline_s:max_deadline
+        ?max_fuel ()
+    in
+    let cfg =
+      {
+        Serve.Server.socket_path = socket;
+        max_clients;
+        max_inflight;
+        queue_depth;
+        workers;
+        max_frame = Serve.Protocol.default_max_frame;
+      }
+    in
+    match Serve.Server.create cfg shared with
+    | Error msg ->
+      Format.eprintf "polyufc: %s@." msg;
+      exit 1
+    | Ok server ->
+      (* first SIGTERM/SIGINT: graceful drain (finish in-flight work,
+         flush counters); second: force-exit 130, mirroring the CLI's
+         double-^C convention.  The handler body is one CAS. *)
+      let on_signal =
+        Sys.Signal_handle
+          (fun _ ->
+            match Serve.Server.signal_drain server with
+            | `Began -> ()
+            | `Already -> exit 130)
+      in
+      (try Sys.set_signal Sys.sigterm on_signal
+       with Invalid_argument _ | Sys_error _ -> ());
+      (try Sys.set_signal Sys.sigint on_signal
+       with Invalid_argument _ | Sys_error _ -> ());
+      Serve.Server.run server
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived analysis daemon on a Unix socket: batched \
+          length-prefixed JSON requests, per-client QoS clamping, \
+          admission control, graceful drain on SIGTERM")
+    Term.(
+      const run $ socket_arg $ max_clients_arg $ queue_depth_arg
+      $ max_inflight_arg $ workers_arg $ max_deadline_arg $ max_fuel_arg
+      $ serve_jobs_arg $ Resource_flags.no_cache_arg $ cache_dir_arg $ log_arg
+      $ Resource_flags.fault_plan_arg)
+
+let spawn_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "spawn" ]
+        ~doc:
+          "If no daemon answers on the socket, start one ($(b,polyufc \
+           serve)) in the background and connect to it. The daemon \
+           outlives this command; stop it with $(b,polyufc client \
+           shutdown).")
+
+let client_connect ~socket ~spawn =
+  let r =
+    if spawn then
+      Serve.Client.spawn_and_connect ~exe:Sys.executable_name ~socket ()
+    else Serve.Client.connect socket
+  in
+  match r with
+  | Ok c -> c
+  | Error msg ->
+    Format.eprintf "polyufc: %s@." msg;
+    exit (Serve.Protocol.exit_code_of_kind Serve.Protocol.Transport)
+
+(* Relay a remote outcome with the CLI's own conventions: the payload
+   verbatim on stdout (it *is* the --json document the inline subcommand
+   would print), errors as {"error": ...} + a stderr line + the mapped
+   exit code. *)
+let client_finish ~json result =
+  match result with
+  | Ok payload -> Report.print_json payload
+  | Error (e : Serve.Protocol.error) ->
+    if json then
+      Report.print_json
+        (Telemetry.Json.Obj [ ("error", Serve.Protocol.json_of_error e) ]);
+    Format.eprintf "polyufc: [%s%s] %s@."
+      (Serve.Protocol.kind_name e.kind)
+      (match e.scope with Some s -> "/" ^ s | None -> "")
+      e.message;
+    exit (Serve.Protocol.exit_code_of_kind e.kind)
+
+let qos_of_flags ((deadline_s, fuel, degrade) as q) =
+  Resource_flags.validate_qos q;
+  { Serve.Protocol.deadline_s; fuel; degrade }
+
+(* The daemon cannot assume it shares a filesystem view with the client,
+   so a FILE argument is shipped as inline source text. *)
+let client_params ?(extra = []) (workload, file, sizes) machine tile_size =
+  let program =
+    match workload with
+    | Some name -> [ ("workload", Telemetry.Json.Str name) ]
+    | None ->
+      if file = "/dev/null" then
+        Resource_flags.usage_error
+          "give --workload NAME or a Polylang source FILE"
+      else
+        [
+          ( "source",
+            Telemetry.Json.Str
+              (In_channel.with_open_bin file In_channel.input_all) );
+        ]
+  in
+  let sizes =
+    match sizes with
+    | [] -> []
+    | kvs ->
+      [
+        ( "sizes",
+          Telemetry.Json.Obj
+            (List.map (fun (p, v) -> (p, Telemetry.Json.Int v)) kvs) );
+      ]
+  in
+  Telemetry.Json.Obj
+    (program @ sizes
+    @ [
+        ("machine", Telemetry.Json.Str machine.Hwsim.Machine.name);
+        ("tile_size", Telemetry.Json.Int tile_size);
+      ]
+    @ extra)
+
+let client_request ~socket ~spawn ~json ~qos ~op ~params =
+  let c = client_connect ~socket ~spawn in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+  client_finish ~json (Serve.Client.request c ~qos ~op ~params ())
+
+let client_json_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "json" ]
+        ~doc:
+          "Accepted for symmetry with the inline subcommands; client \
+           output is always the JSON document the daemon returned. The \
+           flag additionally mirrors errors as a top-level \
+           $(i,{\"error\": ...}) object on stdout.")
+
+let client_analyze_cmd =
+  let run load machine tile_size qos json socket spawn =
+    guarded ~json @@ fun () ->
+    let params = client_params load machine tile_size in
+    client_request ~socket ~spawn ~json ~qos:(qos_of_flags qos)
+      ~op:Serve.Protocol.Analyze ~params
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"PolyUFC-CM cache analysis via the daemon (same JSON as \
+             $(b,polyufc analyze --json))")
+    Term.(
+      const run $ load_term $ machine_arg $ tile_size_arg
+      $ Resource_flags.qos_term $ client_json_arg $ socket_arg $ spawn_arg)
+
+let search_like_client name ~doc ~op =
+  let run load machine tile_size epsilon objective qos json socket spawn =
+    guarded ~json @@ fun () ->
+    let extra =
+      [
+        ("epsilon", Telemetry.Json.Float epsilon);
+        ( "objective",
+          Telemetry.Json.Str
+            (match objective with
+            | Search.Edp -> "edp"
+            | Search.Energy -> "energy"
+            | Search.Performance -> "performance") );
+      ]
+    in
+    let params = client_params ~extra load machine tile_size in
+    client_request ~socket ~spawn ~json ~qos:(qos_of_flags qos) ~op ~params
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const run $ load_term $ machine_arg $ tile_size_arg $ epsilon_arg
+      $ objective_arg $ Resource_flags.qos_term $ client_json_arg
+      $ socket_arg $ spawn_arg)
+
+let client_ping_cmd =
+  let run socket spawn =
+    guarded @@ fun () ->
+    let c = client_connect ~socket ~spawn in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    let t0 = Unix.gettimeofday () in
+    match
+      Serve.Client.request c ~op:Serve.Protocol.Ping
+        ~params:(Telemetry.Json.Obj []) ()
+    with
+    | Ok payload ->
+      let dt_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      let pid =
+        match
+          Option.bind
+            (Telemetry.Json.member "pid" payload)
+            Telemetry.Json.number
+        with
+        | Some p -> int_of_float p
+        | None -> 0
+      in
+      Format.printf "pong from pid %d in %.2f ms@." pid dt_ms
+    | Error _ as e -> client_finish ~json:false e
+  in
+  Cmd.v (Cmd.info "ping" ~doc:"Round-trip liveness probe")
+    Term.(const run $ socket_arg $ spawn_arg)
+
+let client_stats_cmd =
+  let format_arg =
+    let fmt_conv =
+      Arg.enum
+        [ ("text", `Text); ("json", `Json); ("openmetrics", `Openmetrics) ]
+    in
+    Arg.(
+      value
+      & opt fmt_conv `Json
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Rendering of the daemon's stats document: $(b,json) (the \
+             default), $(b,text), or $(b,openmetrics) (Prometheus text \
+             exposition).")
+  in
+  let run format socket spawn =
+    guarded @@ fun () ->
+    let c = client_connect ~socket ~spawn in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    match
+      Serve.Client.request c ~op:Serve.Protocol.Stats
+        ~params:(Telemetry.Json.Obj []) ()
+    with
+    | Ok doc -> (
+      match format with
+      | `Json -> Format.printf "%s@." (Telemetry.Json.to_string doc)
+      | `Text -> Format.printf "%a@." pp_stats_doc doc
+      | `Openmetrics -> (
+        match Telemetry.openmetrics_of_stats doc with
+        | Ok text -> print_string text
+        | Error msg -> failwith ("cannot render OpenMetrics: " ^ msg)))
+    | Error _ as e -> client_finish ~json:false e
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Fetch the daemon's live telemetry (counters, gauges, \
+             latency quantiles) as text, JSON or OpenMetrics")
+    Term.(const run $ format_arg $ socket_arg $ spawn_arg)
+
+let client_shutdown_cmd =
+  let run socket =
+    guarded @@ fun () ->
+    let c = client_connect ~socket ~spawn:false in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    match
+      Serve.Client.request c ~op:Serve.Protocol.Shutdown
+        ~params:(Telemetry.Json.Obj []) ()
+    with
+    | Ok _ -> Format.printf "daemon draining@."
+    | Error _ as e -> client_finish ~json:false e
+  in
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"Ask the daemon to drain gracefully and exit")
+    Term.(const run $ socket_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a $(b,polyufc serve) daemon: analyze/search/run with \
+          per-request QoS, plus ping, stats and shutdown")
+    [
+      client_analyze_cmd;
+      search_like_client "search"
+        ~doc:
+          "Full compilation flow via the daemon (same JSON as $(b,polyufc \
+           search --json))"
+        ~op:Serve.Protocol.Search;
+      search_like_client "run"
+        ~doc:
+          "Compile and simulate via the daemon (same JSON as $(b,polyufc \
+           run --json))"
+        ~op:Serve.Protocol.Run;
+      client_ping_cmd;
+      client_stats_cmd;
+      client_shutdown_cmd;
+    ]
 
 (* ---- cache: inspect / clear the persistent result cache --------------- *)
 
@@ -641,5 +1048,5 @@ let () =
           [
             parse_cmd; tile_cmd; analyze_cmd; characterize_cmd; search_cmd;
             run_cmd; batch_cmd; cache_cmd; scop_cmd; workloads_cmd;
-            stats_top_cmd;
+            stats_top_cmd; serve_cmd; client_cmd;
           ]))

@@ -134,6 +134,24 @@ let validate t =
     | Ok p -> Engine.Faultsim.install p
     | Error msg -> usage_error "invalid --fault-plan: %s" msg)
 
+(* The governance subset of the flag set, for frontends that forward a
+   resource envelope to a daemon instead of building a local context:
+   `polyufc client analyze --deadline 5` ships the deadline as request
+   QoS and lets the server clamp it against its own maxima. *)
+let qos_term =
+  let make deadline_s fuel degrade = (deadline_s, fuel, degrade) in
+  Term.(const make $ deadline_arg $ fuel_arg $ degrade_arg)
+
+let validate_qos (deadline_s, fuel, _degrade) =
+  (match deadline_s with
+  | Some d when d <= 0.0 ->
+    usage_error "invalid --deadline %g (want a positive number of seconds)" d
+  | _ -> ());
+  match fuel with
+  | Some n when n <= 0 ->
+    usage_error "invalid --fuel %d (want a positive work-unit count)" n
+  | _ -> ()
+
 (* Resolve the flags into a live context and run [f] with it; the pool is
    shut down afterwards (also on exceptions) and SIGINT cancels the
    token. *)

@@ -40,3 +40,15 @@ let degrade_allowed t =
   | None -> false
 
 let without_pool t = { t with pool = None }
+
+let clamp_deadline ?limit requested =
+  match (limit, requested) with
+  | None, r -> r
+  | Some l, None -> Some l
+  | Some l, Some r -> Some (Float.min l r)
+
+let clamp_fuel ?limit requested =
+  match (limit, requested) with
+  | None, r -> r
+  | Some l, None -> Some l
+  | Some l, Some r -> Some (min l r)

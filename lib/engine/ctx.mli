@@ -60,3 +60,18 @@ val without_pool : t -> t
 (** The same context with parallel fan-out disabled.  Self-healing
     fallbacks use this to re-run a computation inline after a pooled
     attempt lost jobs to {!Pool.Worker_failure}. *)
+
+(** {1 QoS clamping}
+
+    Serving frontends let clients request their own resource budget
+    (deadline / fuel) per request, bounded by server-side maxima: a
+    client may always ask for {e less} than the server allows, never
+    more.  [None] on the request side means "unlimited", which a
+    [Some]-limit clamps down to the limit itself. *)
+
+val clamp_deadline : ?limit:float -> float option -> float option
+(** [clamp_deadline ?limit requested] is [requested] bounded above by
+    [limit].  No limit: the request passes through unchanged. *)
+
+val clamp_fuel : ?limit:int -> int option -> int option
+(** Same clamping rule for the work-unit budget. *)

@@ -13,6 +13,8 @@ type site =
   | Rcache_enospc
   | Rcache_read_corrupt
   | Io_report_write
+  | Serve_accept_fail
+  | Serve_io
 
 let all_sites =
   [
@@ -22,6 +24,8 @@ let all_sites =
     Rcache_enospc;
     Rcache_read_corrupt;
     Io_report_write;
+    Serve_accept_fail;
+    Serve_io;
   ]
 
 let site_index = function
@@ -31,6 +35,8 @@ let site_index = function
   | Rcache_enospc -> 3
   | Rcache_read_corrupt -> 4
   | Io_report_write -> 5
+  | Serve_accept_fail -> 6
+  | Serve_io -> 7
 
 let n_sites = List.length all_sites
 
@@ -41,6 +47,8 @@ let site_name = function
   | Rcache_enospc -> "rcache.enospc"
   | Rcache_read_corrupt -> "rcache.read_corrupt"
   | Io_report_write -> "io.report_write"
+  | Serve_accept_fail -> "serve.accept_fail"
+  | Serve_io -> "serve.io"
 
 let site_of_name s =
   List.find_opt (fun site -> String.equal (site_name site) s) all_sites

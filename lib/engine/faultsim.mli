@@ -22,6 +22,8 @@ type site =
   | Rcache_enospc  (** a cache store hits [ENOSPC] *)
   | Rcache_read_corrupt  (** a cache read returns flipped bytes *)
   | Io_report_write  (** an atomic report write fails *)
+  | Serve_accept_fail  (** the daemon's [accept] fails transiently *)
+  | Serve_io  (** a torn/short socket read or write in the serve protocol *)
 
 val all_sites : site list
 

@@ -370,21 +370,35 @@ let () =
   register_persist_dir :=
     fun dir -> Mutex.protect persist_mutex (fun () -> persist_to := Some dir)
 
-let flush_counts () =
+(* Counters accumulated since the last flush are merged into the sidecar
+   and then subtracted from the process-wide atomics, so flushing is safe
+   to do repeatedly (a long-lived daemon flushes on drain; at_exit then
+   only persists whatever arrived after that) without double counting. *)
+let flush_counters () =
   let dir = Mutex.protect persist_mutex (fun () -> !persist_to) in
   match dir with
   | None -> ()
   | Some dir ->
     let now = counts () in
     if now <> zero_counts then begin
-      try
-        let meta_dir = Filename.concat dir "meta" in
-        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-        if not (Sys.file_exists meta_dir) then Unix.mkdir meta_dir 0o755;
-        Io.write_atomic ~fsync:false (counters_sidecar dir)
-          (J.to_string (json_of_counts (add_counts (saved_counts dir) now))
-          ^ "\n")
-      with Sys_error _ | Unix.Unix_error _ -> ()
+      (try
+         let meta_dir = Filename.concat dir "meta" in
+         if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+         if not (Sys.file_exists meta_dir) then Unix.mkdir meta_dir 0o755;
+         Io.write_atomic ~fsync:false (counters_sidecar dir)
+           (J.to_string (json_of_counts (add_counts (saved_counts dir) now))
+           ^ "\n")
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      (* subtract exactly what was persisted; increments racing this
+         flush survive in the atomics for the next one *)
+      let sub a v = ignore (Atomic.fetch_and_add a (-v)) in
+      sub n_hit now.hits;
+      sub n_miss now.misses;
+      sub n_store now.stores;
+      sub n_corrupt now.corrupt;
+      sub n_quarantined now.quarantined;
+      sub n_write_retry now.write_retries;
+      sub n_readonly_flip now.readonly_flips
     end
 
-let () = at_exit flush_counts
+let () = at_exit flush_counters

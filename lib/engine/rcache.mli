@@ -93,6 +93,15 @@ val counts : unit -> counts
 (** Process-wide counters since startup (independent of telemetry
     enablement). *)
 
+val flush_counters : unit -> unit
+(** Merge the process counters accumulated since the last flush into the
+    persisted sidecar of the most recently used cache directory, then
+    zero them — so flushing repeatedly (or flushing and then exiting,
+    where an [at_exit] flush also runs) never double-counts.  The serve
+    daemon calls this when a drain completes so cumulative hit rates
+    survive even an unclean exit afterwards.  No-op when no cache
+    directory has been touched. *)
+
 val cumulative : t -> counts
 (** {!counts} plus the counters persisted by previous processes that
     used the same cache directory.  A process that touched a cache

@@ -1,0 +1,298 @@
+(* Length-prefixed JSON framing plus the request/response schema of the
+   serve daemon.  See protocol.mli for the wire contract; the invariant
+   that matters here is that no byte sequence a peer can send makes
+   [read_frame] raise — malformed input is always a [read_error] value,
+   so a session loop can decide per-error whether the stream is still
+   usable (Bad_json, Oversized) or dead (Eof, Truncated, Corrupt). *)
+
+module J = Telemetry.Json
+
+let protocol_version = 1
+let default_max_frame = 16 * 1024 * 1024
+let hard_max_frame = 1024 * 1024 * 1024
+
+type read_error =
+  | Eof
+  | Truncated
+  | Oversized of int
+  | Corrupt of string
+  | Bad_json of string
+
+(* --- low-level I/O ------------------------------------------------- *)
+
+(* [read_exact fd buf pos len] returns how many bytes it read before the
+   stream ended; EINTR restarts, everything else propagates. *)
+let read_exact fd buf pos len =
+  let rec go pos remaining =
+    if remaining = 0 then len
+    else
+      match Unix.read fd buf pos remaining with
+      | 0 -> len - remaining
+      | n -> go (pos + n) (remaining - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos remaining
+  in
+  go pos len
+
+let write_all fd buf pos len =
+  let rec go pos remaining =
+    if remaining > 0 then
+      match Unix.write fd buf pos remaining with
+      | n -> go (pos + n) (remaining - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos remaining
+  in
+  go pos len
+
+(* [skip fd n]: consume and discard [n] bytes in bounded chunks, so an
+   oversized frame never allocates its declared length. *)
+let skip fd n =
+  let chunk = Bytes.create 65536 in
+  let rec go remaining =
+    if remaining = 0 then true
+    else
+      let want = min remaining (Bytes.length chunk) in
+      match read_exact fd chunk 0 want with
+      | n when n = want -> go (remaining - want)
+      | _ -> false
+  in
+  go n
+
+(* --- framing ------------------------------------------------------- *)
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  if Engine.Faultsim.fire Engine.Faultsim.Serve_io then Error Truncated
+  else begin
+    let header = Bytes.create 4 in
+    match read_exact fd header 0 4 with
+    | 0 -> Error Eof
+    | n when n < 4 -> Error Truncated
+    | _ ->
+      let len =
+        (Char.code (Bytes.get header 0) lsl 24)
+        lor (Char.code (Bytes.get header 1) lsl 16)
+        lor (Char.code (Bytes.get header 2) lsl 8)
+        lor Char.code (Bytes.get header 3)
+      in
+      if len > hard_max_frame then
+        (* not a frame length we would ever emit: the stream is framed
+           wrong (or hostile), resynchronization is hopeless *)
+        Error (Corrupt (Printf.sprintf "implausible frame length %d" len))
+      else if len > max_frame then
+        if skip fd len then Error (Oversized len) else Error Truncated
+      else begin
+        let payload = Bytes.create len in
+        match read_exact fd payload 0 len with
+        | n when n < len -> Error Truncated
+        | _ -> (
+          match J.of_string (Bytes.unsafe_to_string payload) with
+          | Ok doc -> Ok doc
+          | Error msg -> Error (Bad_json msg))
+      end
+  end
+
+let write_frame fd doc =
+  let payload = J.to_string doc in
+  let len = String.length payload in
+  if len > hard_max_frame then
+    invalid_arg "Serve.Protocol.write_frame: frame too large";
+  let buf = Bytes.create (4 + len) in
+  Bytes.set buf 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set buf 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set buf 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set buf 3 (Char.chr (len land 0xff));
+  Bytes.blit_string payload 0 buf 4 len;
+  if Engine.Faultsim.fire Engine.Faultsim.Serve_io then begin
+    (* torn write: emit only half the frame, then fail — the peer reads
+       a Truncated stream, exactly what a mid-write crash produces *)
+    write_all fd buf 0 ((4 + len) / 2);
+    raise (Engine.Faultsim.Injected Engine.Faultsim.Serve_io)
+  end;
+  write_all fd buf 0 (4 + len)
+
+(* --- requests ------------------------------------------------------ *)
+
+type op = Analyze | Search | Run | Stats | Ping | Shutdown
+
+let op_name = function
+  | Analyze -> "analyze"
+  | Search -> "search"
+  | Run -> "run"
+  | Stats -> "stats"
+  | Ping -> "ping"
+  | Shutdown -> "shutdown"
+
+let op_of_name = function
+  | "analyze" -> Some Analyze
+  | "search" | "compile" -> Some Search
+  | "run" -> Some Run
+  | "stats" -> Some Stats
+  | "ping" -> Some Ping
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+type qos = {
+  deadline_s : float option;
+  fuel : int option;
+  degrade : Engine.Budget.degrade;
+}
+
+let default_qos = { deadline_s = None; fuel = None; degrade = Engine.Budget.Interp }
+
+type request = { id : J.t; op : op; params : J.t; qos : qos }
+
+let qos_of_json = function
+  | None -> Ok default_qos
+  | Some (J.Obj _ as o) -> (
+    let deadline_s = Option.bind (J.member "deadline_s" o) J.number in
+    let fuel =
+      match J.member "fuel" o with
+      | Some (J.Int n) -> Some n
+      | Some (J.Float f) when Float.is_integer f -> Some (int_of_float f)
+      | _ -> None
+    in
+    (match deadline_s with
+    | Some d when d <= 0.0 ->
+      Error (Printf.sprintf "qos.deadline_s must be positive, got %g" d)
+    | _ -> (
+      match fuel with
+      | Some n when n <= 0 ->
+        Error (Printf.sprintf "qos.fuel must be positive, got %d" n)
+      | _ -> (
+        match J.member "degrade" o with
+        | None -> Ok { deadline_s; fuel; degrade = Engine.Budget.Interp }
+        | Some (J.Str "interp") ->
+          Ok { deadline_s; fuel; degrade = Engine.Budget.Interp }
+        | Some (J.Str "off") ->
+          Ok { deadline_s; fuel; degrade = Engine.Budget.Off }
+        | Some _ -> Error "qos.degrade must be \"off\" or \"interp\""))))
+  | Some _ -> Error "qos must be an object"
+
+let request_of_json doc =
+  match doc with
+  | J.Obj _ -> (
+    let id = Option.value (J.member "id" doc) ~default:J.Null in
+    match J.member "op" doc with
+    | Some (J.Str name) -> (
+      match op_of_name name with
+      | None -> Error (Printf.sprintf "unknown op %S" name)
+      | Some op -> (
+        let params_field = J.member "params" doc in
+        match params_field with
+        | Some (J.Obj _) | None -> (
+          let params = Option.value params_field ~default:(J.Obj []) in
+          match qos_of_json (J.member "qos" doc) with
+          | Error _ as e -> e
+          | Ok qos -> Ok { id; op; params; qos })
+        | Some _ -> Error "params must be an object"))
+    | Some _ -> Error "op must be a string"
+    | None -> Error "missing op")
+  | _ -> Error "request must be an object"
+
+let json_of_qos q =
+  let fields =
+    (match q.deadline_s with
+    | Some d -> [ ("deadline_s", J.Float d) ]
+    | None -> [])
+    @ (match q.fuel with Some n -> [ ("fuel", J.Int n) ] | None -> [])
+    @ [
+        ( "degrade",
+          J.Str
+            (match q.degrade with
+            | Engine.Budget.Off -> "off"
+            | Engine.Budget.Interp -> "interp") );
+      ]
+  in
+  J.Obj fields
+
+let json_of_request r =
+  J.Obj
+    [
+      ("id", r.id);
+      ("op", J.Str (op_name r.op));
+      ("params", r.params);
+      ("qos", json_of_qos r.qos);
+    ]
+
+(* --- responses ----------------------------------------------------- *)
+
+type error_kind =
+  | Bad_request
+  | Invalid_input
+  | Exhausted
+  | Cancelled
+  | Overloaded
+  | Shutting_down
+  | Internal
+  | Transport
+
+let kind_name = function
+  | Bad_request -> "bad_request"
+  | Invalid_input -> "invalid_input"
+  | Exhausted -> "exhausted"
+  | Cancelled -> "cancelled"
+  | Overloaded -> "overloaded"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+  | Transport -> "transport"
+
+let kind_of_name = function
+  | "bad_request" -> Some Bad_request
+  | "invalid_input" -> Some Invalid_input
+  | "exhausted" -> Some Exhausted
+  | "cancelled" -> Some Cancelled
+  | "overloaded" -> Some Overloaded
+  | "shutting_down" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | "transport" -> Some Transport
+  | _ -> None
+
+let exit_code_of_kind = function
+  | Bad_request -> Engine.Guard.exit_usage
+  | Invalid_input -> Engine.Guard.exit_invalid_input
+  | Exhausted -> Engine.Guard.exit_exhausted
+  | Cancelled -> Engine.Guard.exit_interrupted
+  | Overloaded | Shutting_down -> 75 (* EX_TEMPFAIL: retry later *)
+  | Internal -> Engine.Guard.exit_internal
+  | Transport -> 69 (* EX_UNAVAILABLE: no daemon to talk to *)
+
+type error = { kind : error_kind; message : string; scope : string option }
+
+let json_of_error e =
+  J.Obj
+    ([ ("kind", J.Str (kind_name e.kind)); ("message", J.Str e.message) ]
+    @ (match e.scope with Some s -> [ ("scope", J.Str s) ] | None -> [])
+    @ [ ("code", J.Int (exit_code_of_kind e.kind)) ])
+
+let error_of_json doc =
+  match J.member "kind" doc with
+  | Some (J.Str name) -> (
+    match kind_of_name name with
+    | None -> Error (Printf.sprintf "unknown error kind %S" name)
+    | Some kind ->
+      let message =
+        match J.member "message" doc with Some (J.Str m) -> m | _ -> ""
+      in
+      let scope =
+        match J.member "scope" doc with Some (J.Str s) -> Some s | _ -> None
+      in
+      Ok { kind; message; scope })
+  | _ -> Error "error object has no kind"
+
+type response = { rid : J.t; result : (J.t, error) result }
+
+let json_of_response r =
+  match r.result with
+  | Ok payload -> J.Obj [ ("id", r.rid); ("ok", payload) ]
+  | Error e -> J.Obj [ ("id", r.rid); ("error", json_of_error e) ]
+
+let response_of_json doc =
+  match doc with
+  | J.Obj _ -> (
+    let rid = Option.value (J.member "id" doc) ~default:J.Null in
+    match (J.member "ok" doc, J.member "error" doc) with
+    | Some payload, None -> Ok { rid; result = Ok payload }
+    | None, Some err -> (
+      match error_of_json err with
+      | Ok e -> Ok { rid; result = Error e }
+      | Error _ as e -> e)
+    | _ -> Error "response must have exactly one of ok/error")
+  | _ -> Error "response must be an object"

@@ -1,0 +1,136 @@
+(** Wire protocol of the [polyufc serve] daemon.
+
+    Frames are length-prefixed JSON: a 4-byte big-endian unsigned payload
+    length followed by that many bytes of UTF-8 JSON.  The framing is
+    self-synchronizing for well-behaved peers (every frame boundary is
+    explicit) and defensive against hostile ones: an implausible length
+    kills the connection with {!read_error.Corrupt} before any allocation,
+    an oversized-but-plausible frame is skipped without buffering it
+    ({!read_error.Oversized}), and a frame whose payload is not JSON is
+    reported per-frame ({!read_error.Bad_json}) so the connection keeps
+    serving.
+
+    Requests and responses are JSON objects:
+
+    {v
+    {"id": <any>, "op": "analyze", "params": {...},
+     "qos": {"deadline_s": 5.0, "fuel": 1000000, "degrade": "interp"}}
+
+    {"id": <any>, "ok": <result document>}
+    {"id": <any>, "error": {"kind": "overloaded", "message": "...",
+                            "scope": "queue", "code": 75}}
+    v}
+
+    The [id] is echoed verbatim (clients may pipeline and match replies);
+    [qos] is optional and clamped by the server's own maxima. *)
+
+(** {1 Framing} *)
+
+val default_max_frame : int
+(** 16 MiB — generous for any analysis document. *)
+
+val hard_max_frame : int
+(** 1 GiB — a declared length beyond this (or negative) is treated as a
+    corrupt stream, not a large frame. *)
+
+type read_error =
+  | Eof  (** clean end of stream at a frame boundary *)
+  | Truncated  (** stream ended (or was torn) mid-frame *)
+  | Oversized of int
+      (** declared length exceeded [max_frame]; the payload was consumed
+          so the stream is still framed — reply with an error and keep
+          reading *)
+  | Corrupt of string  (** implausible length prefix; close the connection *)
+  | Bad_json of string
+      (** a complete frame whose payload does not parse; reply with an
+          error and keep reading *)
+
+val read_frame :
+  ?max_frame:int -> Unix.file_descr -> (Telemetry.Json.t, read_error) result
+(** Blocking read of one frame.  Never raises on malformed input; I/O
+    errors other than connection teardown do raise [Unix.Unix_error].
+    An armed {!Engine.Faultsim.Serve_io} site can turn a read into
+    [Error Truncated]. *)
+
+val write_frame : Unix.file_descr -> Telemetry.Json.t -> unit
+(** Blocking write of one frame.  Raises [Unix.Unix_error] on I/O errors
+    and {!Engine.Faultsim.Injected} after a deliberately torn write when
+    {!Engine.Faultsim.Serve_io} is armed (the peer observes
+    [Truncated]). *)
+
+(** {1 Requests} *)
+
+type op =
+  | Analyze  (** PolyUFC-CM cache analysis — the [analyze] CLI pipeline *)
+  | Search  (** full compilation flow — the [search] CLI pipeline *)
+  | Run  (** compile + simulate — the [run] CLI pipeline *)
+  | Stats  (** the daemon's live telemetry stats document *)
+  | Ping  (** liveness probe; params may carry a [delay_s] testing aid *)
+  | Shutdown  (** begin a graceful drain *)
+
+val op_name : op -> string
+val op_of_name : string -> op option
+
+type qos = {
+  deadline_s : float option;
+  fuel : int option;
+  degrade : Engine.Budget.degrade;
+}
+(** Per-request resource envelope, clamped by the server's maxima
+    ({!Engine.Ctx.clamp_deadline} / {!Engine.Ctx.clamp_fuel}). *)
+
+val default_qos : qos
+(** No deadline, no fuel, [degrade = Interp] (the CLI default). *)
+
+type request = {
+  id : Telemetry.Json.t;  (** echoed verbatim in the response *)
+  op : op;
+  params : Telemetry.Json.t;  (** an object; [{}] when absent *)
+  qos : qos;
+}
+
+val request_of_json : Telemetry.Json.t -> (request, string) result
+val json_of_request : request -> Telemetry.Json.t
+
+(** {1 Responses} *)
+
+type error_kind =
+  | Bad_request  (** malformed request or parameters *)
+  | Invalid_input  (** the submitted program is bad, not the request *)
+  | Exhausted  (** QoS budget tripped with [degrade = off] *)
+  | Cancelled
+  | Overloaded  (** admission control rejected the request *)
+  | Shutting_down  (** the daemon is draining *)
+  | Internal  (** a server-side fault that survived the retries *)
+  | Transport  (** client-side only: could not reach or talk to a daemon *)
+
+val kind_name : error_kind -> string
+val kind_of_name : string -> error_kind option
+
+val exit_code_of_kind : error_kind -> int
+(** The exit code a CLI frontend should terminate with when relaying the
+    error: the {!Engine.Guard} codes for request-level failures (2 bad
+    request, 3 invalid input, 4 exhausted, 5 internal, 130 cancelled),
+    [75] ([EX_TEMPFAIL]) for [overloaded]/[shutting_down] — try again
+    later — and [69] ([EX_UNAVAILABLE]) for [transport]. *)
+
+type error = {
+  kind : error_kind;
+  message : string;
+  scope : string option;
+      (** what was saturated for [overloaded]: ["client"], ["queue"] or
+          ["server"] *)
+}
+
+val json_of_error : error -> Telemetry.Json.t
+(** [{"kind": .., "message": .., "scope": .., "code": ..}] — [code] is
+    {!exit_code_of_kind}, [scope] is omitted when [None]. *)
+
+val error_of_json : Telemetry.Json.t -> (error, string) result
+
+type response = { rid : Telemetry.Json.t; result : (Telemetry.Json.t, error) result }
+
+val json_of_response : response -> Telemetry.Json.t
+val response_of_json : Telemetry.Json.t -> (response, string) result
+
+val protocol_version : int

@@ -1,0 +1,459 @@
+(* The serve daemon's connection and queue machinery.
+
+   Invariants that keep the drain correct and the counters honest:
+
+   - [pending] counts every admitted request until its response write
+     has been attempted (queued *and* executing).  Admission rejects on
+     [pending >= queue_depth], so overload behaviour is deterministic:
+     it does not depend on how fast executors dequeue.
+   - A connection's fd is closed by whoever brings it to rest: the
+     session thread when no request of that connection is in flight,
+     otherwise the executor that answers the last one.  Nobody writes to
+     an fd after it is closed because writes happen under the
+     connection's write mutex and [closed] is checked under the server
+     mutex before the write is attempted.
+   - [draining] is an atomic flag so the SIGTERM handler only does an
+     atomic CAS (plus [exit 130] on the second signal); the blocked
+     [accept] is woken by the signal's EINTR, or by a self-connection
+     when the drain comes from a [shutdown] request on a session
+     thread. *)
+
+module J = Telemetry.Json
+
+type config = {
+  socket_path : string;
+  max_clients : int;
+  max_inflight : int;
+  queue_depth : int;
+  workers : int;
+  max_frame : int;
+}
+
+let default_config socket_path =
+  {
+    socket_path;
+    max_clients = 64;
+    max_inflight = 8;
+    queue_depth = 128;
+    workers = 4;
+    max_frame = Protocol.default_max_frame;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  write_mu : Mutex.t;
+  mutable inflight : int;
+  mutable conn_closed : bool;  (** session thread has stopped reading *)
+}
+
+type job = { conn : conn; request : Protocol.request }
+
+type t = {
+  cfg : config;
+  handler : Handler.shared;
+  listen_fd : Unix.file_descr;
+  drain_flag : bool Atomic.t;
+  mu : Mutex.t;
+  cond : Condition.t;
+  queue : job Queue.t;
+  mutable pending : int;
+  mutable clients : int;
+  mutable stop_exec : bool;
+  mutable sessions : (conn * Thread.t) list;
+  mutable next_cid : int;
+}
+
+(* --- telemetry handles --------------------------------------------- *)
+
+let c_connections = Telemetry.counter "serve.connections"
+let c_requests = Telemetry.counter "serve.requests"
+let c_responses = Telemetry.counter "serve.responses"
+let c_rejected = Telemetry.counter "serve.rejected"
+let c_bad_frames = Telemetry.counter "serve.bad_frames"
+let c_accept_faults = Telemetry.counter "serve.accept_faults"
+let c_write_failures = Telemetry.counter "serve.write_failures"
+let g_clients = Telemetry.gauge "serve.active_clients"
+let g_pending = Telemetry.gauge "serve.pending_requests"
+
+(* --- lifecycle ----------------------------------------------------- *)
+
+(* A socket file can outlive its daemon (crash, SIGKILL).  Distinguish
+   stale from live by connecting: a live listener accepts, a stale file
+   refuses — only the stale one may be replaced. *)
+let claim_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+        false
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      Error (Printf.sprintf "a daemon is already listening on %s" path)
+    else begin
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Ok ()
+    end
+  end
+  else Ok ()
+
+let create cfg handler =
+  match claim_socket cfg.socket_path with
+  | Error _ as e -> e
+  | Ok () -> (
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match
+      Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
+      Unix.listen fd (max 8 cfg.max_clients)
+    with
+    | () ->
+      Ok
+        {
+          cfg;
+          handler;
+          listen_fd = fd;
+          drain_flag = Atomic.make false;
+          mu = Mutex.create ();
+          cond = Condition.create ();
+          queue = Queue.create ();
+          pending = 0;
+          clients = 0;
+          stop_exec = false;
+          sessions = [];
+          next_cid = 0;
+        }
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot bind %s: %s" cfg.socket_path
+           (Unix.error_message err)))
+
+let draining t = Atomic.get t.drain_flag
+
+(* Wake a blocked accept without signals: connect to our own socket and
+   hang up.  The accept loop re-checks the drain flag on every wakeup. *)
+let wake_accept t =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path)
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* The signal-context half of a drain: one CAS, nothing else — no
+   mutexes, no allocation-heavy work — so a SIGTERM handler can call it
+   even if it interrupted a thread holding a telemetry lock.  The
+   blocked accept is woken by the signal's own EINTR. *)
+let signal_drain t =
+  if Atomic.compare_and_set t.drain_flag false true then `Began else `Already
+
+let begin_drain t =
+  match signal_drain t with `Began -> wake_accept t | `Already -> ()
+
+(* --- response writing ---------------------------------------------- *)
+
+(* Returns false when the client is gone (or the write was torn by fault
+   injection): the session will notice EOF on its side; the daemon keeps
+   serving either way. *)
+let write_response t conn response =
+  let closed = Mutex.protect t.mu (fun () -> conn.conn_closed) in
+  if closed then false
+  else
+    Mutex.protect conn.write_mu @@ fun () ->
+    match Protocol.write_frame conn.fd (Protocol.json_of_response response) with
+    | () -> true
+    | exception (Unix.Unix_error _ | Engine.Faultsim.Injected _ | Sys_error _)
+      ->
+      Telemetry.tick c_write_failures;
+      false
+
+let reject t conn ~id kind ~scope message =
+  Telemetry.tick c_rejected;
+  Telemetry.Event.warn "serve.reject"
+    ~fields:
+      [
+        ("cid", J.Int conn.cid);
+        ("kind", J.Str (Protocol.kind_name kind));
+        ("scope", match scope with Some s -> J.Str s | None -> J.Null);
+      ];
+  ignore
+    (write_response t conn
+       {
+         Protocol.rid = id;
+         result = Error { Protocol.kind; message; scope };
+       })
+
+(* --- executors ----------------------------------------------------- *)
+
+let finish_request t conn =
+  Mutex.protect t.mu @@ fun () ->
+  t.pending <- t.pending - 1;
+  Telemetry.set_gauge g_pending t.pending;
+  conn.inflight <- conn.inflight - 1;
+  if conn.conn_closed && conn.inflight = 0 then
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  if t.pending = 0 then Condition.broadcast t.cond
+
+let executor_loop t () =
+  let rec next () =
+    Mutex.lock t.mu;
+    let rec wait () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if t.stop_exec then None
+      else begin
+        Condition.wait t.cond t.mu;
+        wait ()
+      end
+    in
+    let job = wait () in
+    Mutex.unlock t.mu;
+    match job with
+    | None -> ()
+    | Some { conn; request } ->
+      let response, dt =
+        Telemetry.with_span_timed "serve.request"
+          ~args:[ ("op", Protocol.op_name request.op) ]
+          (fun () -> Handler.execute t.handler request)
+      in
+      Telemetry.observe "serve.request_s" dt;
+      if write_response t conn response then Telemetry.tick c_responses;
+      finish_request t conn;
+      next ()
+  in
+  next ()
+
+(* --- sessions ------------------------------------------------------ *)
+
+(* Admission under the server mutex; the boolean says whether the job
+   was queued (the caller already answered it otherwise). *)
+let admit t conn (request : Protocol.request) =
+  let verdict =
+    Mutex.protect t.mu @@ fun () ->
+    if Atomic.get t.drain_flag then `Drain
+    else if conn.inflight >= t.cfg.max_inflight then `Client
+    else if t.pending >= t.cfg.queue_depth then `Queue
+    else begin
+      conn.inflight <- conn.inflight + 1;
+      t.pending <- t.pending + 1;
+      Telemetry.set_gauge g_pending t.pending;
+      Queue.push { conn; request } t.queue;
+      Condition.signal t.cond;
+      `Admitted
+    end
+  in
+  match verdict with
+  | `Admitted -> Telemetry.tick c_requests
+  | `Drain ->
+    reject t conn ~id:request.id Protocol.Shutting_down ~scope:None
+      "daemon is draining; retry against a fresh instance"
+  | `Client ->
+    reject t conn ~id:request.id Protocol.Overloaded ~scope:(Some "client")
+      (Printf.sprintf "connection exceeded max_inflight=%d unanswered requests"
+         t.cfg.max_inflight)
+  | `Queue ->
+    reject t conn ~id:request.id Protocol.Overloaded ~scope:(Some "queue")
+      (Printf.sprintf "request queue full (queue_depth=%d)" t.cfg.queue_depth)
+
+let session_loop t conn () =
+  let rec loop () =
+    match Protocol.read_frame ~max_frame:t.cfg.max_frame conn.fd with
+    | Ok doc -> (
+      match Protocol.request_of_json doc with
+      | Error msg ->
+        Telemetry.tick c_bad_frames;
+        ignore
+          (write_response t conn
+             {
+               Protocol.rid =
+                 Option.value (J.member "id" doc) ~default:J.Null;
+               result =
+                 Error
+                   { Protocol.kind = Bad_request; message = msg; scope = None };
+             });
+        loop ()
+      | Ok ({ op = Protocol.Shutdown; _ } as request) ->
+        (* answer first, then drain: the requester gets its ack even
+           though admission is already closed for everyone else *)
+        ignore
+          (write_response t conn
+             {
+               Protocol.rid = request.id;
+               result = Ok (J.Obj [ ("draining", J.Bool true) ]);
+             });
+        Telemetry.tick c_requests;
+        Telemetry.tick c_responses;
+        begin_drain t;
+        loop ()
+      | Ok request ->
+        admit t conn request;
+        loop ())
+    | Error (Protocol.Bad_json msg) ->
+      Telemetry.tick c_bad_frames;
+      ignore
+        (write_response t conn
+           {
+             Protocol.rid = J.Null;
+             result =
+               Error
+                 {
+                   Protocol.kind = Bad_request;
+                   message = "frame payload is not JSON: " ^ msg;
+                   scope = None;
+                 };
+           });
+      loop ()
+    | Error (Protocol.Oversized len) ->
+      Telemetry.tick c_bad_frames;
+      ignore
+        (write_response t conn
+           {
+             Protocol.rid = J.Null;
+             result =
+               Error
+                 {
+                   Protocol.kind = Bad_request;
+                   message =
+                     Printf.sprintf "frame of %d bytes exceeds max_frame=%d"
+                       len t.cfg.max_frame;
+                   scope = None;
+                 };
+           });
+      loop ()
+    | Error (Protocol.Eof | Protocol.Truncated | Protocol.Corrupt _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ();
+  Mutex.protect t.mu (fun () ->
+      conn.conn_closed <- true;
+      t.clients <- t.clients - 1;
+      Telemetry.set_gauge g_clients t.clients;
+      if conn.inflight = 0 then
+        try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Telemetry.Event.info "serve.close" ~fields:[ ("cid", J.Int conn.cid) ]
+
+(* --- accept loop and drain ----------------------------------------- *)
+
+let accept_loop t =
+  while not (Atomic.get t.drain_flag) do
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN), _, _)
+      ->
+      (* EINTR is how a SIGTERM-set drain flag wakes us; loop re-checks *)
+      ()
+    | exception Unix.Unix_error (_, _, _) ->
+      (* a transient accept failure (possibly injected) must not take
+         the daemon down; back off a beat and keep listening *)
+      Telemetry.tick c_accept_faults;
+      Unix.sleepf 0.01
+    | fd, _ ->
+      if Engine.Faultsim.fire Engine.Faultsim.Serve_accept_fail then begin
+        Telemetry.tick c_accept_faults;
+        Telemetry.Event.warn "serve.accept_fault";
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else if Atomic.get t.drain_flag then (
+        (* the wake-up self-connection, or a client racing the drain *)
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      else begin
+        let decision =
+          Mutex.protect t.mu @@ fun () ->
+          if t.clients >= t.cfg.max_clients then `Reject
+          else begin
+            let cid = t.next_cid in
+            t.next_cid <- cid + 1;
+            t.clients <- t.clients + 1;
+            Telemetry.set_gauge g_clients t.clients;
+            `Accept cid
+          end
+        in
+        match decision with
+        | `Reject ->
+          Telemetry.tick c_rejected;
+          Telemetry.Event.warn "serve.reject"
+            ~fields:[ ("scope", J.Str "server") ];
+          (try
+             Protocol.write_frame fd
+               (Protocol.json_of_response
+                  {
+                    Protocol.rid = J.Null;
+                    result =
+                      Error
+                        {
+                          Protocol.kind = Overloaded;
+                          message =
+                            Printf.sprintf "server full (max_clients=%d)"
+                              t.cfg.max_clients;
+                          scope = Some "server";
+                        };
+                  })
+           with
+          | Unix.Unix_error _ | Engine.Faultsim.Injected _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        | `Accept cid ->
+          Telemetry.tick c_connections;
+          Telemetry.Event.info "serve.accept" ~fields:[ ("cid", J.Int cid) ];
+          let conn =
+            {
+              fd;
+              cid;
+              write_mu = Mutex.create ();
+              inflight = 0;
+              conn_closed = false;
+            }
+          in
+          let th = Thread.create (session_loop t conn) () in
+          Mutex.protect t.mu (fun () ->
+              t.sessions <- (conn, th) :: t.sessions)
+      end
+  done
+
+let run t =
+  (* a peer hanging up mid-write must be an EPIPE error, not a fatal
+     signal *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  Telemetry.Event.info "serve.start"
+    ~fields:
+      [
+        ("socket", J.Str t.cfg.socket_path);
+        ("pid", J.Int (Unix.getpid ()));
+        ("workers", J.Int t.cfg.workers);
+        ("queue_depth", J.Int t.cfg.queue_depth);
+      ];
+  let executors =
+    List.init t.cfg.workers (fun _ -> Thread.create (executor_loop t) ())
+  in
+  accept_loop t;
+  (* --- drain: stop accepting, answer what's in flight, tear down --- *)
+  Telemetry.Event.info "serve.drain";
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+  Mutex.protect t.mu (fun () ->
+      while t.pending > 0 do
+        Condition.wait t.cond t.mu
+      done;
+      t.stop_exec <- true;
+      Condition.broadcast t.cond);
+  List.iter Thread.join executors;
+  (* unblock sessions still parked in read: shut the read side down; the
+     session sees EOF, marks itself closed and releases the fd *)
+  let sessions = Mutex.protect t.mu (fun () -> t.sessions) in
+  List.iter
+    (fun (conn, _) ->
+      Mutex.protect t.mu (fun () ->
+          if not conn.conn_closed then
+            try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE
+            with Unix.Unix_error _ -> ()))
+    sessions;
+  List.iter (fun (_, th) -> Thread.join th) sessions;
+  Engine.Rcache.flush_counters ();
+  Telemetry.Event.info "serve.stop"
+    ~fields:
+      [
+        ("requests", J.Int (Telemetry.counter_value "serve.requests"));
+        ("responses", J.Int (Telemetry.counter_value "serve.responses"));
+        ("rejected", J.Int (Telemetry.counter_value "serve.rejected"));
+      ]

@@ -1,0 +1,63 @@
+(** The [polyufc serve] daemon: a Unix-domain-socket server multiplexing
+    analysis requests onto one shared {!Handler.shared}.
+
+    Threading model: the calling thread owns the accept loop; each
+    accepted connection gets a session thread that reads frames, runs
+    admission control and enqueues jobs; a fixed pool of executor
+    threads drains the queue, runs {!Handler.execute} (which fans out
+    onto the shared domain {!Engine.Pool}) and writes responses under a
+    per-connection write lock, so pipelined responses never interleave.
+
+    Admission control is layered, each layer answering with a structured
+    [overloaded] error naming its [scope]:
+
+    - [server]: more than [max_clients] concurrent connections;
+    - [client]: one connection with more than [max_inflight]
+      unanswered requests;
+    - [queue]: more than [queue_depth] requests pending (queued or
+      executing) across all clients.
+
+    Draining ({!begin_drain}, a [shutdown] request, or the frontend's
+    SIGTERM handler) stops admission — new requests get
+    [shutting_down] — finishes every in-flight request, flushes the
+    cache counters ({!Engine.Rcache.flush_counters}) and returns from
+    {!run}. *)
+
+type config = {
+  socket_path : string;
+  max_clients : int;
+  max_inflight : int;  (** per-connection unanswered-request cap *)
+  queue_depth : int;  (** queued + executing requests, all clients *)
+  workers : int;  (** executor threads *)
+  max_frame : int;
+}
+
+val default_config : string -> config
+(** [max_clients = 64], [max_inflight = 8], [queue_depth = 128],
+    [workers = 4], [max_frame = Protocol.default_max_frame]. *)
+
+type t
+
+val create : config -> Handler.shared -> (t, string) result
+(** Bind and listen.  A stale socket file (no listener answers) is
+    replaced; a live one is an error. *)
+
+val begin_drain : t -> unit
+(** Idempotent, callable from any (non-signal) thread: flips the drain
+    flag and wakes the accept loop with a self-connection. *)
+
+val signal_drain : t -> [ `Began | `Already ]
+(** The signal-handler half of {!begin_drain}: a single atomic CAS, no
+    locks, no I/O — async-signal-safe by construction.  [`Already] means
+    a drain was in progress before this call (a frontend maps the second
+    SIGTERM/SIGINT to a force-exit 130).  The blocked accept wakes via
+    the signal's own [EINTR]; from normal threads use {!begin_drain},
+    which also wakes it explicitly. *)
+
+val draining : t -> bool
+
+val run : t -> unit
+(** Serve until drained: runs the accept loop on the calling thread and
+    returns once every in-flight request has been answered and every
+    session closed.  The socket file is removed.  Ignores [SIGPIPE] for
+    the whole process (a dying client must not kill the daemon). *)

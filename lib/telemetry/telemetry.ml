@@ -342,6 +342,7 @@ type hist = {
 }
 
 type counter = int Atomic.t
+type gauge = int Atomic.t
 
 let enabled = Atomic.make false
 let registry_mutex = Mutex.create ()
@@ -355,6 +356,7 @@ let open_stack_key : (int * int) list ref Domain.DLS.key =
 let open_stack () = Domain.DLS.get open_stack_key
 let finished : span list ref = ref []
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
 (* id -> (name, start_us, domain) for every span currently open in any
@@ -376,6 +378,7 @@ let reset () =
   finished := [];
   Hashtbl.reset open_span_names;
   Hashtbl.iter (fun _ r -> Atomic.set r 0) counters;
+  Hashtbl.iter (fun _ r -> Atomic.set r 0) gauges;
   Hashtbl.iter
     (fun _ h ->
       h.h_count <- 0;
@@ -411,6 +414,40 @@ let counter_value name =
 let counters_snapshot () =
   Mutex.protect registry_mutex (fun () ->
       Hashtbl.fold (fun name r acc -> (name, Atomic.get r) :: acc) counters [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* --- gauges --- *)
+
+(* A gauge is a level, not a rate: it goes up and down (in-flight
+   requests, queue depth, connected clients) and exports its *current*
+   value rather than a monotonic total.  Same cost model as counters:
+   atomics behind the registry mutex only at find-or-create time, and a
+   disabled update is one load + branch. *)
+
+let gauge name =
+  Mutex.protect registry_mutex @@ fun () ->
+  match Hashtbl.find_opt gauges name with
+  | Some r -> r
+  | None ->
+    let r = Atomic.make 0 in
+    Hashtbl.add gauges name r;
+    r
+
+let set_gauge g v = if Atomic.get enabled then Atomic.set g v
+let incr_gauge g = if Atomic.get enabled then ignore (Atomic.fetch_and_add g 1)
+
+let decr_gauge g =
+  if Atomic.get enabled then ignore (Atomic.fetch_and_add g (-1))
+
+let gauge_value name =
+  let r =
+    Mutex.protect registry_mutex (fun () -> Hashtbl.find_opt gauges name)
+  in
+  match r with Some r -> Atomic.get r | None -> 0
+
+let gauges_snapshot () =
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.fold (fun name r acc -> (name, Atomic.get r) :: acc) gauges [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* --- histograms --- *)
@@ -961,6 +998,11 @@ let stats_json () =
       (fun (name, v) -> if v = 0 then None else Some (name, Json.Int v))
       (counters_snapshot ())
   in
+  let gauges =
+    List.filter_map
+      (fun (name, v) -> if v = 0 then None else Some (name, Json.Int v))
+      (gauges_snapshot ())
+  in
   let hists =
     List.map
       (fun (name, h) -> (name, json_of_hist h))
@@ -978,6 +1020,7 @@ let stats_json () =
     [
       ("meta", run_meta ());
       ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
       ("histograms", Json.Obj hists);
       ("spans", Json.Obj spans);
     ]
@@ -1055,6 +1098,20 @@ let openmetrics_of_stats stats =
               (Printf.sprintf "%s_total %s\n" m (om_float n))
           | None -> ())
         cs
+    | _ -> ()
+  in
+  let gauges () =
+    match Json.member "gauges" stats with
+    | Some (Json.Obj gs) ->
+      List.iter
+        (fun (name, v) ->
+          match Json.number v with
+          | Some n ->
+            let m = om_name name in
+            Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" m);
+            Buffer.add_string b (Printf.sprintf "%s %s\n" m (om_float n))
+          | None -> ())
+        gs
     | _ -> ()
   in
   let histogram name h =
@@ -1140,6 +1197,7 @@ let openmetrics_of_stats stats =
   | Json.Obj _ ->
     meta_line ();
     counters ();
+    gauges ();
     histograms ();
     spans ();
     Buffer.add_string b "# EOF\n";
@@ -1183,6 +1241,11 @@ let pp_stats ppf () =
     (fun (name, v) ->
       if v <> 0 then Format.fprintf ppf "  %-36s %d@," name v)
     (counters_snapshot ());
+  (match List.filter (fun (_, v) -> v <> 0) (gauges_snapshot ()) with
+  | [] -> ()
+  | gs ->
+    Format.fprintf ppf "telemetry gauges:@,";
+    List.iter (fun (name, v) -> Format.fprintf ppf "  %-36s %d@," name v) gs);
   (match histograms_detailed () with
   | [] -> ()
   | hs ->

@@ -41,6 +41,7 @@ type span = {
 }
 
 type counter
+type gauge
 
 (** {1 Registry control} *)
 
@@ -66,6 +67,24 @@ val count : ?by:int -> string -> unit
 
 val counter_value : string -> int
 val counters_snapshot : unit -> (string * int) list
+
+(** {1 Gauges}
+
+    A gauge is a level, not a rate: it moves both ways (in-flight
+    requests, queue depth, connected clients) and exports its current
+    value instead of a monotonic total — OpenMetrics type [gauge] rather
+    than [counter].  Updates are atomic and domain-safe; like counters,
+    a disabled update costs one load + branch, and {!reset} zeroes
+    gauges in place. *)
+
+(** Find-or-create a named gauge. *)
+val gauge : string -> gauge
+
+val set_gauge : gauge -> int -> unit
+val incr_gauge : gauge -> unit
+val decr_gauge : gauge -> unit
+val gauge_value : string -> int
+val gauges_snapshot : unit -> (string * int) list
 
 (** {1 Histograms}
 
@@ -195,8 +214,8 @@ val trace_json : unit -> Json.t
 val trace_to_string : unit -> string
 val write_trace : string -> unit
 
-(** Counters + histograms (with buckets and p50/p90/p99/p999) + span
-    rollup + {!run_meta}, as one JSON object. *)
+(** Counters + gauges + histograms (with buckets and p50/p90/p99/p999) +
+    span rollup + {!run_meta}, as one JSON object. *)
 val stats_json : unit -> Json.t
 
 (** Render a stats document (the {!stats_json} shape) as OpenMetrics /

@@ -4,14 +4,16 @@
    by the deadline smoke rule to pin "fidelity=degraded".  Exit 0 on
    success.
 
-   `json_smoke --lines FILE [N]` instead checks a JSON-lines event log:
-   every non-empty line must parse as a JSON object carrying the event
-   envelope fields (ts, level, event), and there must be at least N lines
-   (default 1). *)
+   `json_smoke --lines FILE [N] [--require=ev1,ev2,...]` instead checks
+   a JSON-lines event log: every non-empty line must parse as a JSON
+   object carrying the event envelope fields (ts, level, event), and
+   there must be at least N lines (default 1).  With --require, each
+   named event must additionally occur on at least one line — used to
+   pin lifecycle sequences like serve.start/serve.drain/serve.stop. *)
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
-let check_lines path min_count =
+let check_lines path min_count required =
   let ic = open_in_bin path in
   let text =
     Fun.protect
@@ -22,6 +24,7 @@ let check_lines path min_count =
     String.split_on_char '\n' text
     |> List.filter (fun l -> String.trim l <> "")
   in
+  let seen = Hashtbl.create 16 in
   List.iteri
     (fun i line ->
       match Telemetry.Json.of_string line with
@@ -31,12 +34,20 @@ let check_lines path min_count =
           (fun key ->
             if Telemetry.Json.member key doc = None then
               fail "%s:%d: event missing %S field" path (i + 1) key)
-          [ "ts"; "level"; "event" ]
+          [ "ts"; "level"; "event" ];
+        (match Telemetry.Json.member "event" doc with
+        | Some (Telemetry.Json.Str name) -> Hashtbl.replace seen name ()
+        | _ -> ())
       | Ok _ -> fail "%s:%d: event line is not a JSON object" path (i + 1))
     lines;
   if List.length lines < min_count then
     fail "%s: expected at least %d event line(s), found %d" path min_count
       (List.length lines);
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem seen name) then
+        fail "%s: required event %S never occurred" path name)
+    required;
   Printf.printf "%s: ok (%d event lines)\n" path (List.length lines);
   exit 0
 
@@ -51,16 +62,24 @@ let string_of_json = function
 let () =
   (match Array.to_list Sys.argv with
   | _ :: "--lines" :: path :: rest ->
-    let min_count =
-      match rest with
-      | [] -> 1
-      | [ n ] -> (
-        match int_of_string_opt n with
-        | Some n when n >= 0 -> n
-        | _ -> fail "usage: json_smoke --lines FILE [min-count]")
-      | _ -> fail "usage: json_smoke --lines FILE [min-count]"
+    let usage () =
+      fail "usage: json_smoke --lines FILE [min-count] [--require=ev1,ev2,...]"
     in
-    check_lines path min_count
+    let min_count = ref 1 and required = ref [] in
+    List.iter
+      (fun a ->
+        if String.length a > 10 && String.sub a 0 10 = "--require=" then
+          required :=
+            !required
+            @ (String.sub a 10 (String.length a - 10)
+              |> String.split_on_char ','
+              |> List.filter (fun s -> s <> ""))
+        else
+          match int_of_string_opt a with
+          | Some n when n >= 0 -> min_count := n
+          | _ -> usage ())
+      rest;
+    check_lines path !min_count !required
   | _ -> ());
   let path, checks =
     match Array.to_list Sys.argv with

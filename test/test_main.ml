@@ -20,4 +20,5 @@ let () =
       ("govern", Test_govern.tests);
       ("fault", Test_fault.tests);
       ("observability", Test_observability.tests);
+      ("serve", Test_serve.tests);
     ]
