@@ -700,6 +700,116 @@ let ehrhart () =
     | Some _ -> " on the worker pool"
     | None -> "")
 
+(* Repeated parametric queries over coupled domains: the workload the
+   chamber decomposition exists for.  Cold re-counts every parameter
+   value from scratch (the PR 3 path: governed closed-form slice
+   counting with all memos cleared); warm decomposes once and evaluates
+   the per-chamber quasi-polynomial at each value through the public
+   [Count.card_at] entry point (which also exercises the process-wide
+   memo: every warm evaluation is a chamber-cache hit). *)
+let ehrhart_param () =
+  section
+    "EHRHART-PARAM — chamber-decomposed parametric counting\n\
+     (decompose once into validity chambers + quasi-polynomials,\n\
+     then answer every parameter value in O(1); the symbolic\n\
+     counting tier behind Scop.flop_count and analyze_approx)";
+  let base = if !bench_quick then 300 else 900 in
+  let tetra =
+    Presburger.Syntax.bset_of_string
+      "[n] -> { [i,j,k] : 0 <= i < n and 0 <= j < n - i and 0 <= k < n - i \
+       - j }"
+  in
+  let band =
+    Presburger.Syntax.bset_of_string
+      "[n,m] -> { [i,j] : 0 <= i < n and 0 <= j < n and i - j <= m and j - \
+       i <= m }"
+  in
+  let minbox =
+    Presburger.Syntax.bset_of_string
+      "[n,m] -> { [i,j] : 0 <= i < n and 0 <= i < m and 0 <= j < n }"
+  in
+  let values_1d = List.init 16 (fun k -> [| base + (7 * k) |]) in
+  let values_2d =
+    List.concat_map
+      (fun kn ->
+        List.map
+          (fun km -> [| base + (11 * kn); (base / 3) + (29 * km) |])
+          [ 0; 1; 2; 3 ])
+      [ 0; 1; 2; 3 ]
+  in
+  let domains =
+    [ ("tetra3", tetra, values_1d); ("band", band, values_2d);
+      ("minbox", minbox, values_2d) ]
+  in
+  pf "%-8s %4s %9s | %10s %10s %10s %9s | %8s %8s\n" "domain" "vals" "|D|max"
+    "cold (s)" "decomp (s)" "warm (s)" "speedup" "scanned" "chambers";
+  let all_zero = ref true and n_domains = ref 0 in
+  List.iter
+    (fun (name, b, values) ->
+      incr n_domains;
+      let cold = ref [] in
+      let (), t_cold =
+        Telemetry.with_span_timed "bench.ehrhart_param_cold"
+          ~args:[ ("domain", name) ]
+          (fun () ->
+            cold :=
+              List.map
+                (fun v ->
+                  (* every value pays the full counting cost, as a loop
+                     of independent analyses would *)
+                  Presburger.Bset.clear_count_memo ();
+                  Presburger.Bset.cardinality ?pool:!the_pool
+                    (Presburger.Bset.fix_params b v))
+                values)
+      in
+      Presburger.Chamber.clear_memo ();
+      let ch = ref None in
+      let (), t_dec =
+        Telemetry.with_span_timed "bench.ehrhart_param_decompose"
+          ~args:[ ("domain", name) ]
+          (fun () -> ch := Presburger.Count.card_param b)
+      in
+      match !ch with
+      | None -> pf "** %s: chamber decomposition declined **\n" name
+      | Some ch ->
+        (* the warm phase must enumerate nothing: counter delta below is
+           the CI counting-perf assertion *)
+        let scanned0 = Telemetry.counter_value "presburger.points_scanned" in
+        let warm = ref [] in
+        let (), t_warm =
+          Telemetry.with_span_timed "bench.ehrhart_param_warm"
+            ~args:[ ("domain", name) ]
+            (fun () ->
+              warm :=
+                List.map (fun v -> Presburger.Count.card_at b v) values)
+        in
+        let scanned =
+          Telemetry.counter_value "presburger.points_scanned" - scanned0
+        in
+        if scanned <> 0 then all_zero := false;
+        List.iter2
+          (fun v (c, w) ->
+            if c <> w then
+              pf "** MISMATCH on %s at %s: cold=%d warm=%d **\n" name
+                (String.concat ","
+                   (List.map string_of_int (Array.to_list v)))
+                c w)
+          values
+          (List.combine !cold !warm);
+        let dmax = List.fold_left max 0 !cold in
+        pf "%-8s %4d %9d | %10.4f %10.4f %10.6f %8.1fx | %8d %8d\n" name
+          (List.length values) dmax t_cold t_dec t_warm
+          (t_cold /. Float.max (t_dec +. t_warm) 1e-9)
+          scanned
+          (Presburger.Chamber.n_chambers ch))
+    domains;
+  pf "warm points_scanned delta = %s over %d domains\n"
+    (if !all_zero then "0" else "NONZERO")
+    !n_domains;
+  pf "(cold = Bset.cardinality per value, memos cleared; warm = \n\
+     \ Count.card_at on the decomposition built once by Count.card_param;\n\
+     \ speedup includes the one-off decomposition cost)\n"
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the analysis components                *)
 (* ------------------------------------------------------------------ *)
@@ -965,6 +1075,7 @@ let all_experiments =
     ("abl-dvfs", abl_dvfs);
     ("abl-core", abl_core);
     ("ehrhart", ehrhart);
+    ("ehrhart-param", ehrhart_param);
     ("micro", micro);
     ("daemon", daemon);
   ]
@@ -974,7 +1085,10 @@ let all_experiments =
    hwsim time, so `--quick` with no explicit experiment list runs this
    curated subset (~30-60 s total) instead of everything. *)
 let quick_experiments =
-  [ "tab2"; "tab3"; "fig5"; "abl-eps"; "abl-counting"; "ehrhart"; "micro" ]
+  [
+    "tab2"; "tab3"; "fig5"; "abl-eps"; "abl-counting"; "ehrhart";
+    "ehrhart-param"; "micro";
+  ]
 
 (* Per-phase / per-counter JSON report for BENCH_*.json trajectory
    tracking: experiment wall times, telemetry counters, histograms and the

@@ -968,6 +968,7 @@ let cache_cmd =
     let run cache_dir json =
       let c = Engine.Rcache.create ?dir:cache_dir () in
       let s = Engine.Rcache.stats c in
+      let by_kind = Engine.Rcache.stats_by_kind c in
       let k = Engine.Rcache.cumulative c in
       let total = k.Engine.Rcache.hits + k.Engine.Rcache.misses in
       if json then
@@ -977,6 +978,18 @@ let cache_cmd =
                ("dir", Telemetry.Json.Str (Engine.Rcache.dir c));
                ("entries", Telemetry.Json.Int s.Engine.Rcache.entries);
                ("bytes", Telemetry.Json.Int s.Engine.Rcache.bytes);
+               ( "kinds",
+                 Telemetry.Json.Obj
+                   (List.map
+                      (fun (kind, (ks : Engine.Rcache.stats)) ->
+                        ( kind,
+                          Telemetry.Json.Obj
+                            [
+                              ( "entries",
+                                Telemetry.Json.Int ks.Engine.Rcache.entries );
+                              ("bytes", Telemetry.Json.Int ks.Engine.Rcache.bytes);
+                            ] ))
+                      by_kind) );
                ("hits", Telemetry.Json.Int k.Engine.Rcache.hits);
                ("misses", Telemetry.Json.Int k.Engine.Rcache.misses);
                ("stores", Telemetry.Json.Int k.Engine.Rcache.stores);
@@ -990,6 +1003,13 @@ let cache_cmd =
       else begin
         Format.printf "cache directory: %s@.entries: %d@.bytes: %d@."
           (Engine.Rcache.dir c) s.Engine.Rcache.entries s.Engine.Rcache.bytes;
+        List.iter
+          (fun (kind, (ks : Engine.Rcache.stats)) ->
+            Format.printf "  %s: %d entr%s, %d bytes@." kind
+              ks.Engine.Rcache.entries
+              (if ks.Engine.Rcache.entries = 1 then "y" else "ies")
+              ks.Engine.Rcache.bytes)
+          by_kind;
         Format.printf
           "hits: %d@.misses: %d@.stores: %d@.corrupt: %d@.quarantined: \
            %d@.write retries: %d@.read-only flips: %d@."
@@ -1004,8 +1024,9 @@ let cache_cmd =
     Cmd.v
       (Cmd.info "stats"
          ~doc:
-           "Show entry count, size on disk, and cumulative \
-            hit/miss/retry/quarantine counters")
+           "Show entry count (total and per kind: numeric vs symbolic), \
+            size on disk, and cumulative hit/miss/retry/quarantine \
+            counters")
       Term.(const run $ cache_dir_arg $ json_arg)
   in
   let clear_cmd =

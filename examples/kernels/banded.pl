@@ -1,0 +1,14 @@
+// banded matrix-vector product: only the diagonals within bandwidth m
+// are touched, so the iteration domain |i - j| <= m is a parametric
+// band whose count changes closed form at m = n - 1 (narrow band vs
+// full square) — a two-chamber decomposition for the symbolic counter.
+program banded(n, m) {
+  arrays { A[n][n] : f64; x[n] : f64; y[n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      if (i - j <= m && j - i <= m) {
+        y[i] = y[i] + A[i][j] * x[j];
+      }
+    }
+  }
+}

@@ -1,0 +1,14 @@
+// triangular prism: a rectangular (n x m) sweep cut by the anti-diagonal
+// i + j < n.  When m <= n the cut never bites on whole rows and the
+// count is a different polynomial than when m > n — two validity
+// chambers, neither of them rectangular.
+program prism(n, m) {
+  arrays { A[n][m] : f64; s[1] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < m; j++) {
+      if (i + j < n) {
+        s[0] = s[0] + A[i][j] * A[i][j];
+      }
+    }
+  }
+}

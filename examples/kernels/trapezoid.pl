@@ -1,0 +1,14 @@
+// clipped lower-triangular sweep: column j runs up to row i but never
+// past the clip width m, giving a trapezoidal domain — triangular while
+// i < m, rectangular after.  The count is quadratic in n for m >= n and
+// mixed (m-linear + triangular cap) otherwise: two chambers.
+program trapezoid(n, m) {
+  arrays { L[n][n] : f64; d[n] : f64; }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < i + 1; j++) {
+      if (j < m) {
+        d[i] = d[i] + L[i][j] * L[j][i];
+      }
+    }
+  }
+}

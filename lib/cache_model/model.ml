@@ -316,17 +316,26 @@ let analyze_approx ?(ctx = Engine.Ctx.none) ?(mode = Set_associative)
     }
   in
   let gov_card b = fst (Count.card_gov ~ctx:(count_ctx ()) b) in
-  let bind b =
-    let sp = Bset.space b in
-    let values =
-      Array.map
-        (fun p ->
-          match List.assoc_opt p param_values with
-          | Some v -> v
-          | None -> invalid_arg ("Model: missing parameter " ^ p))
-        sp.Space.params
-    in
-    Bset.fix_params b values
+  let values_of sp =
+    Array.map
+      (fun p ->
+        match List.assoc_opt p param_values with
+        | Some v -> v
+        | None -> invalid_arg ("Model: missing parameter " ^ p))
+      sp.Space.params
+  in
+  let bind b = Bset.fix_params b (values_of (Bset.space b)) in
+  (* parametric counts go through the chamber decomposition when one is
+     available (exact, O(1) on the warm memo shared with the daemon);
+     shapes the chamber engine declines fall back to the governed scan *)
+  let chamber_card b dom_b =
+    match Count.card_param ~ctx:(count_ctx ()) b with
+    | Some ch -> (
+      match Chamber.eval ch (values_of (Bset.space b)) with
+      | n -> n
+      | exception Linalg.Ints.Overflow -> gov_card dom_b)
+    | None -> gov_card dom_b
+    | exception Engine.Budget.Exhausted _ -> gov_card dom_b
   in
   let geoms = Array.of_list machine.Hwsim.Machine.caches in
   let n_levels = Array.length geoms in
@@ -340,7 +349,7 @@ let analyze_approx ?(ctx = Engine.Ctx.none) ?(mode = Set_associative)
     List.map
       (fun (info : Scop.stmt_info) ->
         let dom_b = bind info.Scop.domain in
-        let n_iter = gov_card dom_b in
+        let n_iter = chamber_card info.Scop.domain dom_b in
         let reads, writes =
           List.fold_left
             (fun (r, w) ((a : Ir.access), _) ->
@@ -390,11 +399,35 @@ let analyze_approx ?(ctx = Engine.Ctx.none) ?(mode = Set_associative)
                 (Pset.of_bsets (Bset.space (List.hd rs)) rs)
             with
             | n -> n
-            | exception Engine.Budget.Exhausted _ ->
-              (* union too hard under the sample budget: bound it below
-                 by the largest member (exact unions of identical ranges
-                 — the common case — are unaffected) *)
-              List.fold_left (fun acc r -> max acc (gov_card r)) 0 rs)
+            | exception Engine.Budget.Exhausted _ -> (
+              (* union too hard under the sample budget: bound it by the
+                 convex hull of the members' rational shadows (divs
+                 projected away) — a superset of the union, so the
+                 footprint is never under-estimated, and exact for the
+                 common case of adjacent/overlapping contiguous ranges *)
+              let shadow (r : Bset.t) =
+                let p = r.Bset.poly in
+                let keep = Poly.nvar p - Bset.n_div r in
+                Poly.remove_redundant
+                  (Poly.fix_vars (Poly.eliminate_from p keep) (fun i ->
+                       if i >= keep then Some 0 else None))
+              in
+              match
+                let hull =
+                  match rs with
+                  | [] -> assert false
+                  | r0 :: rest ->
+                    List.fold_left
+                      (fun acc r -> Poly.convex_hull acc (shadow r))
+                      (shadow r0) rest
+                in
+                gov_card (Bset.of_poly (Bset.space (List.hd rs)) ~n_div:0 hull)
+              with
+              | n -> n
+              | exception Linalg.Ints.Overflow ->
+                (* hull arithmetic overflowed: fall back to the largest
+                   member as a lower bound *)
+                List.fold_left (fun acc r -> max acc (gov_card r)) 0 rs))
         in
         let elems_by_array =
           Hashtbl.fold

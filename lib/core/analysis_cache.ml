@@ -163,6 +163,18 @@ let cm_of_json ~machine ~mode j =
 let analyze_gov ?(ctx = Engine.Ctx.none) ~mode ~apply_thread_heuristic ~machine
     prog ~param_values =
   let compute () =
+    (* Warm the chamber memo — and, when the context carries a result
+       cache, the symbolic/v1 tier — before the model runs: a parametric
+       domain decomposed here answers every later counting query at any
+       parameter values in O(1), and across processes via the cache.
+       Domains the chamber engine declines cost one gate check each. *)
+    (try
+       let scop = Poly_ir.Scop.extract prog in
+       List.iter
+         (fun (info : Poly_ir.Scop.stmt_info) ->
+           ignore (Presburger.Count.card_param ~ctx info.Poly_ir.Scop.domain))
+         scop.Poly_ir.Scop.stmt_infos
+     with Engine.Budget.Exhausted _ | Invalid_argument _ -> ());
     (* Self-healing: losing pool jobs inside the counting fan-outs would
        silently skew the cache-model numbers, so when the supervised pool
        gives up on a job we redo the whole analysis inline (exact, just

@@ -182,15 +182,25 @@ let flip_read_only t =
       t.cache_dir
   end
 
-let store t key payload =
+(* entry kinds: plain analysis results carry no marker and count as
+   [kind_numeric]; symbolic chamber decompositions are tagged so
+   `cache stats` can report the tiers separately.  The field rides in
+   the v2 document — [parse_entry] ignores unknown fields, so old
+   readers still accept tagged entries and untagged entries still
+   parse here. *)
+let kind_numeric = "numeric/v2"
+let kind_symbolic = "symbolic/v1"
+
+let store ?kind t key payload =
   if not (Atomic.get t.read_only) then begin
     let doc =
       J.Obj
-        [
-          ("schema", J.Int schema_version);
-          ("checksum", J.Str (payload_checksum payload));
-          ("payload", payload);
-        ]
+        ([
+           ("schema", J.Int schema_version);
+           ("checksum", J.Str (payload_checksum payload));
+           ("payload", payload);
+         ]
+        @ match kind with Some k -> [ ("kind", J.Str k) ] | None -> [])
     in
     let text = J.to_string doc in
     (* a torn write lands a prefix of the entry: the atomic rename makes
@@ -255,6 +265,42 @@ let stats t =
         else acc)
       { entries = 0; bytes = 0 }
       files
+
+(* per-kind entry census: parses each entry to read its [kind] tag
+   (absent = numeric).  Cold path — used by `cache stats` only. *)
+let stats_by_kind t =
+  match Sys.readdir t.cache_dir with
+  | exception Sys_error _ -> []
+  | files ->
+    let tbl = Hashtbl.create 4 in
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".json" then begin
+          let path = Filename.concat t.cache_dir f in
+          let kind =
+            match read_file path with
+            | exception (Sys_error _ | Unix.Unix_error _) -> "unreadable"
+            | text -> (
+              match J.of_string text with
+              | Error _ -> "unreadable"
+              | Ok doc -> (
+                match J.member "kind" doc with
+                | Some (J.Str k) -> k
+                | _ -> kind_numeric))
+          in
+          let bytes =
+            try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+          in
+          let prev =
+            Option.value
+              (Hashtbl.find_opt tbl kind)
+              ~default:{ entries = 0; bytes = 0 }
+          in
+          Hashtbl.replace tbl kind
+            { entries = prev.entries + 1; bytes = prev.bytes + bytes }
+        end)
+      files;
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let clear t =
   match Sys.readdir t.cache_dir with

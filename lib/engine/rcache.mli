@@ -56,11 +56,12 @@ val find : t -> string -> Telemetry.Json.t option
     (unparsable, missing fields, checksum mismatch) are quarantined
     after one failed retry. *)
 
-val store : t -> string -> Telemetry.Json.t -> unit
+val store : ?kind:string -> t -> string -> Telemetry.Json.t -> unit
 (** Atomic; creates the cache directory on first use.  Transient I/O
     failures are retried once, persistent ones are warnings, [ENOSPC]
     flips {!read_only} (the cache is an accelerator, never a correctness
-    dependency). *)
+    dependency).  [kind] tags the entry document for {!stats_by_kind}
+    (untagged = {!kind_numeric}). *)
 
 val find_or_add :
   t ->
@@ -75,6 +76,20 @@ val find_or_add :
 type stats = { entries : int; bytes : int }
 
 val stats : t -> stats
+
+val kind_numeric : string
+(** ["numeric/v2"]: the implicit kind of untagged analysis entries. *)
+
+val kind_symbolic : string
+(** ["symbolic/v1"]: chamber-decomposition entries ({!Presburger.Chamber});
+    checksummed exactly like numeric entries and subject to the same
+    quarantine machinery. *)
+
+val stats_by_kind : t -> (string * stats) list
+(** Entry census per kind tag (untagged entries count as
+    {!kind_numeric}; unparsable files as ["unreadable"]).  Reads every
+    entry — cold path, for [cache stats]. *)
+
 val clear : t -> int
 (** Remove every entry; returns how many were removed.  Quarantined
     files are kept (they are post-mortem evidence, not entries). *)

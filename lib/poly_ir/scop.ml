@@ -230,21 +230,20 @@ let schedule_map t info =
   in
   constrain b 0
 
-let bind_domain info ~param_values =
+let param_values_array info ~param_values =
   let prog_params = Space.((Bset.space info.domain).params) in
-  let values =
-    Array.map
-      (fun p ->
-        match List.assoc_opt p param_values with
-        | Some v -> v
-        | None -> invalid_arg ("Scop: missing value for parameter " ^ p))
-      prog_params
-  in
-  Bset.fix_params info.domain values
+  Array.map
+    (fun p ->
+      match List.assoc_opt p param_values with
+      | Some v -> v
+      | None -> invalid_arg ("Scop: missing value for parameter " ^ p))
+    prog_params
 
 let domain_cardinality ?pool ?ctx _t info ~param_values =
   let ctx = Engine.Ctx.of_legacy ?pool ctx in
-  Bset.cardinality ~ctx (bind_domain info ~param_values)
+  (* chamber-decomposed counting: O(1) quasi-polynomial evaluation when
+     the parametric domain admits chambers, exact ground scan otherwise *)
+  Count.card_at ~ctx info.domain (param_values_array info ~param_values)
 
 let flop_count ?pool ?ctx t ~param_values =
   let ctx = Engine.Ctx.of_legacy ?pool ctx in

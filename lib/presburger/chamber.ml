@@ -1,0 +1,551 @@
+(* Chamber decomposition: split the parameter space into polyhedra on
+   which the count is one quasi-polynomial, fit each by exact
+   interpolation, validate against the exact enumerator.
+
+   The wall heuristic follows the classical parametric-programming
+   observation: the closed form changes where the *binding* bound of
+   some counting level changes, i.e. across resultants of same-side
+   bound pairs.  We only keep walls that are parameter-only after
+   Fourier-Motzkin projection; shapes whose walls involve inner
+   counting variables either still validate on each chamber (the count
+   happens to stay quasi-polynomial) or fail validation and bail to the
+   exact-scan path.  Soundness never depends on the heuristic. *)
+
+module Q = Linalg.Q
+module Ints = Linalg.Ints
+module Ctx = Engine.Ctx
+module J = Telemetry.Json
+
+type chamber = { guard : Poly.t; count : Qpoly.t }
+type t = { np : int; chambers : chamber list }
+
+let c_built = Telemetry.counter "presburger.chambers_built"
+let c_hits = Telemetry.counter "presburger.chamber_cache_hits"
+
+let n_chambers t = List.length t.chambers
+
+let eval t values =
+  if Array.length values <> t.np then invalid_arg "Chamber.eval: arity";
+  match
+    List.find_opt (fun c -> Poly.mem c.guard values) t.chambers
+  with
+  | Some c -> Qpoly.eval c.count values
+  | None -> 0
+
+(* ---- canonical key (cf. Bset's counting memo) ---- *)
+
+let canonical_key ~np ~m p =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d/%d/%d" (Poly.nvar p) np m);
+  let lines =
+    List.map
+      (fun (c : Poly.cstr) ->
+        let b = Buffer.create 32 in
+        Buffer.add_char b (if c.eq then 'e' else 'i');
+        Array.iter (fun x -> Buffer.add_string b ("," ^ string_of_int x)) c.coef;
+        Buffer.add_string b (":" ^ string_of_int c.const);
+        Buffer.contents b)
+      (Poly.constraints p)
+  in
+  List.iter
+    (fun l ->
+      Buffer.add_char buf ';';
+      Buffer.add_string buf l)
+    (List.sort compare lines);
+  Buffer.contents buf
+
+(* ---- process-wide memo (shared across daemon requests) ---- *)
+
+let memo : (string, t option) Hashtbl.t = Hashtbl.create 64
+let memo_mu = Mutex.create ()
+let memo_cap = 1024
+
+let memo_find key =
+  Mutex.lock memo_mu;
+  let r = Hashtbl.find_opt memo key in
+  Mutex.unlock memo_mu;
+  r
+
+let memo_add key v =
+  Mutex.lock memo_mu;
+  if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
+  Hashtbl.replace memo key v;
+  Mutex.unlock memo_mu
+
+let clear_memo () =
+  Mutex.lock memo_mu;
+  Hashtbl.reset memo;
+  Mutex.unlock memo_mu
+
+(* ---- serialization (symbolic/v1 result-cache entries) ---- *)
+
+let cstr_to_json (c : Poly.cstr) =
+  J.Obj
+    [
+      ("eq", J.Bool c.eq);
+      ("coef", J.Arr (Array.to_list (Array.map (fun x -> J.Int x) c.coef)));
+      ("const", J.Int c.const);
+    ]
+
+let cstr_of_json ~nvar j =
+  let ( let* ) = Option.bind in
+  let int_of = function J.Int i -> Some i | _ -> None in
+  let* eq = J.member "eq" j in
+  let* eq = match eq with J.Bool b -> Some b | _ -> None in
+  let* const = Option.bind (J.member "const" j) int_of in
+  let* coef_l = Option.bind (J.member "coef" j) J.to_list in
+  let* coef =
+    List.fold_left
+      (fun acc c ->
+        let* acc = acc in
+        let* c = int_of c in
+        Some (c :: acc))
+      (Some []) coef_l
+  in
+  let coef = Array.of_list (List.rev coef) in
+  if Array.length coef <> nvar then None
+  else Some (if eq then Poly.eq coef const else Poly.ge coef const)
+
+let guard_to_json g =
+  J.Arr (List.map cstr_to_json (Poly.constraints g))
+
+let guard_of_json ~np j =
+  let ( let* ) = Option.bind in
+  let* cstrs_l = J.to_list j in
+  let* cstrs =
+    List.fold_left
+      (fun acc cj ->
+        let* acc = acc in
+        let* c = cstr_of_json ~nvar:np cj in
+        Some (c :: acc))
+      (Some []) cstrs_l
+  in
+  match Poly.make np (List.rev cstrs) with
+  | g -> Some g
+  | exception _ -> None
+
+let to_json t =
+  J.Obj
+    [
+      ("np", J.Int t.np);
+      ( "chambers",
+        J.Arr
+          (List.map
+             (fun c ->
+               J.Obj
+                 [
+                   ("guard", guard_to_json c.guard);
+                   ("count", Qpoly.to_json c.count);
+                 ])
+             t.chambers) );
+    ]
+
+let of_json j =
+  let ( let* ) = Option.bind in
+  let* np = Option.bind (J.member "np" j) (function J.Int i -> Some i | _ -> None) in
+  if np < 0 then None
+  else
+    let* chambers_l = Option.bind (J.member "chambers" j) J.to_list in
+    let* chambers =
+      List.fold_left
+        (fun acc cj ->
+          let* acc = acc in
+          let* gj = J.member "guard" cj in
+          let* guard = guard_of_json ~np gj in
+          let* qj = J.member "count" cj in
+          let* count = Qpoly.of_json qj in
+          if Qpoly.np count <> np then None
+          else Some ({ guard; count } :: acc))
+        (Some []) chambers_l
+    in
+    Some { np; chambers = List.rev chambers }
+
+(* ---- symbolic result-cache tier ---- *)
+
+let cache_key key_str =
+  Engine.Rcache.key [ ("kind", "polyufc-symbolic-chambers"); ("set", key_str) ]
+
+let cache_find ctx key_str =
+  match Ctx.cache ctx with
+  | None -> None
+  | Some rc -> (
+      match Engine.Rcache.find rc (cache_key key_str) with
+      | Some payload -> of_json payload
+      | None -> None)
+
+let cache_store ctx key_str t =
+  match Ctx.cache ctx with
+  | None -> ()
+  | Some rc ->
+      Engine.Rcache.store ~kind:Engine.Rcache.kind_symbolic rc
+        (cache_key key_str) (to_json t)
+
+(* ---- decomposition ---- *)
+
+(* candidate chamber walls: for each counting level, resultants of
+   same-side bound pairs (where the binding bound changes, the closed
+   form changes).  A resultant that still mentions inner counting
+   variables is projected onto the parameters by substituting, one
+   column at a time, the bounds of the outermost counting variable it
+   mentions — the wall crosses the domain where the inner wall meets an
+   extreme of that variable's range. *)
+let split_forms ~np ~nvar tw dpoly =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let consider coefs const =
+    if Array.exists (fun x -> x <> 0) coefs then begin
+      let g =
+        Array.fold_left (fun g c -> Ints.gcd g (abs c)) (abs const) coefs
+      in
+      let g = if g = 0 then 1 else g in
+      let coefs = Array.map (fun x -> x / g) coefs in
+      let const = const / g in
+      (* canonical sign: first non-zero coefficient positive *)
+      let flip =
+        let rec first i =
+          if i >= np then 1 else if coefs.(i) <> 0 then coefs.(i) else first (i + 1)
+        in
+        first 0 < 0
+      in
+      let coefs = if flip then Array.map (fun x -> -x) coefs else coefs in
+      let const = if flip then -const else const in
+      let key = (Array.to_list coefs, const) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        (* drop walls whose sign is fixed on D: no split there *)
+        let pos = Poly.add_constraints dpoly [ Poly.ge coefs const ] in
+        let neg =
+          Poly.add_constraints dpoly
+            [ Poly.ge (Array.map (fun x -> -x) coefs) (-const - 1) ]
+        in
+        if Poly.rational_feasible pos && Poly.rational_feasible neg then
+          out := (coefs, const) :: !out
+      end
+    end
+  in
+  (* raw same-side resultants over the full column space *)
+  let raw = ref [] in
+  for j = np to nvar - 1 do
+    let cstrs =
+      List.filter
+        (fun (c : Poly.cstr) -> c.coef.(j) <> 0)
+        (Poly.constraints tw.(j + 1))
+    in
+    (* orient every constraint usable as a lower (coef_j > 0) and as an
+       upper (coef_j < 0) bound; equalities serve both roles *)
+    let oriented want_pos (c : Poly.cstr) =
+      let a = c.coef.(j) in
+      if (a > 0) = want_pos then Some (c.coef, c.const)
+      else if c.eq then Some (Array.map (fun x -> -x) c.coef, -c.const)
+      else None
+    in
+    let resultants want_pos =
+      let side = List.filter_map (oriented want_pos) cstrs in
+      let rec pairs = function
+        | [] -> ()
+        | (co1, k1) :: rest ->
+            List.iter
+              (fun (co2, k2) ->
+                let a1 = co1.(j) and a2 = co2.(j) in
+                let h = Array.make nvar 0 in
+                for i = 0 to nvar - 1 do
+                  if i <> j then h.(i) <- (a1 * co2.(i)) - (a2 * co1.(i))
+                done;
+                raw := (h, (a1 * k2) - (a2 * k1)) :: !raw)
+              rest;
+            pairs rest
+      in
+      pairs side
+    in
+    resultants true;
+    resultants false
+  done;
+  (* project each wall onto the parameters: substitute the bounds of the
+     outermost counting column it mentions, bounded work *)
+  let budget = ref 192 in
+  let rec project (h, k) =
+    if !budget > 0 then begin
+      decr budget;
+      let c = ref (-1) in
+      for i = np to nvar - 1 do
+        if h.(i) <> 0 then c := i
+      done;
+      if !c < 0 then consider (Array.sub h 0 np) k
+      else begin
+        let c = !c in
+        List.iter
+          (fun (b : Poly.cstr) ->
+            if b.coef.(c) <> 0 then begin
+              let h' = Array.make nvar 0 in
+              for i = 0 to nvar - 1 do
+                if i <> c then
+                  h'.(i) <- (b.coef.(c) * h.(i)) - (h.(c) * b.coef.(i))
+              done;
+              project (h', (b.coef.(c) * k) - (h.(c) * b.const))
+            end)
+          (Poly.constraints tw.(c + 1))
+      end
+    end
+  in
+  List.iter project (List.rev !raw);
+  (* deterministic order, bounded count: at most 6 walls = 64 chambers *)
+  let forms = List.rev !out in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: r -> x :: take (n - 1) r
+  in
+  take 6 forms
+
+let enumerate_chambers ~ctx dpoly forms =
+  let rec enum guard = function
+    | [] -> [ Poly.remove_redundant guard ]
+    | (coefs, const) :: rest ->
+        Ctx.check ctx;
+        let pos = Poly.add_constraints guard [ Poly.ge coefs const ] in
+        let neg =
+          Poly.add_constraints guard
+            [ Poly.ge (Array.map (fun x -> -x) coefs) (-const - 1) ]
+        in
+        (if Poly.rational_feasible pos then enum pos rest else [])
+        @ (if Poly.rational_feasible neg then enum neg rest else [])
+  in
+  enum dpoly forms
+
+(* shrink a guard so a sample box of side [ext] starting at any of its
+   points stays inside; None when the guard carries a non-trivial
+   equality (no full-dimensional box fits) *)
+let tighten guard ext =
+  let ok = ref true in
+  let cstrs =
+    List.map
+      (fun (c : Poly.cstr) ->
+        if c.eq then begin
+          if Array.exists (fun x -> x <> 0) c.coef then ok := false;
+          c
+        end
+        else begin
+          let slack =
+            Array.fold_left
+              (fun acc a -> acc + (Stdlib.min 0 a * ext))
+              0 c.coef
+          in
+          Poly.ge c.coef (c.const + slack)
+        end)
+      (Poly.constraints guard)
+  in
+  if not !ok then None else Some (Poly.make (Poly.nvar guard) cstrs)
+
+(* lexicographically-small integer point of a possibly unbounded
+   polyhedron: parameter domains are usually unbounded above, where
+   {!Poly.lexmin}'s scan raises [Unbounded], so clamp every axis to a
+   window above its rational lower bound first and widen on demand *)
+let small_point p =
+  let np = Poly.nvar p in
+  let rec with_window k =
+    if k > 256 then None
+    else begin
+      let cstrs = ref [] and ok = ref true in
+      for i = 0 to np - 1 do
+        match Poly.var_bounds p i with
+        | Some lo, _ ->
+            let coef = Array.make np 0 in
+            coef.(i) <- -1;
+            cstrs := Poly.ge coef (lo + k) :: !cstrs
+        | None, _ -> ok := false
+      done;
+      if not !ok then None
+      else
+        let boxed = Poly.add_constraints p !cstrs in
+        match (try Poly.lexmin boxed with Poly.Unbounded -> None) with
+        | Some pt -> Some pt
+        | None -> with_window (k * 4)
+    end
+  in
+  with_window 16
+
+let anchor_of tight =
+  match small_point tight with
+  | Some p when Array.for_all (fun x -> abs x <= 100_000) p -> Some p
+  | _ -> None
+
+(* validate the fitted form on the chamber's boundary: the fit samples
+   live in a box interior to the guard, but evaluation happens on the
+   whole (closed) chamber *)
+let boundary_ok ~f guard q =
+  let np = Poly.nvar guard in
+  let check w =
+    match Qpoly.eval q w with
+    | v -> v = f w
+    | exception Invalid_argument _ -> false
+    | exception Ints.Overflow -> false
+  in
+  match small_point guard with
+  | None -> true
+  | Some w ->
+      check w
+      && (let ok = ref true in
+          for i = 0 to np - 1 do
+            if !ok then begin
+              let w' = Array.copy w in
+              w'.(i) <- w'.(i) + 1;
+              if Poly.mem guard w' then ok := check w'
+            end
+          done;
+          !ok)
+
+let fit_chamber ~ctx ~np ~m b guard =
+  let degree = m in
+  let f v = Bset.cardinality ~ctx (Bset.fix_params b v) in
+  let candidates =
+    match np with 1 -> [ 1; 2; 3; 4; 6 ] | 2 -> [ 1; 2; 3; 4 ] | _ -> [ 1; 2 ]
+  in
+  let rec try_periods = function
+    | [] -> None
+    | period :: rest -> (
+        Ctx.spend ctx 32;
+        let ext = Qpoly.extent ~degree ~period in
+        match tighten guard ext with
+        | None -> None (* equality guard: no box fits, go thin *)
+        | Some tight ->
+            if not (Poly.rational_feasible tight) then try_periods rest
+            else (
+              match anchor_of tight with
+              | None -> try_periods rest
+              | Some anchor -> (
+                  match
+                    Qpoly.fit ~degree ~periods:(Array.make np period) ~anchor
+                      ~f ()
+                  with
+                  | Some q when boundary_ok ~f guard q -> Some q
+                  | _ -> try_periods rest)))
+  in
+  try_periods candidates
+
+(* last resort for thin / low-dimensional chambers: enumerate their few
+   parameter points as degree-0 single-point chambers *)
+let thin_chambers ~ctx ~np b guard =
+  let f v = Bset.cardinality ~ctx (Bset.fix_params b v) in
+  let bounded = ref true in
+  let total = ref 1 in
+  for i = 0 to np - 1 do
+    match Poly.var_bounds guard i with
+    | Some lo, Some hi ->
+        total := !total * Stdlib.max 0 (hi - lo + 1)
+    | _ -> bounded := false
+  done;
+  if (not !bounded) || !total > 64 then None
+  else
+    Some
+      (Poly.fold_points guard ~init:[] ~f:(fun acc v ->
+           Ctx.spend ctx 4;
+           let v = Array.copy v in
+           let pins =
+             List.init np (fun i ->
+                 let coef = Array.make np 0 in
+                 coef.(i) <- 1;
+                 Poly.eq coef (-v.(i)))
+           in
+           { guard = Poly.make np pins; count = Qpoly.const ~np (f v) }
+           :: acc))
+
+let build ~ctx ~np ~m b p =
+  let nvar = Poly.nvar p in
+  Ctx.spend ctx 16;
+  (* Fourier-Motzkin tower over the counting columns: tw.(k) has every
+     column >= k eliminated (defined for k in np..nvar) *)
+  let tw = Array.make (nvar + 1) p in
+  for k = nvar - 1 downto np do
+    tw.(k) <- Poly.eliminate_var tw.(k + 1) k
+  done;
+  (* static boundedness gate: every counting level needs a lower and an
+     upper bound once deeper levels are eliminated *)
+  let bounded = ref true in
+  for j = np to nvar - 1 do
+    let lower = ref false and upper = ref false in
+    List.iter
+      (fun (c : Poly.cstr) ->
+        let a = c.coef.(j) in
+        if a <> 0 then
+          if c.eq then begin
+            lower := true;
+            upper := true
+          end
+          else if a > 0 then lower := true
+          else upper := true)
+      (Poly.constraints tw.(j + 1));
+    if not (!lower && !upper) then bounded := false
+  done;
+  if not !bounded then None
+  else begin
+    let dpoly =
+      Poly.remove_redundant
+        (Poly.fix_vars tw.(np) (fun i -> if i >= np then Some 0 else None))
+    in
+    if not (Poly.rational_feasible dpoly) then Some { np; chambers = [] }
+    else begin
+      let forms = split_forms ~np ~nvar tw dpoly in
+      let guards = enumerate_chambers ~ctx dpoly forms in
+      let chambers =
+        List.fold_left
+          (fun acc guard ->
+            match acc with
+            | None -> None
+            | Some acc -> (
+                Ctx.check ctx;
+                match fit_chamber ~ctx ~np ~m b guard with
+                | Some q -> Some ({ guard; count = q } :: acc)
+                | None -> (
+                    match thin_chambers ~ctx ~np b guard with
+                    | Some cs -> Some (cs @ acc)
+                    | None -> None)))
+          (Some []) guards
+      in
+      match chambers with
+      | None -> None
+      | Some cs -> Some { np; chambers = List.rev cs }
+    end
+  end
+
+let decompose ?ctx b =
+  let ctx = match ctx with Some c -> c | None -> Ctx.none in
+  let sp = Bset.space b in
+  let np = Space.n_params sp in
+  let m = Space.n_ins sp + Space.n_outs sp in
+  if np < 1 || np > 3 || m < 1 || m > 6 || Bset.n_div b > 0 then None
+  else begin
+    let p = Poly.remove_redundant b.Bset.poly in
+    let key = canonical_key ~np ~m p in
+    match memo_find key with
+    | Some res ->
+        if Option.is_some res then Telemetry.tick c_hits;
+        res
+    | None -> (
+        match cache_find ctx key with
+        | Some ch ->
+            Telemetry.tick c_hits;
+            memo_add key (Some ch);
+            Some ch
+        | None ->
+            (* Budget exhaustion / cancellation raises out of [build]
+               before the memo or the cache is touched: degraded state
+               is never stored *)
+            let res = build ~ctx ~np ~m b p in
+            (match res with
+            | Some ch ->
+                Telemetry.add c_built (List.length ch.chambers);
+                cache_store ctx key ch
+            | None -> ());
+            memo_add key res;
+            res)
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%d chamber(s) over %d parameter(s)" (n_chambers t)
+    t.np;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "@,  guard %a -> %a" Poly.pp c.guard Qpoly.pp c.count)
+    t.chambers;
+  Format.fprintf fmt "@]"

@@ -292,3 +292,34 @@ let card_gov ?(ctx = Engine.Ctx.none) b =
     | exception Engine.Budget.Exhausted _ ->
       Engine.Fidelity.note_degraded ();
       (card_estimate ~ctx b, Engine.Fidelity.Degraded))
+
+(* ---- chamber-decomposed parametric counting ---- *)
+
+let card_param ?(ctx = Engine.Ctx.none) b = Chamber.decompose ~ctx b
+
+let card_at ?pool ?ctx b values =
+  let ctx = Engine.Ctx.of_legacy ?pool ctx in
+  let np = Space.n_params (Bset.space b) in
+  if Array.length values <> np then invalid_arg "Count.card_at: arity";
+  if np = 0 then Bset.cardinality ~ctx b
+  else begin
+    (* a decomposition cut short by the budget is not an error: fall
+       back to the exact ground scan, whose own metering re-raises
+       promptly if the budget really is spent (callers with a
+       degradation policy then substitute an estimate, cf. card_gov) *)
+    let chambers =
+      try Chamber.decompose ~ctx b with Engine.Budget.Exhausted _ -> None
+    in
+    match chambers with
+    | Some ch -> (
+      try Chamber.eval ch values
+      with Linalg.Ints.Overflow ->
+        raise (Overflow "Count.card_at: chamber evaluation overflowed"))
+    | None -> Bset.cardinality ~ctx (Bset.fix_params b values)
+  end
+
+let card_pset_at ?pool ?ctx ps values =
+  let ctx = Engine.Ctx.of_legacy ?pool ctx in
+  match Pset.disjuncts ps with
+  | [ b ] -> card_at ~ctx b values
+  | _ -> Pset.cardinality ~ctx (Pset.fix_params ps values)

@@ -77,3 +77,30 @@ val card_gov : ?ctx:Engine.Ctx.t -> Bset.t -> int * Engine.Fidelity.t
     deadline) and otherwise fall back to {!card_estimate}, recording the
     degradation ({!Engine.Fidelity.note_degraded}).  With [degrade = Off]
     the {!Engine.Budget.Exhausted} exception propagates. *)
+
+(** {1 Chamber-decomposed parametric counting}
+
+    The scan-free path: decompose the parameter space into validity
+    chambers once ({!Chamber}), then answer every concrete query by a
+    quasi-polynomial evaluation.  See DESIGN.md, "Counting engine". *)
+
+val card_param : ?ctx:Engine.Ctx.t -> Bset.t -> Chamber.t option
+(** Chamber decomposition of a parametric basic set; [None] when the
+    set is out of scope of the chamber engine (the caller should scan).
+    Memoized process-wide and, with a [ctx] cache, persisted as a
+    [symbolic/v1] entry.  Budget exhaustion propagates
+    ({!Engine.Budget.Exhausted}) before anything is stored. *)
+
+val card_at : ?pool:Engine.Pool.t -> ?ctx:Engine.Ctx.t -> Bset.t -> int array -> int
+(** [card_at b values] is the cardinality of [b] at the given parameter
+    values (length = number of parameters).  Evaluates the chamber
+    decomposition in O(1) when one exists; falls back to the exact
+    ground count of {!Bset.cardinality} otherwise (including when the
+    budget expired mid-decomposition — the fallback's own metering
+    re-raises if the budget really is spent).  Raises {!Overflow} when
+    the exact value does not fit a native [int]. *)
+
+val card_pset_at :
+  ?pool:Engine.Pool.t -> ?ctx:Engine.Ctx.t -> Pset.t -> int array -> int
+(** Parametric cardinality of a disjoint union: chamber path for a
+    single disjunct, ground {!Pset.cardinality} otherwise. *)

@@ -753,3 +753,106 @@ let pp ppf t =
   Format.fprintf ppf "@[<v>{nvar=%d;@ %a}@]" t.nvar
     (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " and@ ") pp_cstr)
     t.cstrs
+
+(* Convex hull of two systems over the same variables, via the lifted
+   system of Benoy-King ("Computing Convex Hulls with a Linear Solver"):
+   x lies in the hull iff x = y + z with y in s.A, z in (1-s).B for some
+   s in [0,1], where s.A is A's homogenization {y : a.y + c.s >= 0}.
+   Eliminating the y and s columns with Fourier-Motzkin leaves exactly
+   the (closed, rational) hull constraints over x - a sound superset of
+   the integer union, used by the footprint estimator and the chamber
+   engine.  Exact over the rationals; gcd tightening by [make] keeps
+   every integer point of either argument. *)
+let convex_hull a b =
+  if a.nvar <> b.nvar then invalid_arg "Poly.convex_hull: arity mismatch";
+  if definitely_false a || not (rational_feasible a) then remove_redundant b
+  else if definitely_false b || not (rational_feasible b) then
+    remove_redundant a
+  else if
+    (* identical descriptions: the hull is the set itself.  This also
+       makes [convex_hull h h] return [h] exactly instead of a
+       re-projected (possibly boxed) superset. *)
+    let canon p =
+      List.sort compare
+        (List.map (fun c -> (c.eq, Array.to_list c.coef, c.const)) p.cstrs)
+    in
+    canon a = canon b
+  then remove_redundant a
+  else begin
+    let n = a.nvar in
+    let total = (2 * n) + 1 in
+    (* columns: x (0..n-1) | y (n..2n-1) | s (2n) *)
+    let scol = 2 * n in
+    let lift_a (c : cstr) =
+      let co = Array.make total 0 in
+      Array.iteri (fun i v -> co.(n + i) <- v) c.coef;
+      co.(scol) <- c.const;
+      { coef = co; const = 0; eq = c.eq }
+    in
+    let lift_b (c : cstr) =
+      let co = Array.make total 0 in
+      Array.iteri
+        (fun i v ->
+          co.(i) <- v;
+          co.(n + i) <- -v)
+        c.coef;
+      co.(scol) <- -c.const;
+      { coef = co; const = c.const; eq = c.eq }
+    in
+    let s_lo = Array.make total 0 and s_hi = Array.make total 0 in
+    s_lo.(scol) <- 1;
+    s_hi.(scol) <- -1;
+    let lifted =
+      make total
+        ({ coef = s_lo; const = 0; eq = false }
+        :: { coef = s_hi; const = 1; eq = false }
+        :: (List.map lift_a a.cstrs @ List.map lift_b b.cstrs))
+    in
+    (* sound fallback: the bounding box of the union, a (looser) convex
+       superset — used when the lifted projection explodes (each FM step
+       can square the constraint count) or its arithmetic overflows *)
+    let box_hull () =
+      let cs = ref [] in
+      for v = 0 to n - 1 do
+        let lo_a, hi_a = var_bounds a v and lo_b, hi_b = var_bounds b v in
+        (match (lo_a, lo_b) with
+        | Some x, Some y ->
+          let co = Array.make n 0 in
+          co.(v) <- 1;
+          cs := { coef = co; const = -min x y; eq = false } :: !cs
+        | _ -> ());
+        match (hi_a, hi_b) with
+        | Some x, Some y ->
+          let co = Array.make n 0 in
+          co.(v) <- -1;
+          cs := { coef = co; const = max x y; eq = false } :: !cs
+        | _ -> ()
+      done;
+      remove_redundant (make n !cs)
+    in
+    (* growth caps: FM can square the constraint count per eliminated
+       column, and the LP-based [remove_redundant] is itself built on an
+       unbounded elimination tower — so between steps we only apply the
+       cheap syntactic [merge_parallel] prune and give up (soundly, to
+       the box) past the cap *)
+    let step_cap = 192 and final_cap = (2 * n) + 12 in
+    match
+      let r = ref lifted in
+      let ok = ref true in
+      for v = total - 1 downto n do
+        if !ok then begin
+          r := merge_parallel (eliminate_var !r v);
+          if List.length (!r).cstrs > step_cap then ok := false
+        end
+      done;
+      if not !ok then None
+      else begin
+        let hull = fix_vars !r (fun i -> if i >= n then Some 0 else None) in
+        if List.length hull.cstrs > final_cap then None
+        else Some (remove_redundant hull)
+      end
+    with
+    | Some hull -> hull
+    | None -> box_hull ()
+    | exception Ints.Overflow -> box_hull ()
+  end

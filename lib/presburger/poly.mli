@@ -132,3 +132,12 @@ val var_bounds : t -> int -> (int option * int option)
     [None] means unbounded in that direction. *)
 
 val pp : Format.formatter -> t -> unit
+
+val convex_hull : t -> t -> t
+(** Closed convex hull of the union of the two systems (same [nvar]),
+    over the rationals: every point of either argument satisfies the
+    result, which is the tightest such polyhedron up to integer gcd
+    tightening.  Computed by Fourier–Motzkin elimination of the
+    Benoy–King lifted system (no vertex enumeration); the result is
+    passed through {!remove_redundant}.  A rationally empty argument is
+    absorbed ([convex_hull a empty = a]). *)

@@ -268,6 +268,264 @@ let test_count_eval_overflow () =
         true
         (contains m "n=3000000"))
 
+(* ---------- chamber-decomposed parametric counting ---------- *)
+
+(* Random parametric domain: [np] parameter columns followed by [m]
+   counting columns.  Every counting variable gets [0 <= x] and an upper
+   bound coupling it to a parameter (so instances are finite at every
+   sampled parameter point), plus random extra cuts — including
+   equalities and inter-variable coupling — that only shrink the set. *)
+type pcase = { np : int; bset : Bset.t; label : string }
+
+let param_space np m =
+  let params = List.init np (Printf.sprintf "p%d") in
+  let vars = List.init m (Printf.sprintf "x%d") in
+  Space.set_space ~params ~name:"S" vars
+
+let gen_pcase : pcase QCheck.Gen.t =
+  QCheck.Gen.(
+    let* np = int_range 1 2 in
+    let* m = int_range 1 3 in
+    let nvar = np + m in
+    let bound_var j =
+      (* 0 <= x_j, and x_j <= a·p + c with a >= 1 on one parameter *)
+      let lo = Array.make nvar 0 in
+      lo.(np + j) <- 1;
+      let* p = int_range 0 (np - 1) in
+      let* a = int_range 1 2 in
+      let* c = int_range (-2) 4 in
+      let hi = Array.make nvar 0 in
+      hi.(np + j) <- -1;
+      hi.(p) <- a;
+      return [ Poly.ge lo 0; Poly.ge hi c ]
+    in
+    let gen_cut =
+      let* coef = array_size (return nvar) (int_range (-2) 2) in
+      let* const = int_range (-4) 8 in
+      let* is_eq = frequency [ (6, return false); (1, return true) ] in
+      return (if is_eq then Poly.eq coef const else Poly.ge coef const)
+    in
+    let* bounds = flatten_l (List.init m bound_var) in
+    let* n_cut = int_range 0 3 in
+    let* cuts = list_size (return n_cut) gen_cut in
+    let poly = Poly.make nvar (List.concat bounds @ cuts) in
+    let bset = Bset.of_poly (param_space np m) ~n_div:0 poly in
+    return
+      { np; bset; label = Format.asprintf "np=%d %a" np Poly.pp poly })
+
+let arb_pcase = QCheck.make ~print:(fun c -> c.label) gen_pcase
+
+let param_samples np =
+  if np = 1 then List.map (fun n -> [| n |]) [ 0; 1; 2; 3; 5; 8; 13 ]
+  else
+    List.concat_map
+      (fun n -> List.map (fun m -> [| n; m |]) [ 0; 1; 3; 7 ])
+      [ 0; 2; 5; 9 ]
+
+let check_pcase c =
+  let exact v = Bset.cardinality (Bset.fix_params c.bset v) in
+  (match Count.card_param c.bset with
+  | None -> ()
+  | Some ch ->
+    List.iter
+      (fun v ->
+        let e = exact v and got = Chamber.eval ch v in
+        if e <> got then
+          QCheck.Test.fail_reportf
+            "chamber eval %d <> exact %d at %s on %s" got e
+            (String.concat "," (List.map string_of_int (Array.to_list v)))
+            c.label)
+      (param_samples c.np));
+  (* the public fallback entry point must agree whether or not the
+     decomposition succeeded *)
+  List.iter
+    (fun v ->
+      let e = exact v and got = Count.card_at c.bset v in
+      if e <> got then
+        QCheck.Test.fail_reportf "card_at %d <> exact %d at %s on %s" got e
+          (String.concat "," (List.map string_of_int (Array.to_list v)))
+          c.label)
+    (param_samples c.np);
+  true
+
+(* ---------- convex hull properties ---------- *)
+
+(* bounded random polytope: both windows on every variable plus cuts *)
+let gen_bounded : Poly.t QCheck.Gen.t =
+  QCheck.Gen.(
+    let* nvar = int_range 1 3 in
+    let window i =
+      let* lo = int_range (-5) 0 in
+      let* hi = int_range 0 5 in
+      let lo_c = Array.make nvar 0 and hi_c = Array.make nvar 0 in
+      lo_c.(i) <- 1;
+      hi_c.(i) <- -1;
+      return [ Poly.ge lo_c (-lo); Poly.ge hi_c hi ]
+    in
+    let gen_cut =
+      let* coef = array_size (return nvar) (int_range (-2) 2) in
+      let* const = int_range (-4) 6 in
+      return (Poly.ge coef const)
+    in
+    let* windows = flatten_l (List.init nvar window) in
+    let* n_cut = int_range 0 2 in
+    let* cuts = list_size (return n_cut) gen_cut in
+    return (Poly.make nvar (List.concat windows @ cuts)))
+
+let gen_poly_pair =
+  QCheck.Gen.(
+    let* a = gen_bounded in
+    (* second polytope in the same dimension *)
+    let rec same_dim () =
+      let* b = gen_bounded in
+      if Poly.nvar b = Poly.nvar a then return (a, b) else same_dim ()
+    in
+    same_dim ())
+
+let arb_poly_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> Format.asprintf "A=%a@ B=%a" Poly.pp a Poly.pp b)
+    gen_poly_pair
+
+let hull_props =
+  [
+    QCheck.Test.make ~name:"convex_hull contains both generators" ~count:150
+      arb_poly_pair
+      (fun (a, b) ->
+        let h = Poly.convex_hull a b in
+        let sub p =
+          Poly.fold_points p ~init:true ~f:(fun ok pt ->
+              ok && Poly.mem h pt)
+        in
+        sub a && sub b);
+    QCheck.Test.make ~name:"convex_hull idempotent (hull h h == h)" ~count:100
+      arb_poly_pair
+      (fun (a, b) ->
+        let h = Poly.convex_hull a b in
+        let h2 = Poly.convex_hull h h in
+        Poly.count_points_naive h = Poly.count_points_naive h2
+        && Poly.fold_points h ~init:true ~f:(fun ok pt -> ok && Poly.mem h2 pt)
+        && Poly.fold_points h2 ~init:true ~f:(fun ok pt -> ok && Poly.mem h pt));
+    QCheck.Test.make ~name:"convex_hull output is redundancy-free" ~count:100
+      arb_poly_pair
+      (fun (a, b) ->
+        let h = Poly.convex_hull a b in
+        List.length (Poly.constraints (Poly.remove_redundant h))
+        = List.length (Poly.constraints h));
+  ]
+
+let qcheck_param =
+  [
+    QCheck.Test.make
+      ~name:"chamber counts == exact scan (200 random parametric domains)"
+      ~count:200 arb_pcase check_pcase;
+  ]
+  @ hull_props
+
+(* ---------- symbolic cache tier ---------- *)
+
+let tetra_b () =
+  parse1
+    "[n] -> { [i,j,k] : 0 <= i < n and 0 <= j < n - i and 0 <= k < n - i - \
+     j }"
+
+let fresh_cache_dir () = Filename.temp_dir "polyufc_symcache_test" ""
+
+let symbolic_entries cache =
+  match
+    List.assoc_opt Engine.Rcache.kind_symbolic
+      (Engine.Rcache.stats_by_kind cache)
+  with
+  | Some (s : Engine.Rcache.stats) -> s.Engine.Rcache.entries
+  | None -> 0
+
+let test_symbolic_cache_roundtrip () =
+  let dir = fresh_cache_dir () in
+  let cache = Engine.Rcache.create ~dir () in
+  let ctx = Engine.Ctx.create ~cache () in
+  let b = tetra_b () in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Fun.protect ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+  @@ fun () ->
+  Chamber.clear_memo ();
+  let ch =
+    match Count.card_param ~ctx b with
+    | Some ch -> ch
+    | None -> Alcotest.fail "tetra should decompose"
+  in
+  Alcotest.(check int) "one symbolic/v1 entry stored" 1 (symbolic_entries cache);
+  (* drop the in-process memo: the next decompose must come back from
+     the persistent tier, counted as a chamber cache hit *)
+  Chamber.clear_memo ();
+  let hits0 = Telemetry.counter_value "presburger.chamber_cache_hits" in
+  let ch' =
+    match Count.card_param ~ctx b with
+    | Some ch' -> ch'
+    | None -> Alcotest.fail "cached tetra should decompose"
+  in
+  let hits1 = Telemetry.counter_value "presburger.chamber_cache_hits" in
+  Alcotest.(check bool) "cache reload ticks chamber_cache_hits" true
+    (hits1 > hits0);
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "reloaded decomposition agrees at n=%d" n)
+        (Chamber.eval ch [| n |])
+        (Chamber.eval ch' [| n |]))
+    [ 0; 1; 5; 17; 40 ]
+
+let test_symbolic_cache_never_degraded () =
+  let dir = fresh_cache_dir () in
+  let cache = Engine.Rcache.create ~dir () in
+  let budget = Engine.Budget.create ~fuel:1 ~degrade:Engine.Budget.Interp () in
+  let ctx = Engine.Ctx.create ~cache ~budget () in
+  let b = tetra_b () in
+  Chamber.clear_memo ();
+  (match Count.card_param ~ctx b with
+  | exception Engine.Budget.Exhausted _ -> ()
+  | Some _ -> Alcotest.fail "1 fuel unit cannot build a decomposition"
+  | None -> Alcotest.fail "exhaustion must raise, not decline");
+  Alcotest.(check int) "nothing stored after exhaustion" 0
+    (symbolic_entries cache);
+  (* and the memo was not poisoned: a generous retry builds fresh *)
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Fun.protect ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+  @@ fun () ->
+  let built0 = Telemetry.counter_value "presburger.chambers_built" in
+  (match Count.card_param b with
+  | Some _ -> ()
+  | None -> Alcotest.fail "ungoverned retry should decompose");
+  let built1 = Telemetry.counter_value "presburger.chambers_built" in
+  Alcotest.(check bool) "retry built chambers fresh" true (built1 > built0)
+
+let test_chamber_counters () =
+  Chamber.clear_memo ();
+  let b = parse1 "[n] -> { [i,j] : 0 <= i < n and 0 <= j <= i }" in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Fun.protect ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+  @@ fun () ->
+  let built0 = Telemetry.counter_value "presburger.chambers_built" in
+  let evals0 = Telemetry.counter_value "presburger.qpoly_evals" in
+  let hits0 = Telemetry.counter_value "presburger.chamber_cache_hits" in
+  let n17 = Count.card_at b [| 17 |] in
+  Alcotest.(check int) "triangle count at 17" (17 * 18 / 2) n17;
+  let built1 = Telemetry.counter_value "presburger.chambers_built" in
+  Alcotest.(check bool) "chambers_built ticked" true (built1 > built0);
+  ignore (Count.card_at b [| 23 |]);
+  let evals1 = Telemetry.counter_value "presburger.qpoly_evals" in
+  let hits1 = Telemetry.counter_value "presburger.chamber_cache_hits" in
+  Alcotest.(check bool) "qpoly_evals ticked" true (evals1 > evals0);
+  Alcotest.(check bool) "second query was a memo hit" true (hits1 > hits0)
+
 let tests =
   [
     Alcotest.test_case "pool parity (80 random + chunked scan)" `Slow test_pool_parity;
@@ -284,5 +542,13 @@ let tests =
       test_q_to_int_exn_message;
     Alcotest.test_case "Count.eval overflow detection" `Quick
       test_count_eval_overflow;
+    Alcotest.test_case "symbolic cache tier round-trips chambers" `Quick
+      test_symbolic_cache_roundtrip;
+    Alcotest.test_case "degraded decompositions are never cached" `Quick
+      test_symbolic_cache_never_degraded;
+    Alcotest.test_case "chamber telemetry counters tick" `Quick
+      test_chamber_counters;
   ]
-  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_diff
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~verbose:false)
+      (qcheck_diff @ qcheck_param)
