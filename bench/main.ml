@@ -6,9 +6,10 @@
    Usage:  main.exe [--jobs=N] [--quick] [--daemon] [experiment...]
      experiments: tab2 tab3 tab4 fig1 fig5 fig6 fig7 fig8
                   abl-eps abl-granularity abl-objective abl-counting
-                  ehrhart micro daemon
-     default: all of the above except daemon (which needs the polyufc
-     binary on disk; opt in with --daemon or by naming it).
+                  ehrhart micro daemon traffic-replay
+     default: all of the above except daemon and traffic-replay (which
+     need the polyufc binary on disk; opt in with --daemon or by naming
+     them).
    --quick shrinks the ehrhart domain sizes for CI smoke runs.
 
    --jobs=N runs the per-workload bodies of fig6 / fig7 / tab4 on an
@@ -49,6 +50,16 @@ let rooflines =
 let machines = [ Hwsim.Machine.bdw; Hwsim.Machine.rpl ]
 
 let bound_str = function Roofline.CB -> "CB" | Roofline.BB -> "BB"
+
+(* single-kernel simulation through the record API *)
+let sim_one ~machine ~uncore ?(caps = []) ?governor_interval_us prog
+    ~param_values =
+  Hwsim.Sim.run_one
+    (Hwsim.Sim.config ~machine ~uncore ?governor_interval_us
+       [
+         Hwsim.Sim.tenant ~caps ~param_values
+           ~name:prog.Poly_ir.Ir.prog_name prog;
+       ])
 
 (* memoized per-(workload, machine) compilation; the table is shared by
    pool workers, so probes/inserts are mutex-guarded (the compile itself
@@ -144,7 +155,7 @@ let fig1 () =
       let rows =
         List.map
           (fun f ->
-            let o = Hwsim.Sim.run ~machine:m ~uncore:(`Fixed f) prog ~param_values:pv in
+            let o = sim_one ~machine:m ~uncore:(`Fixed f) prog ~param_values:pv in
             (f, o))
           (Hwsim.Machine.uncore_freqs m)
       in
@@ -234,7 +245,7 @@ let fig6 () =
                 ~f_c:m.Hwsim.Machine.uncore_max_ghz
             in
             let hw =
-              Hwsim.Sim.run ~machine:m
+              sim_one ~machine:m
                 ~uncore:(`Fixed m.Hwsim.Machine.uncore_max_ghz) c.Flow.optimized
                 ~param_values:(Workloads.param_values w)
             in
@@ -354,7 +365,7 @@ let fig8_one name (m : Hwsim.Machine.t) =
       let e_sa = Perfmodel.estimate k sa.Flow.profile ~f_c:f in
       let e_fa = Perfmodel.estimate k fa.Flow.profile ~f_c:f in
       let hw =
-        Hwsim.Sim.run ~machine:m ~uncore:(`Fixed f) sa.Flow.optimized
+        sim_one ~machine:m ~uncore:(`Fixed f) sa.Flow.optimized
           ~param_values:pv
       in
       let upd r f v = if v < snd !r then r := (f, v) in
@@ -470,7 +481,7 @@ let abl_granularity () =
       in
       let prog, caps = Mlir_lite.Lower.to_program capped in
       let o =
-        Hwsim.Sim.run ~machine:m ~uncore:`Governor ~caps prog ~param_values:[]
+        sim_one ~machine:m ~uncore:`Governor ~caps prog ~param_values:[]
       in
       pf "%-14s %9d %9.0f us | %10.4g %10.4g %10.4g\n" label switches
         (Ml_polyufc.switch_overhead_us m switches)
@@ -481,7 +492,7 @@ let abl_granularity () =
       ("module", Ml_polyufc.Whole_module);
     ];
   let prog, _ = Mlir_lite.Lower.to_program lowered in
-  let base = Hwsim.Sim.run ~machine:m ~uncore:`Governor prog ~param_values:[] in
+  let base = sim_one ~machine:m ~uncore:`Governor prog ~param_values:[] in
   pf "%-14s %9d %12s | %10.4g %10.4g %10.4g\n" "UFS baseline" 0 "-"
     base.Hwsim.Sim.time_s base.Hwsim.Sim.energy_j base.Hwsim.Sim.edp
 
@@ -578,13 +589,13 @@ let abl_dvfs () =
     let c = compile_workload m w in
     let pv = Workloads.param_values w in
     match policy with
-    | `Ufs -> Hwsim.Sim.run ~machine:m ~uncore:`Governor c.Flow.optimized ~param_values:pv
+    | `Ufs -> sim_one ~machine:m ~uncore:`Governor c.Flow.optimized ~param_values:pv
     | `Fast_dvfs ->
       (* a DUF-like scaler with a 10x faster control loop *)
-      Hwsim.Sim.run ~machine:m ~uncore:`Governor ~governor_interval_us:10.0
+      sim_one ~machine:m ~uncore:`Governor ~governor_interval_us:10.0
         c.Flow.optimized ~param_values:pv
     | `Capping ->
-      Hwsim.Sim.run ~machine:m ~uncore:`Governor ~caps:c.Flow.caps
+      sim_one ~machine:m ~uncore:`Governor ~caps:c.Flow.caps
         c.Flow.optimized ~param_values:pv
   in
   let gemm = Workloads.find "gemm" and mvt = Workloads.find "mvt" in
@@ -1056,6 +1067,200 @@ let daemon () =
     rm_rf cache_dir
 
 (* ------------------------------------------------------------------ *)
+(* Fleet traffic replay                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Streams a randomized fleet workload — mostly single-kernel analyze
+   requests with a slice of multi-tenant analyze_multi and a trickle of
+   pings — through a live daemon, and reports client-observed p50/p99
+   latency plus the total simulated energy of the co-scheduled runs.
+   The scatter rows the daemon returns are written as CSV and re-parsed
+   through the exporter's own parser (round-trip check). *)
+let traffic_replay () =
+  section
+    "TRAFFIC REPLAY — randomized fleet request stream against a live\n\
+     daemon: ~80% analyze / ~15% analyze-multi / ~5% ping; p50/p99\n\
+     latency and total simulated energy";
+  match find_polyufc () with
+  | None ->
+    pf "skipped: polyufc binary not found (set POLYUFC_BIN or run from the\n\
+       \ dune build tree)\n"
+  | Some exe ->
+    let module J = Telemetry.Json in
+    let total = if !bench_quick then 1000 else 2000 in
+    let cache_dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "polyufc-replay-cache-%d" (Unix.getpid ()))
+    in
+    let socket =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "polyufc-replay-%d.sock" (Unix.getpid ()))
+    in
+    (match
+       Serve.Client.spawn_and_connect
+         ~spawn_args:[ "--cache-dir"; cache_dir; "--workers"; "2" ]
+         ~exe ~socket ()
+     with
+    | Error msg -> pf "skipped: %s\n" msg
+    | Ok client ->
+      (* fixed seed: the same request tape on every run *)
+      let rng = Random.State.make [| 0x7a21c3; total |] in
+      (* small parameter sets so the tape exercises both cache hits and
+         misses without any single request dominating the tail *)
+      let analyze_pool =
+        [|
+          ("gemm", 32); ("gemm", 48); ("mvt", 200); ("mvt", 256);
+          ("atax", 200); ("bicg", 200); ("gesummv", 200); ("trisolv", 200);
+        |]
+      in
+      let multi_pool =
+        [| ("gemm", 24); ("mvt", 96); ("gesummv", 96); ("trisolv", 96) |]
+      in
+      let analyze_params () =
+        let name, n =
+          analyze_pool.(Random.State.int rng (Array.length analyze_pool))
+        in
+        J.Obj
+          [ ("workload", J.Str name); ("sizes", J.Obj [ ("n", J.Int n) ]) ]
+      in
+      let multi_params () =
+        let k = 2 + Random.State.int rng 2 in
+        let tenants =
+          List.init k (fun _ ->
+              let name, n =
+                multi_pool.(Random.State.int rng (Array.length multi_pool))
+              in
+              J.Obj
+                [
+                  ("workload", J.Str name);
+                  ("sizes", J.Obj [ ("n", J.Int n) ]);
+                  ( "weight",
+                    J.Float (1.0 +. float_of_int (Random.State.int rng 3)) );
+                ])
+        in
+        J.Obj [ ("tenants", J.Arr tenants); ("solo", J.Bool false) ]
+      in
+      let lat_all = ref [] and lat_multi = ref [] in
+      let sent = ref 0
+      and failed = ref 0
+      and energy_j = ref 0.0
+      and scatter = ref [] in
+      let issue () =
+        let dice = Random.State.float rng 1.0 in
+        let version, op, params =
+          if dice < 0.05 then (1, Serve.Protocol.Ping, J.Obj [])
+          else if dice < 0.20 then
+            (2, Serve.Protocol.Analyze_multi, multi_params ())
+          else (1, Serve.Protocol.Analyze, analyze_params ())
+        in
+        let t0 = Unix.gettimeofday () in
+        let result = Serve.Client.request client ~version ~op ~params () in
+        let dt = Unix.gettimeofday () -. t0 in
+        incr sent;
+        Telemetry.observe "bench.replay_request_s" dt;
+        lat_all := dt :: !lat_all;
+        match result with
+        | Error e ->
+          incr failed;
+          pf "** request %d (%s) failed: %s **\n" !sent
+            (Serve.Protocol.op_name op) e.Serve.Protocol.message
+        | Ok doc ->
+          if op = Serve.Protocol.Analyze_multi then begin
+            lat_multi := dt :: !lat_multi;
+            (match
+               Option.bind (J.member "sim" doc) (fun s ->
+                   Option.bind (J.member "combined" s) (fun c ->
+                       Option.bind (J.member "energy_j" c) J.number))
+             with
+            | Some e -> energy_j := !energy_j +. e
+            | None -> ());
+            match Option.map Report.scatter_of_json (J.member "scatter" doc) with
+            | Some (Ok rows) -> scatter := List.rev_append rows !scatter
+            | _ -> ()
+          end
+      in
+      (* one untimed warm-up pays the daemon's first-touch costs once *)
+      ignore
+        (Serve.Client.request client ~op:Serve.Protocol.Analyze
+           ~params:(analyze_params ()) ());
+      for _ = 1 to total do
+        issue ()
+      done;
+      let sorted l =
+        let a = Array.of_list l in
+        Array.sort compare a;
+        a
+      in
+      let all = sorted !lat_all and multi = sorted !lat_multi in
+      let q a p = quantile_sorted a p *. 1e3 in
+      pf "\n%-24s %8s %10s %10s %10s\n" "request class" "count" "min (ms)"
+        "p50 (ms)" "p99 (ms)";
+      pf "%-24s %8d %10.2f %10.2f %10.2f\n" "all requests"
+        (Array.length all) (q all 0.0) (q all 0.5) (q all 0.99);
+      if Array.length multi > 0 then
+        pf "%-24s %8d %10.2f %10.2f %10.2f\n" "analyze-multi"
+          (Array.length multi) (q multi 0.0) (q multi 0.5) (q multi 0.99);
+      pf "requests: %d sent, %d failed\n" !sent !failed;
+      pf "total simulated energy (analyze-multi fleets): %.4f J\n" !energy_j;
+      (* feed the replay summary into the bench report's meta *)
+      Telemetry.set_meta "replay"
+        (J.Obj
+           [
+             ("requests", J.Int !sent);
+             ("failed", J.Int !failed);
+             ("p50_ms", J.Float (q all 0.5));
+             ("p99_ms", J.Float (q all 0.99));
+             ("simulated_energy_j", J.Float !energy_j);
+           ]);
+      (* scatter CSV + round-trip through the exporter's own parser *)
+      let rows = List.rev !scatter in
+      let csv_path = "replay_scatter.csv" in
+      (try
+         Out_channel.with_open_bin csv_path (fun oc ->
+             Out_channel.output_string oc (Report.csv_of_scatter rows));
+         match Report.scatter_of_csv (Report.csv_of_scatter rows) with
+         | Ok parsed when List.length parsed = List.length rows ->
+           pf "scatter round-trip OK (%d rows, written to %s)\n"
+             (List.length rows) csv_path
+         | Ok parsed ->
+           pf "scatter round-trip MISMATCH (%d rows in, %d out)\n"
+             (List.length rows) (List.length parsed)
+         | Error msg -> pf "scatter round-trip FAILED: %s\n" msg
+       with Sys_error msg -> pf "cannot write %s: %s\n" csv_path msg);
+      (* daemon-side view, for the CI assertions *)
+      (match
+         Serve.Client.request client ~version:2 ~op:Serve.Protocol.Stats
+           ~params:(J.Obj []) ()
+       with
+      | Ok stats ->
+        let counter name =
+          match Option.bind (J.member "counters" stats) (J.member name) with
+          | Some (J.Int v) -> v
+          | _ -> 0
+        in
+        pf
+          "daemon counters: serve.requests=%d serve.responses=%d \
+           hwsim.tenants_interleaved=%d hwsim.arbitrations=%d\n"
+          (counter "serve.requests") (counter "serve.responses")
+          (counter "hwsim.tenants_interleaved")
+          (counter "hwsim.arbitrations")
+      | Error e -> pf "(stats request failed: %s)\n" e.Serve.Protocol.message);
+      ignore
+        (Serve.Client.request client ~op:Serve.Protocol.Shutdown
+           ~params:(J.Obj []) ());
+      Serve.Client.close client;
+      let rec await_exit tries =
+        if Sys.file_exists socket && tries > 0 then begin
+          Unix.sleepf 0.05;
+          await_exit (tries - 1)
+        end
+      in
+      await_exit 100);
+    rm_rf cache_dir
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments =
   [
@@ -1078,6 +1283,7 @@ let all_experiments =
     ("ehrhart-param", ehrhart_param);
     ("micro", micro);
     ("daemon", daemon);
+    ("traffic-replay", traffic_replay);
   ]
 
 (* Experiments cheap enough for CI smoke and the regression gate: the
@@ -1282,7 +1488,10 @@ let () =
        the default sweep leaves it out; --daemon (or naming it) opts in *)
     match requested with
     | [] when !bench_quick -> quick_experiments
-    | [] -> List.filter (fun n -> n <> "daemon") (List.map fst all_experiments)
+    | [] ->
+      List.filter
+        (fun n -> n <> "daemon" && n <> "traffic-replay")
+        (List.map fst all_experiments)
     | names -> names
   in
   let requested =

@@ -307,6 +307,131 @@ let run_cmd =
       const run $ load_term $ machine_arg $ tile_size_arg $ epsilon_arg
       $ objective_arg $ telemetry_term $ json_arg $ Resource_flags.term)
 
+(* ---- analyze-multi: fleet analysis over co-scheduled tenants -------- *)
+
+(* TENANT grammar: NAME_OR_FILE[:p=v[,p=v...]][:w=FLOAT][:c=INT] — e.g.
+   gemm:n=96:w=2.0 or kernels/stream.poly:n=100000:c=2 *)
+let parse_tenant_spec s =
+  match String.split_on_char ':' s with
+  | [] | [ "" ] -> Resource_flags.usage_error "empty tenant spec"
+  | target :: mods ->
+    let sizes = ref [] and weight = ref 1.0 and cores = ref 0 in
+    let int_of seg v =
+      match int_of_string_opt v with
+      | Some n -> n
+      | None ->
+        Resource_flags.usage_error "tenant %S: %S is not an integer" s seg
+    in
+    List.iter
+      (fun seg ->
+        match String.index_opt seg '=' with
+        | Some i when String.sub seg 0 i = "w" -> (
+          let v = String.sub seg (i + 1) (String.length seg - i - 1) in
+          match float_of_string_opt v with
+          | Some w when w > 0.0 -> weight := w
+          | _ ->
+            Resource_flags.usage_error
+              "tenant %S: w=%s is not a positive weight" s v)
+        | Some i when String.sub seg 0 i = "c" ->
+          let v = String.sub seg (i + 1) (String.length seg - i - 1) in
+          let n = int_of seg v in
+          if n < 0 then
+            Resource_flags.usage_error "tenant %S: c=%d is negative" s n;
+          cores := n
+        | Some _ ->
+          List.iter
+            (fun kv ->
+              match String.index_opt kv '=' with
+              | Some j ->
+                let p = String.sub kv 0 j in
+                let v = String.sub kv (j + 1) (String.length kv - j - 1) in
+                sizes := (p, int_of kv v) :: !sizes
+              | None ->
+                Resource_flags.usage_error
+                  "tenant %S: segment %S is not p=v" s kv)
+            (String.split_on_char ',' seg)
+        | None ->
+          Resource_flags.usage_error
+            "tenant %S: segment %S is not p=v, w=F or c=N" s seg)
+      mods;
+    (target, List.rev !sizes, !weight, !cores)
+
+(* resolve a tenant target to (name, program, sizes): a bundled workload
+   by name, else a Polylang source file on disk *)
+let load_tenant (target, sizes, weight, cores) =
+  Engine.Guard.phase "parse" @@ fun () ->
+  match Workloads.find_opt target with
+  | Some w ->
+    let sizes = if sizes = [] then Workloads.param_values w else sizes in
+    (target, Workloads.program w, sizes, weight, cores)
+  | None ->
+    (Filename.remove_extension (Filename.basename target),
+     Polylang.parse_file target, sizes, weight, cores)
+
+let tenants_arg =
+  Arg.(
+    non_empty
+    & pos_all string []
+    & info [] ~docv:"TENANT"
+        ~doc:
+          "Co-scheduled tenant: a bundled workload name or Polylang \
+           source file, optionally suffixed with $(b,:p=v,...) parameter \
+           bindings, $(b,:w=F) QoS weight and $(b,:c=N) core count.")
+
+let scatter_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scatter" ] ~docv:"FILE"
+        ~doc:"Write the roofline scatter rows as CSV to $(docv).")
+
+let no_solo_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-solo" ]
+        ~doc:
+          "Skip the per-tenant solo baseline runs (slowdowns are \
+           reported as NaN).")
+
+let write_scatter_csv path rows =
+  Out_channel.with_open_bin path @@ fun oc ->
+  Out_channel.output_string oc (Report.csv_of_scatter rows)
+
+let analyze_multi_cmd =
+  let run specs machine tile_size epsilon objective no_solo scatter_out
+      telemetry json res =
+    guarded ~json @@ fun () ->
+    with_telemetry telemetry @@ fun () ->
+    Resource_flags.with_ctx res @@ fun ~ctx ->
+    let tenants = List.map (fun s -> load_tenant (parse_tenant_spec s)) specs in
+    let specs =
+      List.map
+        (fun (name, prog, sizes, weight, cores) ->
+          Fleet.spec ~sizes ~weight ~cores ~name prog)
+        tenants
+    in
+    let k = Roofline.microbench machine in
+    let r =
+      Fleet.analyze ~ctx ~objective ~epsilon ~tile_size ~solo:(not no_solo)
+        ~machine ~rooflines:k specs
+    in
+    Option.iter
+      (fun path -> write_scatter_csv path (Fleet.scatter_of_result r))
+      scatter_out;
+    if json then Report.print_json (Fleet.json_of_result r)
+    else Format.printf "%a@." Fleet.pp_result r
+  in
+  Cmd.v
+    (Cmd.info "analyze-multi"
+       ~doc:
+         "Fleet analysis: compile each tenant, arbitrate one shared \
+          uncore cap from their roofline demands, co-simulate the set")
+    Term.(
+      const run $ tenants_arg $ machine_arg $ tile_size_arg $ epsilon_arg
+      $ objective_arg $ no_solo_arg $ scatter_out_arg $ telemetry_term
+      $ json_arg $ Resource_flags.term)
+
 let scop_cmd =
   let run (workload, file, sizes) tile tile_size =
     guarded @@ fun () ->
@@ -855,6 +980,87 @@ let search_like_client name ~doc ~op =
       $ objective_arg $ Resource_flags.qos_term $ client_json_arg
       $ socket_arg $ spawn_arg)
 
+(* ships each tenant as the same object shape `client analyze` ships,
+   plus name/weight/cores; FILE targets go as inline source text *)
+let client_tenant_json spec =
+  let target, sizes, weight, cores = parse_tenant_spec spec in
+  let program, name =
+    match Workloads.find_opt target with
+    | Some _ -> ([ ("workload", Telemetry.Json.Str target) ], target)
+    | None ->
+      ( [
+          ( "source",
+            Telemetry.Json.Str
+              (In_channel.with_open_bin target In_channel.input_all) );
+        ],
+        Filename.remove_extension (Filename.basename target) )
+  in
+  let sizes =
+    match sizes with
+    | [] -> []
+    | kvs ->
+      [
+        ( "sizes",
+          Telemetry.Json.Obj
+            (List.map (fun (p, v) -> (p, Telemetry.Json.Int v)) kvs) );
+      ]
+  in
+  Telemetry.Json.Obj
+    (program @ sizes
+    @ [
+        ("name", Telemetry.Json.Str name);
+        ("weight", Telemetry.Json.Float weight);
+        ("cores", Telemetry.Json.Int cores);
+      ])
+
+let client_analyze_multi_cmd =
+  let run specs machine tile_size epsilon objective no_solo scatter_out qos
+      json socket spawn =
+    guarded ~json @@ fun () ->
+    let params =
+      Telemetry.Json.Obj
+        [
+          ( "tenants",
+            Telemetry.Json.Arr (List.map client_tenant_json specs) );
+          ("machine", Telemetry.Json.Str machine.Hwsim.Machine.name);
+          ("tile_size", Telemetry.Json.Int tile_size);
+          ("epsilon", Telemetry.Json.Float epsilon);
+          ( "objective",
+            Telemetry.Json.Str
+              (match objective with
+              | Search.Edp -> "edp"
+              | Search.Energy -> "energy"
+              | Search.Performance -> "performance") );
+          ("solo", Telemetry.Json.Bool (not no_solo));
+        ]
+    in
+    let c = client_connect ~socket ~spawn in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    let result =
+      Serve.Client.request c ~version:2 ~qos:(qos_of_flags qos)
+        ~op:Serve.Protocol.Analyze_multi ~params ()
+    in
+    (match (result, scatter_out) with
+    | Ok doc, Some path -> (
+      match Telemetry.Json.member "scatter" doc with
+      | Some sc -> (
+        match Report.scatter_of_json sc with
+        | Ok rows -> write_scatter_csv path rows
+        | Error msg -> failwith ("bad scatter in response: " ^ msg))
+      | None -> failwith "response has no scatter rows")
+    | _ -> ());
+    client_finish ~json result
+  in
+  Cmd.v
+    (Cmd.info "analyze-multi"
+       ~doc:
+         "Fleet analysis via the daemon (protocol v2; same JSON as \
+          $(b,polyufc analyze-multi --json))")
+    Term.(
+      const run $ tenants_arg $ machine_arg $ tile_size_arg $ epsilon_arg
+      $ objective_arg $ no_solo_arg $ scatter_out_arg
+      $ Resource_flags.qos_term $ client_json_arg $ socket_arg $ spawn_arg)
+
 let client_ping_cmd =
   let run socket spawn =
     guarded @@ fun () ->
@@ -862,21 +1068,33 @@ let client_ping_cmd =
     Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
     let t0 = Unix.gettimeofday () in
     match
-      Serve.Client.request c ~op:Serve.Protocol.Ping
+      Serve.Client.request c ~version:2 ~op:Serve.Protocol.Ping
         ~params:(Telemetry.Json.Obj []) ()
     with
     | Ok payload ->
       let dt_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
-      let pid =
+      let num key =
         match
           Option.bind
-            (Telemetry.Json.member "pid" payload)
+            (Telemetry.Json.member key payload)
             Telemetry.Json.number
         with
         | Some p -> int_of_float p
         | None -> 0
       in
-      Format.printf "pong from pid %d in %.2f ms@." pid dt_ms
+      Format.printf "pong from pid %d in %.2f ms@." (num "pid") dt_ms;
+      (* a v2 daemon reports its ceiling and capabilities; a v1 daemon
+         (which ignores unknown request fields) reports neither *)
+      (match Telemetry.Json.member "capabilities" payload with
+      | Some (Telemetry.Json.Arr caps) ->
+        Format.printf "protocol %d (max %d), capabilities: %s@."
+          (num "protocol") (num "max_protocol")
+          (String.concat ", "
+             (List.filter_map
+                (function Telemetry.Json.Str s -> Some s | _ -> None)
+                caps))
+      | _ -> Format.printf "protocol %d (pre-versioning daemon)@." (num "protocol"));
+      ()
     | Error _ as e -> client_finish ~json:false e
   in
   Cmd.v (Cmd.info "ping" ~doc:"Round-trip liveness probe")
@@ -897,15 +1115,29 @@ let client_stats_cmd =
              default), $(b,text), or $(b,openmetrics) (Prometheus text \
              exposition).")
   in
-  let run format socket spawn =
+  let run format scatter_out socket spawn =
     guarded @@ fun () ->
     let c = client_connect ~socket ~spawn in
     Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    (* v2 so the daemon appends its rolling roofline scatter; a v1
+       daemon ignores the version field and omits the scatter *)
     match
-      Serve.Client.request c ~op:Serve.Protocol.Stats
+      Serve.Client.request c ~version:2 ~op:Serve.Protocol.Stats
         ~params:(Telemetry.Json.Obj []) ()
     with
     | Ok doc -> (
+      Option.iter
+        (fun path ->
+          match Telemetry.Json.member "scatter" doc with
+          | Some sc -> (
+            match Report.scatter_of_json sc with
+            | Ok rows -> write_scatter_csv path rows
+            | Error msg -> failwith ("bad scatter in stats: " ^ msg))
+          | None ->
+            failwith
+              "daemon reported no scatter (pre-v2 daemon, or no \
+               analyze_multi requests yet)")
+        scatter_out;
       match format with
       | `Json -> Format.printf "%s@." (Telemetry.Json.to_string doc)
       | `Text -> Format.printf "%a@." pp_stats_doc doc
@@ -918,8 +1150,9 @@ let client_stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Fetch the daemon's live telemetry (counters, gauges, \
-             latency quantiles) as text, JSON or OpenMetrics")
-    Term.(const run $ format_arg $ socket_arg $ spawn_arg)
+             latency quantiles, roofline scatter) as text, JSON or \
+             OpenMetrics")
+    Term.(const run $ format_arg $ scatter_out_arg $ socket_arg $ spawn_arg)
 
 let client_shutdown_cmd =
   let run socket =
@@ -946,6 +1179,7 @@ let client_cmd =
           per-request QoS, plus ping, stats and shutdown")
     [
       client_analyze_cmd;
+      client_analyze_multi_cmd;
       search_like_client "search"
         ~doc:
           "Full compilation flow via the daemon (same JSON as $(b,polyufc \
@@ -1067,7 +1301,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            parse_cmd; tile_cmd; analyze_cmd; characterize_cmd; search_cmd;
-            run_cmd; batch_cmd; cache_cmd; scop_cmd; workloads_cmd;
-            stats_top_cmd; serve_cmd; client_cmd;
+            parse_cmd; tile_cmd; analyze_cmd; analyze_multi_cmd;
+            characterize_cmd; search_cmd; run_cmd; batch_cmd; cache_cmd;
+            scop_cmd; workloads_cmd; stats_top_cmd; serve_cmd; client_cmd;
           ]))

@@ -63,10 +63,13 @@ let () =
   Format.printf "== capped module ==@.%a@.@." Dialect.pp capped;
 
   let prog, caps = Lower.to_program capped in
-  let base = Hwsim.Sim.run ~machine ~uncore:`Governor prog ~param_values:[] in
-  let with_caps =
-    Hwsim.Sim.run ~machine ~uncore:`Governor ~caps prog ~param_values:[]
+  let run ~caps =
+    Hwsim.Sim.run_one
+      (Hwsim.Sim.config ~machine ~uncore:`Governor
+         [ Hwsim.Sim.tenant ~caps ~name:"ml-pipeline" prog ])
   in
+  let base = run ~caps:[] in
+  let with_caps = run ~caps in
   Format.printf "baseline : %a@." Hwsim.Sim.pp_outcome base;
   Format.printf "ML-PolyUFC: %a@." Hwsim.Sim.pp_outcome with_caps;
   Format.printf "EDP improvement: %+.1f%%@."

@@ -1,0 +1,139 @@
+(* Fleet-level analysis: compile every tenant solo, arbitrate one shared
+   uncore cap from their roofline demands, then co-simulate the tenant
+   set under that cap.  This is the library behind `polyufc
+   analyze-multi`, the serve daemon's `analyze_multi` op and the
+   traffic-replay bench — all three call [analyze] and render the same
+   [result]. *)
+
+module Sim = Hwsim.Sim
+module Arbiter = Hwsim.Cap_arbiter
+
+type spec = {
+  sp_name : string;
+  sp_prog : Poly_ir.Ir.t;
+  sp_sizes : (string * int) list;
+  sp_weight : float;
+  sp_cores : int;
+}
+
+let spec ?(sizes = []) ?(weight = 1.0) ?(cores = 0) ~name prog =
+  if weight <= 0.0 then invalid_arg "Fleet.spec: weight must be positive";
+  if cores < 0 then invalid_arg "Fleet.spec: cores must be non-negative";
+  {
+    sp_name = name;
+    sp_prog = prog;
+    sp_sizes = sizes;
+    sp_weight = weight;
+    sp_cores = cores;
+  }
+
+type tenant_report = {
+  tr_spec : spec;
+  tr_compiled : Flow.compiled;
+  tr_demand : Arbiter.demand;
+  tr_outcome : Sim.tenant_outcome;
+  tr_scatter : Report.scatter_row;
+}
+
+type result = {
+  machine : Hwsim.Machine.t;
+  decision : Arbiter.decision;
+  sim : Sim.multi_outcome;
+  tenants : tenant_report list;
+}
+
+(* a tenant's solo cap is the most demanding region cap its own compile
+   chose; a program whose schedule needs no cap runs happily at the
+   bottom of the range *)
+let solo_cap_of (m : Hwsim.Machine.t) (c : Flow.compiled) =
+  List.fold_left
+    (fun acc (_, ghz) -> Float.max acc ghz)
+    m.Hwsim.Machine.uncore_min_ghz c.Flow.caps
+
+let analyze ?ctx ?objective ?epsilon ?tile_size ?(solo = true) ~machine
+    ~rooflines specs =
+  if specs = [] then invalid_arg "Fleet.analyze: no tenants";
+  let compiled =
+    List.map
+      (fun sp ->
+        ( sp,
+          Flow.compile ?ctx ?objective ?epsilon ?tile_size ~machine
+            ~rooflines sp.sp_prog ~param_values:sp.sp_sizes ))
+      specs
+  in
+  let demands =
+    List.map
+      (fun (sp, c) ->
+        let cap = solo_cap_of machine c in
+        let est = Perfmodel.estimate rooflines c.Flow.profile ~f_c:cap in
+        let mem_bound =
+          Roofline.characterize rooflines ~oi:c.Flow.profile.Perfmodel.oi
+          = Roofline.BB
+        in
+        Arbiter.demand ~weight:sp.sp_weight ~mem_bound ~tenant:sp.sp_name
+          ~solo_cap_ghz:cap ~bw_gbps:est.Perfmodel.bw_gbps ())
+      compiled
+  in
+  let decision = Arbiter.arbitrate ~machine demands in
+  let tenants =
+    List.map
+      (fun (sp, c) ->
+        Sim.tenant ~cores:sp.sp_cores ~weight:sp.sp_weight
+          ~param_values:sp.sp_sizes ~name:sp.sp_name c.Flow.optimized)
+      compiled
+  in
+  let cfg =
+    Sim.config ~machine ~uncore:(`Fixed decision.Arbiter.cap_ghz) tenants
+  in
+  let sim = Sim.simulate ~solo cfg in
+  let reports =
+    List.map2
+      (fun (sp, c) (d, o) ->
+        {
+          tr_spec = sp;
+          tr_compiled = c;
+          tr_demand = d;
+          tr_outcome = o;
+          tr_scatter =
+            Report.scatter_point ~rooflines ~kernel:sp.sp_name
+              ~ai:c.Flow.profile.Perfmodel.oi ~gflops:o.Sim.o_gflops
+              ~cap_ghz:decision.Arbiter.cap_ghz;
+        })
+      compiled
+      (List.combine demands sim.Sim.per_tenant)
+  in
+  { machine; decision; sim; tenants = reports }
+
+let scatter_of_result r = List.map (fun t -> t.tr_scatter) r.tenants
+
+let json_of_result r =
+  let module J = Telemetry.Json in
+  J.Obj
+    [
+      ("machine", J.Str r.machine.Hwsim.Machine.name);
+      ("arbiter", Report.json_of_arbiter r.decision);
+      ("sim", Report.json_of_multi_outcome r.sim);
+      ("scatter", Report.json_of_scatter (scatter_of_result r));
+      ( "tenants",
+        J.Arr
+          (List.map
+             (fun t ->
+               J.Obj
+                 [
+                   ("name", J.Str t.tr_spec.sp_name);
+                   ("weight", J.Float t.tr_spec.sp_weight);
+                   ("cores", J.Int t.tr_spec.sp_cores);
+                   ( "solo_cap_ghz",
+                     J.Float t.tr_demand.Arbiter.d_solo_cap_ghz );
+                   ("bw_demand_gbps", J.Float t.tr_demand.Arbiter.d_bw_gbps);
+                   ("mem_bound", J.Bool t.tr_demand.Arbiter.d_mem_bound);
+                   ("compile", Report.json_of_compiled t.tr_compiled);
+                   ("outcome", Report.json_of_tenant_outcome t.tr_outcome);
+                 ])
+             r.tenants) );
+    ]
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>fleet of %d tenant(s) on %s@,%a@,%a@]"
+    r.sim.Sim.n_tenants r.machine.Hwsim.Machine.name Arbiter.pp_decision
+    r.decision Sim.pp_multi_outcome r.sim

@@ -293,15 +293,20 @@ type evaluation = {
 }
 
 let evaluate ~machine compiled ~param_values =
+  let run ~caps =
+    Hwsim.Sim.run_one
+      (Hwsim.Sim.config ~machine ~uncore:`Governor
+         [
+           Hwsim.Sim.tenant ~caps ~param_values
+             ~name:compiled.source.Poly_ir.Ir.prog_name compiled.optimized;
+         ])
+  in
   let baseline =
-    Telemetry.with_span "evaluate.baseline" (fun () ->
-        Hwsim.Sim.run ~machine ~uncore:`Governor compiled.optimized
-          ~param_values)
+    Telemetry.with_span "evaluate.baseline" (fun () -> run ~caps:[])
   in
   let capped =
     Telemetry.with_span "evaluate.capped" (fun () ->
-        Hwsim.Sim.run ~machine ~uncore:`Governor ~caps:compiled.caps
-          compiled.optimized ~param_values)
+        run ~caps:compiled.caps)
   in
   let gain base v = (base -. v) /. base in
   {

@@ -163,3 +163,287 @@ let json_of_run (c : Flow.compiled) (e : Flow.evaluation) =
     ]
 
 let print_json j = print_endline (J.to_string j)
+
+(* --- multi-tenant views -------------------------------------------- *)
+
+let json_of_tenant_outcome (t : Hwsim.Sim.tenant_outcome) =
+  J.Obj
+    [
+      ("tenant", J.Str t.Hwsim.Sim.o_tenant);
+      ("time_s", f t.Hwsim.Sim.o_time_s);
+      ("energy_j", f t.Hwsim.Sim.o_energy_j);
+      ("flops", J.Int t.Hwsim.Sim.o_flops);
+      ("accesses", J.Int t.Hwsim.Sim.o_accesses);
+      ("dram_lines", J.Int t.Hwsim.Sim.o_dram_lines);
+      ("dram_bytes", J.Int t.Hwsim.Sim.o_dram_bytes);
+      ("gflops", f t.Hwsim.Sim.o_gflops);
+      ("bw_gbps", f t.Hwsim.Sim.o_bw_gbps);
+      ("solo_time_s", f t.Hwsim.Sim.o_solo_time_s);
+      ("slowdown", f t.Hwsim.Sim.o_slowdown);
+    ]
+
+let json_of_multi_outcome (m : Hwsim.Sim.multi_outcome) =
+  J.Obj
+    [
+      ("n_tenants", J.Int m.Hwsim.Sim.n_tenants);
+      ("combined", json_of_outcome m.Hwsim.Sim.combined);
+      ( "per_tenant",
+        J.Arr (List.map json_of_tenant_outcome m.Hwsim.Sim.per_tenant) );
+    ]
+
+let json_of_arbiter (d : Hwsim.Cap_arbiter.decision) =
+  J.Obj
+    [
+      ("cap_ghz", f d.Hwsim.Cap_arbiter.cap_ghz);
+      ("feasible", J.Bool d.Hwsim.Cap_arbiter.feasible);
+      ("agg_bw_gbps", f d.Hwsim.Cap_arbiter.agg_bw_gbps);
+      ("supply_gbps", f d.Hwsim.Cap_arbiter.supply_gbps);
+      ( "grants",
+        J.Arr
+          (List.map
+             (fun (g : Hwsim.Cap_arbiter.grant) ->
+               J.Obj
+                 [
+                   ("tenant", J.Str g.Hwsim.Cap_arbiter.g_tenant);
+                   ("bw_gbps", f g.Hwsim.Cap_arbiter.g_bw_gbps);
+                   ("satisfied", J.Bool g.Hwsim.Cap_arbiter.g_satisfied);
+                   ("slowdown", f g.Hwsim.Cap_arbiter.g_slowdown);
+                 ])
+             d.Hwsim.Cap_arbiter.grants) );
+    ]
+
+(* --- roofline scatter export --------------------------------------- *)
+
+(* The scatter shape fleet dashboards plot (py-roofline style): one row
+   per kernel placing its measured point against the machine roofline.
+   [efficiency] is achieved GFLOP/s over the roof at that AI —
+   min(peak_gflops, ai · peak_bw) — and [distance_to_roof] is the
+   complementary gap, clamped at 0 when a point sits above the fitted
+   roof.  Shared verbatim by `analyze-multi`, the traffic-replay bench
+   and `client stats` so the three surfaces never drift. *)
+
+type scatter_row = {
+  sc_kernel : string;
+  sc_ai : float;  (* arithmetic intensity, flops/DRAM byte *)
+  sc_gflops : float;
+  sc_efficiency : float;  (* achieved / roof at this AI *)
+  sc_distance : float;  (* 1 - efficiency, clamped >= 0 *)
+  sc_bound : string;  (* "CB" | "BB" *)
+  sc_cap_ghz : float;  (* the uncore cap chosen for this kernel *)
+}
+
+let scatter_point ~(rooflines : Roofline.constants) ~kernel ~ai ~gflops
+    ~cap_ghz =
+  let roof =
+    Float.min rooflines.Roofline.peak_gflops
+      (ai *. rooflines.Roofline.peak_bw_gbps)
+  in
+  let eff = if roof > 0.0 then gflops /. roof else 0.0 in
+  {
+    sc_kernel = kernel;
+    sc_ai = ai;
+    sc_gflops = gflops;
+    sc_efficiency = eff;
+    sc_distance = Float.max 0.0 (1.0 -. eff);
+    sc_bound = boundedness_str (Roofline.characterize rooflines ~oi:ai);
+    sc_cap_ghz = cap_ghz;
+  }
+
+let scatter_header =
+  "kernel,arithmetic_intensity,gflops,efficiency,distance_to_roof,boundedness,cap_ghz"
+
+(* %.17g round-trips every finite float exactly through float_of_string *)
+let csv_float x = Printf.sprintf "%.17g" x
+
+let csv_escape s =
+  if
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else s
+
+let csv_of_scatter rows =
+  let b = Buffer.create 256 in
+  Buffer.add_string b scatter_header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (String.concat ","
+           [
+             csv_escape r.sc_kernel;
+             csv_float r.sc_ai;
+             csv_float r.sc_gflops;
+             csv_float r.sc_efficiency;
+             csv_float r.sc_distance;
+             r.sc_bound;
+             csv_float r.sc_cap_ghz;
+           ]);
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
+
+(* split one CSV line into fields, honoring quoted fields with doubled
+   quotes; returns Error on an unterminated quote *)
+let csv_fields line =
+  let n = String.length line in
+  let fields = ref [] in
+  let b = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents b :: !fields;
+    Buffer.clear b
+  in
+  let rec plain i =
+    if i >= n then (flush_field (); Ok ())
+    else
+      match line.[i] with
+      | ',' -> flush_field (); plain (i + 1)
+      | '"' when Buffer.length b = 0 -> quoted (i + 1)
+      | c -> Buffer.add_char b c; plain (i + 1)
+  and quoted i =
+    if i >= n then Error "unterminated quoted field"
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char b '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c -> Buffer.add_char b c; quoted (i + 1)
+  in
+  match plain 0 with
+  | Ok () -> Ok (List.rev !fields)
+  | Error _ as e -> e
+
+let scatter_of_csv text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map (fun l ->
+           (* tolerate CRLF files *)
+           if String.length l > 0 && l.[String.length l - 1] = '\r' then
+             String.sub l 0 (String.length l - 1)
+           else l)
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error "empty scatter CSV"
+  | header :: body ->
+    if header <> scatter_header then
+      Error (Printf.sprintf "unexpected scatter header %S" header)
+    else
+      let parse_row lineno line =
+        match csv_fields line with
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+        | Ok [ kernel; ai; gflops; eff; dist; bound; cap ] -> (
+          let num s =
+            match float_of_string_opt s with
+            | Some x -> Ok x
+            | None -> Error (Printf.sprintf "line %d: bad number %S" lineno s)
+          in
+          match (num ai, num gflops, num eff, num dist, num cap) with
+          | Ok ai, Ok gflops, Ok eff, Ok dist, Ok cap ->
+            Ok
+              {
+                sc_kernel = kernel;
+                sc_ai = ai;
+                sc_gflops = gflops;
+                sc_efficiency = eff;
+                sc_distance = dist;
+                sc_bound = bound;
+                sc_cap_ghz = cap;
+              }
+          | (Error _ as e), _, _, _, _
+          | _, (Error _ as e), _, _, _
+          | _, _, (Error _ as e), _, _
+          | _, _, _, (Error _ as e), _
+          | _, _, _, _, (Error _ as e) -> e)
+        | Ok fields ->
+          Error
+            (Printf.sprintf "line %d: expected 7 fields, got %d" lineno
+               (List.length fields))
+      in
+      let rec go i acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+          match parse_row i line with
+          | Ok row -> go (i + 1) (row :: acc) rest
+          | Error _ as e -> e)
+      in
+      go 2 [] body
+
+let json_of_scatter_row r =
+  J.Obj
+    [
+      ("kernel", J.Str r.sc_kernel);
+      ("arithmetic_intensity", f r.sc_ai);
+      ("gflops", f r.sc_gflops);
+      ("efficiency", f r.sc_efficiency);
+      ("distance_to_roof", f r.sc_distance);
+      ("boundedness", J.Str r.sc_bound);
+      ("cap_ghz", f r.sc_cap_ghz);
+    ]
+
+let json_of_scatter rows = J.Arr (List.map json_of_scatter_row rows)
+
+let scatter_row_of_json j =
+  let num name =
+    match J.member name j with
+    | Some v -> (
+      match J.number v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "scatter row: %s not a number" name))
+    | None ->
+      (* non-finite floats serialize as null *)
+      Ok Float.nan
+  in
+  let str name =
+    match J.member name j with
+    | Some (J.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "scatter row: missing %s" name)
+  in
+  match
+    ( str "kernel",
+      num "arithmetic_intensity",
+      num "gflops",
+      num "efficiency",
+      num "distance_to_roof",
+      str "boundedness",
+      num "cap_ghz" )
+  with
+  | Ok k, Ok ai, Ok g, Ok e, Ok d, Ok b, Ok c ->
+    Ok
+      {
+        sc_kernel = k;
+        sc_ai = ai;
+        sc_gflops = g;
+        sc_efficiency = e;
+        sc_distance = d;
+        sc_bound = b;
+        sc_cap_ghz = c;
+      }
+  | (Error _ as e), _, _, _, _, _, _
+  | _, (Error _ as e), _, _, _, _, _
+  | _, _, (Error _ as e), _, _, _, _
+  | _, _, _, (Error _ as e), _, _, _
+  | _, _, _, _, (Error _ as e), _, _
+  | _, _, _, _, _, (Error _ as e), _
+  | _, _, _, _, _, _, (Error _ as e) -> e
+
+let scatter_of_json = function
+  | J.Arr items ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | j :: rest -> (
+        match scatter_row_of_json j with
+        | Ok r -> go (r :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] items
+  | _ -> Error "scatter must be a JSON array"

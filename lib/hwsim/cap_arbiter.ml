@@ -1,0 +1,158 @@
+(* Arbitrating one shared uncore cap from per-tenant roofline demands.
+
+   Each tenant arrives with the cap its *solo* analysis chose (the
+   frequency below which its memory-bound phases starve) and the DRAM
+   bandwidth it sustains at that cap.  The shared cap must be at least
+   the max of the solo caps — the clock is one register, so the most
+   demanding tenant sets the floor — and is then raised along the
+   machine's cap grid until the aggregate bandwidth demand fits under
+   the DRAM roof at that frequency.  When even the top of the range
+   cannot carry the sum, the run is infeasible and the remaining
+   bandwidth is split by weighted water-filling: tenants whose demand
+   fits under their weighted fair share are granted in full, the rest
+   share what is left in proportion to their QoS weights, and their
+   predicted slowdown is demand/grant. *)
+
+type demand = {
+  d_tenant : string;
+  d_weight : float;
+  d_solo_cap_ghz : float;
+  d_bw_gbps : float;
+  d_mem_bound : bool;
+}
+
+let demand ?(weight = 1.0) ?(mem_bound = true) ~tenant ~solo_cap_ghz
+    ~bw_gbps () =
+  if weight <= 0.0 then invalid_arg "Cap_arbiter.demand: weight must be positive";
+  if bw_gbps < 0.0 then invalid_arg "Cap_arbiter.demand: bw must be non-negative";
+  {
+    d_tenant = tenant;
+    d_weight = weight;
+    d_solo_cap_ghz = solo_cap_ghz;
+    d_bw_gbps = bw_gbps;
+    d_mem_bound = mem_bound;
+  }
+
+type grant = {
+  g_tenant : string;
+  g_bw_gbps : float;  (* bandwidth share granted at the chosen cap *)
+  g_satisfied : bool;
+  g_slowdown : float;  (* predicted, >= 1.0; 1.0 when satisfied *)
+}
+
+type decision = {
+  cap_ghz : float;
+  feasible : bool;
+  agg_bw_gbps : float;
+  supply_gbps : float;
+  grants : grant list;
+}
+
+let c_arbitrations = Telemetry.counter "hwsim.arbitrations"
+let c_infeasible = Telemetry.counter "hwsim.arbitrations_infeasible"
+
+(* snap up to the machine's cap grid so the decision is a frequency the
+   UFS driver can actually program *)
+let snap_up (m : Machine.t) f =
+  let f = Float.max m.uncore_min_ghz (Float.min m.uncore_max_ghz f) in
+  let steps =
+    Float.ceil ((f -. m.uncore_min_ghz) /. m.uncore_step_ghz -. 1e-9)
+  in
+  Float.min m.uncore_max_ghz
+    (Float.round ((m.uncore_min_ghz +. (steps *. m.uncore_step_ghz)) *. 10.)
+    /. 10.)
+
+(* weighted water-filling of [supply] over the demands: repeatedly grant
+   in full everyone whose demand fits under their weighted fair share of
+   what remains, then split the rest by weight *)
+let water_fill supply demands =
+  let rec fill granted remaining = function
+    | [] -> granted
+    | pending ->
+      let wsum = List.fold_left (fun a d -> a +. d.d_weight) 0.0 pending in
+      let sated, starved =
+        List.partition
+          (fun d -> d.d_bw_gbps <= remaining *. d.d_weight /. wsum +. 1e-12)
+          pending
+      in
+      if sated = [] then
+        (* everyone is starved: final weighted split *)
+        granted
+        @ List.map
+            (fun d -> (d, remaining *. d.d_weight /. wsum))
+            starved
+      else
+        fill
+          (granted @ List.map (fun d -> (d, d.d_bw_gbps)) sated)
+          (remaining
+          -. List.fold_left (fun a d -> a +. d.d_bw_gbps) 0.0 sated)
+          starved
+  in
+  fill [] supply demands
+
+let arbitrate ~machine demands =
+  if demands = [] then invalid_arg "Cap_arbiter.arbitrate: no demands";
+  Telemetry.tick c_arbitrations;
+  let m = machine in
+  let floor_cap =
+    List.fold_left
+      (fun acc d -> Float.max acc (snap_up m d.d_solo_cap_ghz))
+      m.Machine.uncore_min_ghz demands
+  in
+  let agg = List.fold_left (fun a d -> a +. d.d_bw_gbps) 0.0 demands in
+  (* raise the cap along the grid until the DRAM roof covers the sum *)
+  let rec raise_cap f =
+    if Machine.dram_bw_gbps m ~f_u:f >= agg then (f, true)
+    else if f +. 1e-9 >= m.Machine.uncore_max_ghz then
+      (m.Machine.uncore_max_ghz, false)
+    else raise_cap (snap_up m (f +. m.Machine.uncore_step_ghz))
+  in
+  let cap_ghz, feasible = raise_cap floor_cap in
+  if not feasible then Telemetry.tick c_infeasible;
+  let supply = Machine.dram_bw_gbps m ~f_u:cap_ghz in
+  let grants =
+    if feasible then
+      List.map
+        (fun d ->
+          {
+            g_tenant = d.d_tenant;
+            g_bw_gbps = d.d_bw_gbps;
+            g_satisfied = true;
+            g_slowdown = 1.0;
+          })
+        demands
+    else
+      let filled = water_fill supply demands in
+      List.map
+        (fun d ->
+          let granted =
+            match List.assq_opt d filled with
+            | Some g -> g
+            | None -> 0.0
+          in
+          let satisfied = granted +. 1e-12 >= d.d_bw_gbps in
+          {
+            g_tenant = d.d_tenant;
+            g_bw_gbps = granted;
+            g_satisfied = satisfied;
+            g_slowdown =
+              (if satisfied || not d.d_mem_bound then 1.0
+               else if granted > 0.0 then d.d_bw_gbps /. granted
+               else Float.infinity);
+          })
+        demands
+  in
+  { cap_ghz; feasible; agg_bw_gbps = agg; supply_gbps = supply; grants }
+
+let pp_decision ppf d =
+  Format.fprintf ppf "@[<v>cap=%.1f GHz %s (demand %.1f / supply %.1f GB/s)"
+    d.cap_ghz
+    (if d.feasible then "feasible" else "infeasible")
+    d.agg_bw_gbps d.supply_gbps;
+  List.iter
+    (fun g ->
+      Format.fprintf ppf "@,  %s: %.2f GB/s%s" g.g_tenant g.g_bw_gbps
+        (if g.g_satisfied then ""
+         else Format.asprintf " (degraded %.2fx)" g.g_slowdown))
+    d.grants;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,57 @@
+(** Arbitrates one shared uncore cap from per-tenant roofline demands.
+
+    The uncore clock is a single machine-wide register: co-scheduled
+    tenants cannot each get the cap their solo analysis chose, so the
+    fleet scheduler asks this module for a cap that satisfies everyone's
+    memory-bound demand when possible.  The decision is
+
+    - the {b max} of the tenants' solo memory-bound caps (snapped up to
+      the machine's cap grid) as a floor — guaranteed [>= ] every
+      [d_solo_cap_ghz] and [<= uncore_max_ghz];
+    - raised along the grid until the DRAM bandwidth roof at that
+      frequency covers the {b sum} of the tenants' bandwidth demands;
+    - when even [uncore_max_ghz] cannot carry the sum, the decision is
+      {b infeasible}: the cap stays at the top of the range and the
+      available bandwidth is split by weighted water-filling — demands
+      that fit under their weighted fair share are granted in full, the
+      rest share the remainder by QoS weight with a predicted slowdown
+      of demand/grant. *)
+
+type demand = {
+  d_tenant : string;
+  d_weight : float;  (** QoS weight; degradation is inversely proportional *)
+  d_solo_cap_ghz : float;  (** the cap the tenant's solo analysis chose *)
+  d_bw_gbps : float;  (** sustained DRAM bandwidth demand at that cap *)
+  d_mem_bound : bool;  (** BB tenants degrade when starved; CB ones do not *)
+}
+
+val demand :
+  ?weight:float ->
+  ?mem_bound:bool ->
+  tenant:string ->
+  solo_cap_ghz:float ->
+  bw_gbps:float ->
+  unit ->
+  demand
+(** Smart constructor; raises [Invalid_argument] on a non-positive
+    weight or negative bandwidth. *)
+
+type grant = {
+  g_tenant : string;
+  g_bw_gbps : float;  (** bandwidth share granted at the chosen cap *)
+  g_satisfied : bool;
+  g_slowdown : float;  (** predicted, [>= 1.0]; [1.0] when satisfied *)
+}
+
+type decision = {
+  cap_ghz : float;  (** within [[uncore_min_ghz, uncore_max_ghz]], on grid *)
+  feasible : bool;  (** supply at [cap_ghz] covers the aggregate demand *)
+  agg_bw_gbps : float;  (** sum of the tenants' demands *)
+  supply_gbps : float;  (** DRAM bandwidth at [cap_ghz] *)
+  grants : grant list;  (** in demand order *)
+}
+
+val arbitrate : machine:Machine.t -> demand list -> decision
+(** Raises [Invalid_argument] on an empty demand list. *)
+
+val pp_decision : Format.formatter -> decision -> unit

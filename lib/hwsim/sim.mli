@@ -1,4 +1,4 @@
-(** The hardware simulator: executes a program's access trace against a
+(** The hardware simulator: executes program access traces against a
     {!Machine.t} and reports time, energy and EDP.
 
     This is the reproduction's stand-in for the paper's real testbeds
@@ -16,7 +16,17 @@
       UFS-like governor ([`Governor]) that scales the uncore with observed
       DRAM-bandwidth demand, bounded by the currently-active cap.  Cap
       changes (from the compiled-in cap schedule) cost the machine's
-      cap-switch latency.
+      cap-switch latency and restart the governor's accounting window.
+
+    Since the multi-tenant redesign the canonical entry point is a
+    {!config} record holding one {!tenant} per co-scheduled program.  A
+    single tenant runs the paper-faithful single-kernel engine (one
+    inclusive hierarchy); two or more tenants are interleaved
+    event-by-event over private upper cache levels, a shared LLC, a
+    shared DRAM channel (equal slices of the bandwidth at the current
+    clock) and one shared uncore clock — any tenant's cap schedule
+    writes the one MSR everyone reads, which is the interference
+    {!Cap_arbiter} exists to arbitrate away.
 
     Relative comparisons (capped code vs. the governor baseline on the same
     machine) are the meaningful output, as in the paper. *)
@@ -48,6 +58,83 @@ type cap_schedule = (string * float) list
 (** Caps keyed by top-level loop variable: entering that loop sets the
     uncore cap (PolyUFC's inter-kernel capping, Sec. VII-A). *)
 
+(** {1 Tenant configuration} *)
+
+type tenant = {
+  t_name : string;
+  t_prog : Poly_ir.Ir.t;
+  t_params : (string * int) list;
+  t_cores : int;  (** cores granted in parallel regions; 0 = fair share *)
+  t_weight : float;  (** QoS weight, read by {!Cap_arbiter} *)
+  t_caps : cap_schedule;
+}
+
+val tenant :
+  ?cores:int ->
+  ?weight:float ->
+  ?caps:cap_schedule ->
+  ?param_values:(string * int) list ->
+  name:string ->
+  Poly_ir.Ir.t ->
+  tenant
+(** Smart constructor; raises [Invalid_argument] on a non-positive
+    weight or negative core count.  [cores] defaults to [0]: an equal
+    share of the machine's threads, at least one. *)
+
+type config = {
+  machine : Machine.t;
+  uncore : uncore_policy;
+  governor_interval_us : float;
+  tenants : tenant list;
+}
+
+val config :
+  machine:Machine.t ->
+  uncore:uncore_policy ->
+  ?governor_interval_us:float ->
+  tenant list ->
+  config
+(** Smart constructor; [governor_interval_us] defaults to 100.  Raises
+    [Invalid_argument] on an empty tenant list. *)
+
+type tenant_outcome = {
+  o_tenant : string;
+  o_time_s : float;  (** this tenant's completion time *)
+  o_energy_j : float;
+      (** attributed share: its core + DRAM energy plus a
+          residency-proportional slice of uncore + static *)
+  o_flops : int;
+  o_accesses : int;  (** demand accesses presented to the hierarchy *)
+  o_dram_lines : int;
+  o_dram_bytes : int;
+  o_gflops : float;
+  o_bw_gbps : float;
+  o_solo_time_s : float;  (** NaN when solo baselines were not requested *)
+  o_slowdown : float;  (** [o_time_s / o_solo_time_s]; NaN without solo *)
+}
+
+type multi_outcome = {
+  combined : outcome;
+      (** machine-level aggregate: wall time, total energy, shared-LLC
+          stats in the last [cache_stats] slot *)
+  per_tenant : tenant_outcome list;  (** in configuration order *)
+  n_tenants : int;
+}
+
+val simulate : ?solo:bool -> config -> multi_outcome
+(** Run a tenant set.  One tenant takes the exact single-kernel path
+    ({!run} is byte-identical to a one-tenant [simulate]); two or more
+    are interleaved over the shared LLC / DRAM / uncore clock.  With
+    [solo] (default [true]) each tenant is additionally run alone under
+    the same policy to report [o_slowdown]; pass [~solo:false] to skip
+    those baseline runs. *)
+
+val run_one : config -> outcome
+(** [combined] of [simulate ~solo:false] — the record-API equivalent of
+    {!run} for callers that want a single aggregate outcome. *)
+
+(** {1 Legacy entry point} *)
+
 val run :
   machine:Machine.t ->
   uncore:uncore_policy ->
@@ -56,5 +143,11 @@ val run :
   Poly_ir.Ir.t ->
   param_values:(string * int) list ->
   outcome
+(** Deprecated compat wrapper over the single-kernel engine: equivalent
+    to [run_one (config ~machine ~uncore [tenant ~caps ... prog])].
+    Kept so pre-multi-tenant callers compile; new code should build a
+    {!config}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+val pp_tenant_outcome : Format.formatter -> tenant_outcome -> unit
+val pp_multi_outcome : Format.formatter -> multi_outcome -> unit

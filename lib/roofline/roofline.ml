@@ -103,7 +103,9 @@ let chase_kernel ~lines ~reps ~line_elems =
   }
 
 let run m ~f_u prog =
-  Hwsim.Sim.run ~machine:m ~uncore:(`Fixed f_u) prog ~param_values:[]
+  Hwsim.Sim.run_one
+    (Hwsim.Sim.config ~machine:m ~uncore:(`Fixed f_u)
+       [ Hwsim.Sim.tenant ~name:"microbench" prog ])
 
 let microbench (m : Hwsim.Machine.t) =
   let fmax = m.Hwsim.Machine.uncore_max_ghz in

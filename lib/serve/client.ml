@@ -89,7 +89,7 @@ let recv t =
   | exception Unix.Unix_error (e, _, _) ->
     transport "cannot read response: %s" (Unix.error_message e)
 
-let request t ?id ?(qos = Protocol.default_qos) ~op ~params () =
+let request t ?id ?(version = 1) ?(qos = Protocol.default_qos) ~op ~params () =
   let id =
     match id with
     | Some id -> id
@@ -98,7 +98,7 @@ let request t ?id ?(qos = Protocol.default_qos) ~op ~params () =
       t.next_id <- n + 1;
       J.Int n
   in
-  match send t { Protocol.id; op; params; qos } with
+  match send t { Protocol.id; version; op; params; qos } with
   | Error _ as e -> e
   | Ok () -> (
     match recv t with

@@ -25,13 +25,16 @@ val close : t -> unit
 val request :
   t ->
   ?id:Telemetry.Json.t ->
+  ?version:int ->
   ?qos:Protocol.qos ->
   op:Protocol.op ->
   params:Telemetry.Json.t ->
   unit ->
   (Telemetry.Json.t, Protocol.error) result
 (** Send one request and block for the response with a matching [id]
-    (an auto-incremented integer when [?id] is omitted).  Responses to
+    (an auto-incremented integer when [?id] is omitted).  [version]
+    defaults to [1] — the pre-versioning wire format; pass
+    [~version:2] for v2-only ops like [Analyze_multi].  Responses to
     other ids — possible when callers pipeline on a shared connection —
     are not expected here and produce a [Transport] error. *)
 

@@ -24,7 +24,13 @@ type shared = {
   max_fuel : int option;
   rooflines_mu : Mutex.t;
   rooflines : (string, Roofline.constants) Hashtbl.t;
+  scatter_mu : Mutex.t;
+  mutable scatter : Report.scatter_row list;
+      (* newest first, bounded at [scatter_cap]: the daemon's rolling
+         roofline scatter, served by a v2 stats request *)
 }
+
+let scatter_cap = 256
 
 let create ?pool ?cache ?max_deadline_s ?max_fuel () =
   {
@@ -34,7 +40,22 @@ let create ?pool ?cache ?max_deadline_s ?max_fuel () =
     max_fuel;
     rooflines_mu = Mutex.create ();
     rooflines = Hashtbl.create 4;
+    scatter_mu = Mutex.create ();
+    scatter = [];
   }
+
+let record_scatter shared rows =
+  Mutex.protect shared.scatter_mu @@ fun () ->
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  shared.scatter <- take scatter_cap (List.rev_append rows shared.scatter)
+
+(* oldest first, the order the requests arrived in *)
+let scatter_rows shared =
+  Mutex.protect shared.scatter_mu @@ fun () -> List.rev shared.scatter
 
 let rooflines_for shared machine =
   Mutex.protect shared.rooflines_mu @@ fun () ->
@@ -72,6 +93,12 @@ let get_float ~default params key =
   match Option.map J.number (J.member key params) with
   | Some (Some f) -> f
   | Some None -> bad "params.%s must be a number" key
+  | None -> default
+
+let get_bool ~default params key =
+  match J.member key params with
+  | Some (J.Bool b) -> b
+  | Some _ -> bad "params.%s must be a boolean" key
   | None -> default
 
 let machine_of params =
@@ -178,18 +205,84 @@ let run shared ~ctx params =
   let e = Flow.evaluate ~machine c ~param_values:sizes in
   Report.json_of_run c e
 
-let ping params =
+(* v2: compile every tenant, arbitrate the shared cap, co-simulate.
+   params.tenants is an array of per-tenant objects, each shaped like an
+   analyze request (workload|source, sizes) plus name/weight/cores. *)
+let analyze_multi shared ~ctx params =
+  let tile_size = get_int ~default:32 params "tile_size" in
+  let epsilon = get_float ~default:1e-3 params "epsilon" in
+  let solo = get_bool ~default:true params "solo" in
+  let machine = machine_of params in
+  let objective = objective_of params in
+  let tenant_specs =
+    match J.member "tenants" params with
+    | Some (J.Arr (_ :: _ as items)) ->
+      List.mapi
+        (fun i t ->
+          match t with
+          | J.Obj _ ->
+            let prog, sizes = load_program t in
+            let name =
+              match (get_string t "name", get_string t "workload") with
+              | Some n, _ -> n
+              | None, Some w -> w
+              | None, None -> Printf.sprintf "tenant%d" i
+            in
+            let weight = get_float ~default:1.0 t "weight" in
+            if weight <= 0.0 then
+              bad "params.tenants[%d].weight must be positive" i;
+            let cores = get_int ~default:0 t "cores" in
+            if cores < 0 then
+              bad "params.tenants[%d].cores must be non-negative" i;
+            Fleet.spec ~sizes ~weight ~cores ~name prog
+          | _ -> bad "params.tenants[%d] must be an object" i)
+        items
+    | Some (J.Arr []) -> bad "params.tenants must not be empty"
+    | Some _ -> bad "params.tenants must be an array of objects"
+    | None -> bad "missing params.tenants"
+  in
+  let rooflines = rooflines_for shared machine in
+  let result =
+    Fleet.analyze ~ctx ~objective ~epsilon ~tile_size ~solo ~machine
+      ~rooflines tenant_specs
+  in
+  record_scatter shared (Fleet.scatter_of_result result);
+  Fleet.json_of_result result
+
+(* a v1 stats response is exactly the telemetry document (old scrapers
+   parse it byte-for-byte); v2 appends the daemon's rolling scatter *)
+let stats shared ~version =
+  let doc = Telemetry.stats_json () in
+  if version < 2 then doc
+  else
+    match doc with
+    | J.Obj fields ->
+      J.Obj (fields @ [ ("scatter", Report.json_of_scatter (scatter_rows shared)) ])
+    | doc -> doc
+
+let ping ~version params =
   (* delay_s: a testing aid for deterministic overload/backpressure
      tests — a request whose execution time the test controls exactly *)
   let delay = get_float ~default:0.0 params "delay_s" in
   let delay = Float.max 0.0 (Float.min 30.0 delay) in
   if delay > 0.0 then Unix.sleepf delay;
+  (* [protocol] echoes the *negotiated* version: a v1 ping answer is
+     byte-identical to what pre-versioning daemons sent.  v2 pings also
+     learn the daemon's ceiling and its executable ops. *)
   J.Obj
-    [
-      ("pong", J.Bool true);
-      ("protocol", J.Int Protocol.protocol_version);
-      ("pid", J.Int (Unix.getpid ()));
-    ]
+    ([
+       ("pong", J.Bool true);
+       ("protocol", J.Int version);
+       ("pid", J.Int (Unix.getpid ()));
+     ]
+    @
+    if version >= 2 then
+      [
+        ("max_protocol", J.Int Protocol.protocol_version);
+        ( "capabilities",
+          J.Arr (List.map (fun c -> J.Str c) Protocol.capabilities) );
+      ]
+    else [])
 
 let error_of_diagnostic (d : Engine.Guard.diagnostic) : Protocol.error =
   let kind : Protocol.error_kind =
@@ -212,13 +305,19 @@ let execute shared (r : Protocol.request) : Protocol.response =
        Guard boundary, so they surface as bad_request rather than being
        trapped as an internal fault *)
     try
+      let min_v = Protocol.op_min_version r.op in
+      if r.version < min_v then
+        bad "op %s requires protocol version >= %d (request is v%d)"
+          (Protocol.op_name r.op) min_v r.version;
       Ok
         (match r.op with
         | Protocol.Analyze -> analyze shared ~ctx:(ctx_of shared r.qos) r.params
+        | Protocol.Analyze_multi ->
+          analyze_multi shared ~ctx:(ctx_of shared r.qos) r.params
         | Protocol.Search -> search shared ~ctx:(ctx_of shared r.qos) r.params
         | Protocol.Run -> run shared ~ctx:(ctx_of shared r.qos) r.params
-        | Protocol.Stats -> Telemetry.stats_json ()
-        | Protocol.Ping -> ping r.params
+        | Protocol.Stats -> stats shared ~version:r.version
+        | Protocol.Ping -> ping ~version:r.version r.params
         | Protocol.Shutdown -> J.Obj [ ("draining", J.Bool true) ])
     with Bad_params m -> Error m
   in

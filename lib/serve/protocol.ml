@@ -7,7 +7,12 @@
 
 module J = Telemetry.Json
 
-let protocol_version = 1
+(* v1: analyze/search/run/stats/ping/shutdown.  v2 adds the [version]
+   request field, the [analyze_multi] op and the capability report in
+   ping.  A request without a version field is a v1 request and must be
+   answered with v1-shaped (byte-identical) responses. *)
+let protocol_version = 2
+
 let default_max_frame = 16 * 1024 * 1024
 let hard_max_frame = 1024 * 1024 * 1024
 
@@ -110,10 +115,11 @@ let write_frame fd doc =
 
 (* --- requests ------------------------------------------------------ *)
 
-type op = Analyze | Search | Run | Stats | Ping | Shutdown
+type op = Analyze | Analyze_multi | Search | Run | Stats | Ping | Shutdown
 
 let op_name = function
   | Analyze -> "analyze"
+  | Analyze_multi -> "analyze_multi"
   | Search -> "search"
   | Run -> "run"
   | Stats -> "stats"
@@ -122,12 +128,21 @@ let op_name = function
 
 let op_of_name = function
   | "analyze" -> Some Analyze
+  | "analyze_multi" -> Some Analyze_multi
   | "search" | "compile" -> Some Search
   | "run" -> Some Run
   | "stats" -> Some Stats
   | "ping" -> Some Ping
   | "shutdown" -> Some Shutdown
   | _ -> None
+
+(* the ops this build can execute, as reported by a v2 ping *)
+let capabilities =
+  List.map op_name
+    [ Analyze; Analyze_multi; Search; Run; Stats; Ping; Shutdown ]
+
+(* the minimum protocol version an op requires *)
+let op_min_version = function Analyze_multi -> 2 | _ -> 1
 
 type qos = {
   deadline_s : float option;
@@ -137,7 +152,7 @@ type qos = {
 
 let default_qos = { deadline_s = None; fuel = None; degrade = Engine.Budget.Interp }
 
-type request = { id : J.t; op : op; params : J.t; qos : qos }
+type request = { id : J.t; version : int; op : op; params : J.t; qos : qos }
 
 let qos_of_json = function
   | None -> Ok default_qos
@@ -166,25 +181,42 @@ let qos_of_json = function
         | Some _ -> Error "qos.degrade must be \"off\" or \"interp\""))))
   | Some _ -> Error "qos must be an object"
 
+(* absent => v1: pre-versioning clients never sent the field, and their
+   requests must keep meaning exactly what they always meant *)
+let version_of_json doc =
+  match J.member "version" doc with
+  | None -> Ok 1
+  | Some (J.Int v) ->
+    if v >= 1 && v <= protocol_version then Ok v
+    else
+      Error
+        (Printf.sprintf
+           "unsupported protocol version %d (this daemon speaks 1..%d)" v
+           protocol_version)
+  | Some _ -> Error "version must be an integer"
+
 let request_of_json doc =
   match doc with
   | J.Obj _ -> (
     let id = Option.value (J.member "id" doc) ~default:J.Null in
-    match J.member "op" doc with
-    | Some (J.Str name) -> (
-      match op_of_name name with
-      | None -> Error (Printf.sprintf "unknown op %S" name)
-      | Some op -> (
-        let params_field = J.member "params" doc in
-        match params_field with
-        | Some (J.Obj _) | None -> (
-          let params = Option.value params_field ~default:(J.Obj []) in
-          match qos_of_json (J.member "qos" doc) with
-          | Error _ as e -> e
-          | Ok qos -> Ok { id; op; params; qos })
-        | Some _ -> Error "params must be an object"))
-    | Some _ -> Error "op must be a string"
-    | None -> Error "missing op")
+    match version_of_json doc with
+    | Error _ as e -> e
+    | Ok version -> (
+      match J.member "op" doc with
+      | Some (J.Str name) -> (
+        match op_of_name name with
+        | None -> Error (Printf.sprintf "unknown op %S" name)
+        | Some op -> (
+          let params_field = J.member "params" doc in
+          match params_field with
+          | Some (J.Obj _) | None -> (
+            let params = Option.value params_field ~default:(J.Obj []) in
+            match qos_of_json (J.member "qos" doc) with
+            | Error _ as e -> e
+            | Ok qos -> Ok { id; version; op; params; qos })
+          | Some _ -> Error "params must be an object"))
+      | Some _ -> Error "op must be a string"
+      | None -> Error "missing op"))
   | _ -> Error "request must be an object"
 
 let json_of_qos q =
@@ -205,12 +237,15 @@ let json_of_qos q =
 
 let json_of_request r =
   J.Obj
-    [
-      ("id", r.id);
-      ("op", J.Str (op_name r.op));
-      ("params", r.params);
-      ("qos", json_of_qos r.qos);
-    ]
+    (("id", r.id)
+     (* emitted only when non-default so v1 requests stay byte-identical
+        to what pre-versioning builds produced *)
+     :: (if r.version <> 1 then [ ("version", J.Int r.version) ] else [])
+    @ [
+        ("op", J.Str (op_name r.op));
+        ("params", r.params);
+        ("qos", json_of_qos r.qos);
+      ])
 
 (* --- responses ----------------------------------------------------- *)
 

@@ -62,6 +62,8 @@ val write_frame : Unix.file_descr -> Telemetry.Json.t -> unit
 
 type op =
   | Analyze  (** PolyUFC-CM cache analysis — the [analyze] CLI pipeline *)
+  | Analyze_multi
+      (** fleet analysis: arbitrated cap + co-simulation (v2 only) *)
   | Search  (** full compilation flow — the [search] CLI pipeline *)
   | Run  (** compile + simulate — the [run] CLI pipeline *)
   | Stats  (** the daemon's live telemetry stats document *)
@@ -70,6 +72,14 @@ type op =
 
 val op_name : op -> string
 val op_of_name : string -> op option
+
+val capabilities : string list
+(** Names of every op this build executes, in a stable order — the list
+    a v2 [ping] reports. *)
+
+val op_min_version : op -> int
+(** The minimum request [version] an op requires; the server rejects an
+    op requested below its minimum with [bad_request]. *)
 
 type qos = {
   deadline_s : float option;
@@ -84,13 +94,23 @@ val default_qos : qos
 
 type request = {
   id : Telemetry.Json.t;  (** echoed verbatim in the response *)
+  version : int;
+      (** negotiated protocol version; a request without a [version]
+          field is v1, and v1 responses are byte-identical to the
+          pre-versioning wire format *)
   op : op;
   params : Telemetry.Json.t;  (** an object; [{}] when absent *)
   qos : qos;
 }
 
 val request_of_json : Telemetry.Json.t -> (request, string) result
+(** Rejects a [version] outside [1..protocol_version] — the error
+    message names the supported range so old daemons fail loudly when a
+    newer client speaks to them. *)
+
 val json_of_request : request -> Telemetry.Json.t
+(** The [version] field is emitted only when it is not [1], so v1
+    requests serialize byte-identically to pre-versioning builds. *)
 
 (** {1 Responses} *)
 
@@ -134,3 +154,4 @@ val json_of_response : response -> Telemetry.Json.t
 val response_of_json : Telemetry.Json.t -> (response, string) result
 
 val protocol_version : int
+(** The highest protocol version this build speaks (currently 2). *)

@@ -207,4 +207,157 @@ let extension_tests =
     Alcotest.test_case "joint core+uncore search" `Slow test_joint_search;
   ]
 
-let tests = tests @ extension_tests
+(* ---------- roofline scatter exporter ---------- *)
+
+let scatter_rooflines =
+  (* pin the roofs so the efficiency arithmetic below is exact *)
+  lazy
+    {
+      (Lazy.force Test_support.bdw_rooflines) with
+      Roofline.peak_gflops = 100.0;
+      peak_bw_gbps = 20.0;
+    }
+
+let test_scatter_point_math () =
+  (* below the ridge the roof is the bandwidth slope: ai * bw *)
+  let r =
+    Report.scatter_point ~rooflines:(Lazy.force scatter_rooflines) ~kernel:"mvt"
+      ~ai:0.25 ~gflops:2.5 ~cap_ghz:2.8
+  in
+  (* roof = min(100, 0.25*20) = 5; efficiency = 2.5/5 = 0.5 *)
+  Alcotest.(check (float 1e-12)) "efficiency vs bandwidth roof" 0.5
+    r.Report.sc_efficiency;
+  Alcotest.(check (float 1e-12)) "distance = 1 - eff" 0.5
+    r.Report.sc_distance;
+  (* above the ridge the compute roof binds *)
+  let c =
+    Report.scatter_point ~rooflines:(Lazy.force scatter_rooflines) ~kernel:"gemm"
+      ~ai:50.0 ~gflops:80.0 ~cap_ghz:1.2
+  in
+  Alcotest.(check (float 1e-12)) "efficiency vs compute roof" 0.8
+    c.Report.sc_efficiency;
+  (* over-roof measurements clamp distance at zero, not negative *)
+  let over =
+    Report.scatter_point ~rooflines:(Lazy.force scatter_rooflines) ~kernel:"hot"
+      ~ai:50.0 ~gflops:120.0 ~cap_ghz:2.0
+  in
+  Alcotest.(check (float 1e-12)) "distance clamped at 0" 0.0
+    over.Report.sc_distance
+
+let test_scatter_csv_roundtrip () =
+  let rows =
+    [
+      Report.scatter_point ~rooflines:(Lazy.force scatter_rooflines) ~kernel:"gemm"
+        ~ai:13.714285714285714 ~gflops:73.33333333333333 ~cap_ghz:1.2;
+      Report.scatter_point ~rooflines:(Lazy.force scatter_rooflines)
+        ~kernel:{|weird, "quoted" name|} ~ai:0.1 ~gflops:1e-3 ~cap_ghz:2.8;
+      Report.scatter_point ~rooflines:(Lazy.force scatter_rooflines) ~kernel:""
+        ~ai:1.0e22 ~gflops:4.9e-324 ~cap_ghz:2.0;
+    ]
+  in
+  let csv = Report.csv_of_scatter rows in
+  match Report.scatter_of_csv csv with
+  | Error m -> Alcotest.failf "exporter's own CSV refused: %s" m
+  | Ok parsed ->
+    Alcotest.(check int) "row count" (List.length rows) (List.length parsed);
+    List.iter2
+      (fun (a : Report.scatter_row) (b : Report.scatter_row) ->
+        Alcotest.(check string) "kernel exact" a.Report.sc_kernel
+          b.Report.sc_kernel;
+        Alcotest.(check string) "boundedness exact" a.Report.sc_bound
+          b.Report.sc_bound;
+        (* %.17g prints doubles losslessly: bit-exact floats back *)
+        List.iter2
+          (fun x y ->
+            Alcotest.(check int64) "float bit-exact" (Int64.bits_of_float x)
+              (Int64.bits_of_float y))
+          [
+            a.Report.sc_ai;
+            a.Report.sc_gflops;
+            a.Report.sc_efficiency;
+            a.Report.sc_distance;
+            a.Report.sc_cap_ghz;
+          ]
+          [
+            b.Report.sc_ai;
+            b.Report.sc_gflops;
+            b.Report.sc_efficiency;
+            b.Report.sc_distance;
+            b.Report.sc_cap_ghz;
+          ])
+      rows parsed
+
+let test_scatter_csv_rejects_malformed () =
+  let refused s =
+    match Report.scatter_of_csv s with
+    | Ok _ -> Alcotest.failf "must refuse: %s" s
+    | Error _ -> ()
+  in
+  refused "not,the,header\n";
+  refused (Report.scatter_header ^ "\nonly,three,fields\n");
+  refused (Report.scatter_header ^ "\nk,not_a_number,1,1,0,BB,2.0\n");
+  refused (Report.scatter_header ^ "\n\"unterminated,1,2,3,4,BB,2.0\n");
+  (* CRLF and blank lines are tolerated *)
+  let ok =
+    Report.scatter_header ^ "\r\n" ^ "k,1,2,0.5,0.5,BB,2.0\r\n" ^ "\n"
+  in
+  match Report.scatter_of_csv ok with
+  | Ok [ r ] ->
+    Alcotest.(check string) "CRLF row parsed" "k" r.Report.sc_kernel
+  | Ok _ -> Alcotest.fail "expected exactly one row"
+  | Error m -> Alcotest.failf "CRLF input refused: %s" m
+
+let test_scatter_json_roundtrip () =
+  let rows =
+    [
+      Report.scatter_point ~rooflines:(Lazy.force scatter_rooflines) ~kernel:"atax"
+        ~ai:0.375 ~gflops:3.1 ~cap_ghz:1.6;
+    ]
+  in
+  match Report.scatter_of_json (Report.json_of_scatter rows) with
+  | Error m -> Alcotest.failf "scatter JSON refused: %s" m
+  | Ok [ r ] ->
+    Alcotest.(check string) "kernel survives" "atax" r.Report.sc_kernel;
+    Alcotest.(check (float 1e-12)) "ai survives" 0.375 r.Report.sc_ai
+  | Ok _ -> Alcotest.fail "expected one row"
+
+let test_fleet_analyze_end_to_end () =
+  (* the library path the CLI, daemon and bench all share *)
+  let specs =
+    [
+      Fleet.spec ~sizes:[ ("n", 24) ] ~name:"gemm"
+        (Workloads.program (Workloads.find "gemm"));
+      Fleet.spec ~sizes:[ ("n", 96) ] ~weight:2.0 ~name:"mvt"
+        (Workloads.program (Workloads.find "mvt"));
+    ]
+  in
+  let r =
+    Fleet.analyze ~solo:false ~machine:Hwsim.Machine.bdw
+      ~rooflines:(Lazy.force Test_support.bdw_rooflines)
+      specs
+  in
+  Alcotest.(check int) "two tenants" 2 (List.length r.Fleet.tenants);
+  Alcotest.(check bool) "cap on the machine grid" true
+    (r.Fleet.decision.Hwsim.Cap_arbiter.cap_ghz >= 1.2
+    && r.Fleet.decision.Hwsim.Cap_arbiter.cap_ghz <= 2.8);
+  let rows = Fleet.scatter_of_result r in
+  Alcotest.(check int) "one scatter row per tenant" 2 (List.length rows);
+  (* the shared exporter round-trips the fleet's own rows *)
+  match Report.scatter_of_csv (Report.csv_of_scatter rows) with
+  | Ok back -> Alcotest.(check int) "csv round-trip" 2 (List.length back)
+  | Error m -> Alcotest.failf "fleet scatter CSV refused: %s" m
+
+let scatter_tests =
+  [
+    Alcotest.test_case "scatter point math" `Quick test_scatter_point_math;
+    Alcotest.test_case "scatter CSV round-trip is bit-exact" `Quick
+      test_scatter_csv_roundtrip;
+    Alcotest.test_case "scatter CSV rejects malformed input" `Quick
+      test_scatter_csv_rejects_malformed;
+    Alcotest.test_case "scatter JSON round-trip" `Quick
+      test_scatter_json_roundtrip;
+    Alcotest.test_case "fleet analyze end-to-end" `Quick
+      test_fleet_analyze_end_to_end;
+  ]
+
+let tests = tests @ extension_tests @ scatter_tests

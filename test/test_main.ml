@@ -9,6 +9,7 @@ let () =
       ("poly_ir", Test_poly_ir.tests);
       ("polylang", Test_polylang.tests);
       ("hwsim", Test_hwsim.tests);
+      ("hwsim_multi", Test_hwsim_multi.tests);
       ("cache_model", Test_cache_model.tests);
       ("roofline", Test_roofline.tests);
       ("perfmodel", Test_perfmodel.tests);

@@ -45,8 +45,12 @@ let test_gemm_estimate_accuracy () =
     (fun f ->
       let est = Perfmodel.estimate k p ~f_c:f in
       let hw =
-        Hwsim.Sim.run ~machine:Hwsim.Machine.bdw ~uncore:(`Fixed f) prog
-          ~param_values:[ ("n", 128) ]
+        Hwsim.Sim.run_one
+          (Hwsim.Sim.config ~machine:Hwsim.Machine.bdw ~uncore:(`Fixed f)
+             [
+               Hwsim.Sim.tenant ~param_values:[ ("n", 128) ] ~name:"gemm"
+                 prog;
+             ])
       in
       let err =
         Float.abs (est.Perfmodel.time_s -. hw.Hwsim.Sim.time_s) /. hw.Hwsim.Sim.time_s

@@ -241,6 +241,7 @@ let test_handler_enforces_fuel () =
   let r =
     {
       P.id = J.Int 1;
+      version = 1;
       op = P.Analyze;
       params =
         J.Obj
@@ -264,6 +265,7 @@ let test_handler_server_clamp () =
   let r =
     {
       P.id = J.Int 1;
+      version = 1;
       op = P.Analyze;
       params =
         J.Obj
@@ -345,6 +347,7 @@ let test_concurrent_clients_deterministic () =
       (H.execute shared
          {
            P.id = J.Int 0;
+           version = 1;
            op = P.Analyze;
            params = analyze_params;
            qos = P.default_qos;
@@ -366,7 +369,7 @@ let send_ping c ~id ?(delay = 0.0) () =
     if delay > 0.0 then J.Obj [ ("delay_s", J.Float delay) ] else J.Obj []
   in
   match
-    C.send c { P.id = J.Int id; op = P.Ping; params; qos = P.default_qos }
+    C.send c { P.id = J.Int id; version = 1; op = P.Ping; params; qos = P.default_qos }
   with
   | Ok () -> ()
   | Error e -> Alcotest.failf "send failed: %s" e.P.message
@@ -472,7 +475,7 @@ let test_shutdown_op_drains () =
          pinned, only the post-drain rejection below is *)
       let _ack_or_pong = recv_exn c in
       C.send c
-        { P.id = J.Int 3; op = P.Shutdown; params = J.Obj []; qos = P.default_qos }
+        { P.id = J.Int 3; version = 1; op = P.Shutdown; params = J.Obj []; qos = P.default_qos }
       |> Result.iter_error (fun e ->
              Alcotest.failf "shutdown send failed: %s" e.P.message);
       send_ping c ~id:4 ();
@@ -524,6 +527,184 @@ let test_chaos_serve_io_survival () =
           (J.member "pong" payload = Some (J.Bool true))
       | Error e -> Alcotest.failf "daemon did not survive chaos: %s" e.P.message)
 
+let test_protocol_versioning () =
+  (* absent version field means v1 — the pre-versioning wire format *)
+  let parse doc =
+    match P.request_of_json doc with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "request refused: %s" m
+  in
+  let r = parse (J.Obj [ ("id", J.Int 1); ("op", J.Str "ping") ]) in
+  Alcotest.(check int) "absent version means v1" 1 r.P.version;
+  let r =
+    parse
+      (J.Obj [ ("id", J.Int 1); ("version", J.Int 2); ("op", J.Str "ping") ])
+  in
+  Alcotest.(check int) "explicit v2 parses" 2 r.P.version;
+  let refused doc =
+    match P.request_of_json doc with
+    | Ok _ -> Alcotest.failf "request %s must be refused" (J.to_string doc)
+    | Error _ -> ()
+  in
+  refused (J.Obj [ ("id", J.Int 1); ("version", J.Int 0); ("op", J.Str "ping") ]);
+  refused (J.Obj [ ("id", J.Int 1); ("version", J.Int 3); ("op", J.Str "ping") ]);
+  refused
+    (J.Obj [ ("id", J.Int 1); ("version", J.Str "2"); ("op", J.Str "ping") ]);
+  (* analyze_multi exists on the wire, and only at v2 *)
+  let r =
+    parse
+      (J.Obj
+         [
+           ("id", J.Int 1); ("version", J.Int 2); ("op", J.Str "analyze_multi");
+         ])
+  in
+  Alcotest.(check bool) "analyze_multi parses" true (r.P.op = P.Analyze_multi);
+  Alcotest.(check int) "analyze_multi needs v2" 2 (P.op_min_version P.Analyze_multi);
+  Alcotest.(check int) "analyze stays v1" 1 (P.op_min_version P.Analyze);
+  Alcotest.(check bool) "capability list advertises analyze_multi" true
+    (List.mem "analyze_multi" P.capabilities)
+
+let test_v1_wire_byte_identity () =
+  (* a v1 request serialized by the new code must not grow a version
+     field: old daemons reject unknown shapes byte-for-byte *)
+  let req version =
+    {
+      P.id = J.Int 9;
+      version;
+      op = P.Ping;
+      params = J.Obj [];
+      qos = P.default_qos;
+    }
+  in
+  let v1 = J.to_string (P.json_of_request (req 1)) in
+  Alcotest.(check string) "v1 wire format unchanged"
+    {|{"id":9,"op":"ping","params":{},"qos":{"degrade":"interp"}}|} v1;
+  let v2 = J.to_string (P.json_of_request (req 2)) in
+  Alcotest.(check string) "v2 carries the version field"
+    {|{"id":9,"version":2,"op":"ping","params":{},"qos":{"degrade":"interp"}}|}
+    v2;
+  (* and both round-trip through the parser *)
+  (match P.request_of_json (P.json_of_request (req 1)) with
+  | Ok r -> Alcotest.(check int) "v1 round-trips" 1 r.P.version
+  | Error m -> Alcotest.failf "v1 round-trip refused: %s" m);
+  match P.request_of_json (P.json_of_request (req 2)) with
+  | Ok r -> Alcotest.(check int) "v2 round-trips" 2 r.P.version
+  | Error m -> Alcotest.failf "v2 round-trip refused: %s" m
+
+let test_ping_capability_report () =
+  let shared = H.create () in
+  let ping version =
+    let r =
+      {
+        P.id = J.Int 1;
+        version;
+        op = P.Ping;
+        params = J.Obj [];
+        qos = P.default_qos;
+      }
+    in
+    match (H.execute shared r).P.result with
+    | Ok payload -> payload
+    | Error e -> Alcotest.failf "ping refused: %s" e.P.message
+  in
+  let p1 = ping 1 in
+  Alcotest.(check bool) "v1 pong" true (J.member "pong" p1 = Some (J.Bool true));
+  Alcotest.(check bool) "v1 echoes protocol 1" true
+    (J.member "protocol" p1 = Some (J.Int 1));
+  Alcotest.(check bool) "v1 ping has no capabilities (byte identity)" true
+    (J.member "capabilities" p1 = None);
+  let p2 = ping 2 in
+  Alcotest.(check bool) "v2 echoes protocol 2" true
+    (J.member "protocol" p2 = Some (J.Int 2));
+  Alcotest.(check bool) "v2 reports max_protocol" true
+    (J.member "max_protocol" p2 = Some (J.Int P.protocol_version));
+  match J.member "capabilities" p2 with
+  | Some (J.Arr caps) ->
+    Alcotest.(check bool) "capabilities include analyze_multi" true
+      (List.mem (J.Str "analyze_multi") caps)
+  | _ -> Alcotest.fail "v2 ping must carry a capability array"
+
+let test_versioned_op_gating () =
+  (* a v1 client naming the v2-only op gets a structured Bad_request
+     telling it which version to speak, not a crash or a silent run *)
+  let shared = H.create () in
+  let r =
+    {
+      P.id = J.Int 1;
+      version = 1;
+      op = P.Analyze_multi;
+      params = J.Obj [ ("tenants", J.Arr []) ];
+      qos = P.default_qos;
+    }
+  in
+  match (H.execute shared r).P.result with
+  | Error e ->
+    Alcotest.(check bool) "kind is bad_request" true (e.P.kind = P.Bad_request);
+    Alcotest.(check bool) "message names the version requirement" true
+      (let m = e.P.message in
+       let has sub =
+         let ls = String.length sub and lm = String.length m in
+         let rec go i = i + ls <= lm && (String.sub m i ls = sub || go (i + 1)) in
+         go 0
+       in
+       has "version" && has "analyze_multi")
+  | Ok _ -> Alcotest.fail "v1 analyze_multi must be refused"
+
+let test_analyze_multi_served () =
+  (* end-to-end over a real socket: two tenants through the daemon *)
+  with_server @@ fun _server path ->
+  let c = connect_exn path in
+  Fun.protect
+    ~finally:(fun () -> C.close c)
+    (fun () ->
+      let tenants =
+        J.Arr
+          [
+            J.Obj
+              [
+                ("workload", J.Str "gemm");
+                ("name", J.Str "gemm");
+                ("sizes", J.Obj [ ("n", J.Int 24) ]);
+              ];
+            J.Obj
+              [
+                ("workload", J.Str "mvt");
+                ("name", J.Str "mvt");
+                ("sizes", J.Obj [ ("n", J.Int 96) ]);
+                ("weight", J.Float 2.0);
+              ];
+          ]
+      in
+      let params = J.Obj [ ("tenants", tenants); ("solo", J.Bool false) ] in
+      match C.request c ~version:2 ~op:P.Analyze_multi ~params () with
+      | Error e -> Alcotest.failf "analyze_multi refused: %s" e.P.message
+      | Ok payload ->
+        let arbiter = Option.get (J.member "arbiter" payload) in
+        (match J.member "cap_ghz" arbiter with
+        | Some (J.Float f) ->
+          Alcotest.(check bool) "arbitrated cap within machine range" true
+            (f >= 1.2 && f <= 2.8)
+        | _ -> Alcotest.fail "arbiter decision must carry cap_ghz");
+        (match J.member "tenants" payload with
+        | Some (J.Arr ts) ->
+          Alcotest.(check int) "both tenants reported" 2 (List.length ts)
+        | _ -> Alcotest.fail "per-tenant reports missing");
+        (* the scatter rows land in v2 stats *)
+        (match C.request c ~version:2 ~op:P.Stats ~params:(J.Obj []) () with
+        | Error e -> Alcotest.failf "stats refused: %s" e.P.message
+        | Ok stats -> (
+          match J.member "scatter" stats with
+          | Some (J.Arr rows) ->
+            Alcotest.(check bool) "scatter populated" true
+              (List.length rows >= 2)
+          | _ -> Alcotest.fail "v2 stats must carry scatter"));
+        (* v1 stats stay scatter-free: byte identity for old clients *)
+        match C.request c ~op:P.Stats ~params:(J.Obj []) () with
+        | Error e -> Alcotest.failf "v1 stats refused: %s" e.P.message
+        | Ok stats ->
+          Alcotest.(check bool) "v1 stats unchanged" true
+            (J.member "scatter" stats = None))
+
 let tests =
   [
     Alcotest.test_case "frames round-trip byte-for-byte" `Quick
@@ -556,4 +737,14 @@ let tests =
       test_shutdown_op_drains;
     Alcotest.test_case "daemon survives serve.io chaos" `Quick
       test_chaos_serve_io_survival;
+    Alcotest.test_case "protocol versioning parses and gates" `Quick
+      test_protocol_versioning;
+    Alcotest.test_case "v1 wire format is byte-identical" `Quick
+      test_v1_wire_byte_identity;
+    Alcotest.test_case "ping reports capabilities at v2" `Quick
+      test_ping_capability_report;
+    Alcotest.test_case "versioned ops gate on request version" `Quick
+      test_versioned_op_gating;
+    Alcotest.test_case "analyze_multi served end-to-end" `Quick
+      test_analyze_multi_served;
   ]
