@@ -635,6 +635,10 @@ let abl_core () =
 
 let bench_quick = ref false
 
+(* --cache-max-bytes=SIZE: run the daemon experiments with a bounded
+   result store and report whether it converged below the watermark *)
+let bench_cache_max_bytes : int option ref = ref None
+
 let ehrhart () =
   section
     "EHRHART — closed-form slice counting vs naive point enumeration\n\
@@ -1098,11 +1102,14 @@ let traffic_replay () =
         (Filename.get_temp_dir_name ())
         (Printf.sprintf "polyufc-replay-%d.sock" (Unix.getpid ()))
     in
-    (match
-       Serve.Client.spawn_and_connect
-         ~spawn_args:[ "--cache-dir"; cache_dir; "--workers"; "2" ]
-         ~exe ~socket ()
-     with
+    let spawn_args =
+      [ "--cache-dir"; cache_dir; "--workers"; "2" ]
+      @
+      match !bench_cache_max_bytes with
+      | Some n -> [ "--cache-max-bytes"; string_of_int n ]
+      | None -> []
+    in
+    (match Serve.Client.spawn_and_connect ~spawn_args ~exe ~socket () with
     | Error msg -> pf "skipped: %s\n" msg
     | Ok client ->
       (* fixed seed: the same request tape on every run *)
@@ -1257,7 +1264,22 @@ let traffic_replay () =
           await_exit (tries - 1)
         end
       in
-      await_exit 100);
+      await_exit 100;
+      (* with a watermark set, the store left behind by the daemon (its
+         drain runs a final GC) must have converged below it *)
+      match !bench_cache_max_bytes with
+      | None -> ()
+      | Some watermark ->
+        let store = Engine.Rcache.create ~dir:cache_dir () in
+        let s = Engine.Rcache.stats store in
+        let k = Engine.Rcache.cumulative store in
+        pf
+          "store convergence: live_bytes=%d watermark=%d entries=%d \
+           evictions=%d gc_runs=%d %s\n"
+          s.Engine.Rcache.bytes watermark s.Engine.Rcache.entries
+          k.Engine.Rcache.evictions k.Engine.Rcache.gc_runs
+          (if s.Engine.Rcache.bytes <= watermark then "CONVERGED"
+           else "OVER-WATERMARK"));
     rm_rf cache_dir
 
 (* ------------------------------------------------------------------ *)
@@ -1450,6 +1472,16 @@ let () =
         end
         else if a = "--daemon" then begin
           want_daemon := true;
+          false
+        end
+        else if
+          String.length a > 18 && String.sub a 0 18 = "--cache-max-bytes="
+        then begin
+          (match
+             Engine.Rcache.parse_size (String.sub a 18 (String.length a - 18))
+           with
+          | Some n -> bench_cache_max_bytes := Some n
+          | None -> pf "bad --cache-max-bytes value %S (want N[k|M|G])\n" a);
           false
         end
         else if String.length a > 9 && String.sub a 0 9 = "--report=" then begin

@@ -757,7 +757,8 @@ let serve_cmd =
                 default) means one per core.")
   in
   let run socket max_clients queue_depth max_inflight workers max_deadline
-      max_fuel jobs no_cache cache_dir log fault_plan =
+      max_fuel jobs no_cache cache_dir cache_upstream cache_max_bytes
+      cache_max_entries log fault_plan =
     pos_int ~what:"--max-clients" max_clients;
     pos_int ~what:"--queue-depth" queue_depth;
     pos_int ~what:"--max-inflight" max_inflight;
@@ -798,7 +799,26 @@ let serve_cmd =
     Telemetry.set_meta "jobs" (Telemetry.Json.Int jobs);
     Engine.Pool.with_pool ~jobs @@ fun pool ->
     let cache =
-      if no_cache then None else Some (Engine.Rcache.create ?dir:cache_dir ())
+      if no_cache then None
+      else begin
+        let c =
+          Engine.Rcache.create ?dir:cache_dir ?upstream:cache_upstream
+            ?max_bytes:cache_max_bytes ?max_entries:cache_max_entries ()
+        in
+        (* startup GC: a daemon inheriting an over-watermark store from a
+           previous life (or from a crashed GC) trims it before serving *)
+        let r = Engine.Rcache.gc c in
+        if r.Engine.Rcache.evicted > 0 then
+          Telemetry.Event.info "serve.startup_gc"
+            ~fields:
+              [
+                ("evicted", Telemetry.Json.Int r.Engine.Rcache.evicted);
+                ( "evicted_bytes",
+                  Telemetry.Json.Int r.Engine.Rcache.evicted_bytes );
+                ("live_bytes", Telemetry.Json.Int r.Engine.Rcache.live_bytes);
+              ];
+        Some c
+      end
     in
     let shared =
       Serve.Handler.create ~pool ?cache ?max_deadline_s:max_deadline
@@ -844,7 +864,9 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ max_clients_arg $ queue_depth_arg
       $ max_inflight_arg $ workers_arg $ max_deadline_arg $ max_fuel_arg
-      $ serve_jobs_arg $ Resource_flags.no_cache_arg $ cache_dir_arg $ log_arg
+      $ serve_jobs_arg $ Resource_flags.no_cache_arg $ cache_dir_arg
+      $ Resource_flags.cache_upstream_arg $ Resource_flags.cache_max_bytes_arg
+      $ Resource_flags.cache_max_entries_arg $ log_arg
       $ Resource_flags.fault_plan_arg)
 
 let spawn_arg =
@@ -1198,85 +1220,249 @@ let client_cmd =
 (* ---- cache: inspect / clear the persistent result cache --------------- *)
 
 let cache_cmd =
+  let module R = Engine.Rcache in
+  let module J = Telemetry.Json in
+  (* counter fields shared by the json and openmetrics renderings *)
+  let counter_fields (k : R.counts) =
+    [
+      ("hits", k.R.hits);
+      ("misses", k.R.misses);
+      ("stores", k.R.stores);
+      ("corrupt", k.R.corrupt);
+      ("quarantined", k.R.quarantined);
+      ("write_retries", k.R.write_retries);
+      ("readonly_flips", k.R.readonly_flips);
+      ("mem_hits", k.R.mem_hits);
+      ("disk_hits", k.R.disk_hits);
+      ("upstream_hits", k.R.upstream_hits);
+      ("promotions", k.R.promotions);
+      ("evictions", k.R.evictions);
+      ("mem_evictions", k.R.mem_evictions);
+      ("gc_runs", k.R.gc_runs);
+      ("gc_crashes", k.R.gc_crashes);
+      ("migrated", k.R.migrated);
+      ("index_rebuilds", k.R.index_rebuilds);
+      ("index_bad_lines", k.R.index_bad_lines);
+      ("quarantine_dropped", k.R.quarantine_dropped);
+    ]
+  in
+  let rate hits total =
+    if total > 0 then 100.0 *. float_of_int hits /. float_of_int total else 0.0
+  in
   let stats_cmd =
-    let run cache_dir json =
-      let c = Engine.Rcache.create ?dir:cache_dir () in
-      let s = Engine.Rcache.stats c in
-      let by_kind = Engine.Rcache.stats_by_kind c in
-      let k = Engine.Rcache.cumulative c in
-      let total = k.Engine.Rcache.hits + k.Engine.Rcache.misses in
-      if json then
+    (* `--json` predates `--format` and is kept as an alias *)
+    let format_arg =
+      let fmt_conv =
+        Arg.enum
+          [ ("text", `Text); ("json", `Json); ("openmetrics", `Openmetrics) ]
+      in
+      Arg.(
+        value
+        & opt fmt_conv `Text
+        & info [ "format" ] ~docv:"FMT"
+            ~doc:
+              "Output format: $(b,text), $(b,json), or $(b,openmetrics) \
+               (Prometheus text exposition, terminated by $(b,# EOF)).")
+    in
+    let run cache_dir format json =
+      let format = if json then `Json else format in
+      let c = R.create ?dir:cache_dir () in
+      (* everything below reads the index (entries/bytes/kinds) and the
+         counter sidecar: no full entry scan *)
+      let s = R.stats c in
+      let by_kind = R.stats_by_kind c in
+      let ih = R.index_health c in
+      let k = R.cumulative c in
+      let total = k.R.hits + k.R.misses in
+      match format with
+      | `Json ->
         Report.print_json
-          (Telemetry.Json.Obj
-             [
-               ("dir", Telemetry.Json.Str (Engine.Rcache.dir c));
-               ("entries", Telemetry.Json.Int s.Engine.Rcache.entries);
-               ("bytes", Telemetry.Json.Int s.Engine.Rcache.bytes);
-               ( "kinds",
-                 Telemetry.Json.Obj
-                   (List.map
-                      (fun (kind, (ks : Engine.Rcache.stats)) ->
-                        ( kind,
-                          Telemetry.Json.Obj
-                            [
-                              ( "entries",
-                                Telemetry.Json.Int ks.Engine.Rcache.entries );
-                              ("bytes", Telemetry.Json.Int ks.Engine.Rcache.bytes);
-                            ] ))
-                      by_kind) );
-               ("hits", Telemetry.Json.Int k.Engine.Rcache.hits);
-               ("misses", Telemetry.Json.Int k.Engine.Rcache.misses);
-               ("stores", Telemetry.Json.Int k.Engine.Rcache.stores);
-               ("corrupt", Telemetry.Json.Int k.Engine.Rcache.corrupt);
-               ("quarantined", Telemetry.Json.Int k.Engine.Rcache.quarantined);
-               ( "write_retries",
-                 Telemetry.Json.Int k.Engine.Rcache.write_retries );
-               ( "readonly_flips",
-                 Telemetry.Json.Int k.Engine.Rcache.readonly_flips );
-             ])
-      else begin
-        Format.printf "cache directory: %s@.entries: %d@.bytes: %d@."
-          (Engine.Rcache.dir c) s.Engine.Rcache.entries s.Engine.Rcache.bytes;
+          (J.Obj
+             ([
+                ("dir", J.Str (R.dir c));
+                ( "upstream",
+                  match R.upstream c with
+                  | Some u -> J.Str u
+                  | None -> J.Null );
+                ("entries", J.Int s.R.entries);
+                ("bytes", J.Int s.R.bytes);
+                ( "kinds",
+                  J.Obj
+                    (List.map
+                       (fun (kind, (ks : R.stats)) ->
+                         ( kind,
+                           J.Obj
+                             [
+                               ("entries", J.Int ks.R.entries);
+                               ("bytes", J.Int ks.R.bytes);
+                             ] ))
+                       by_kind) );
+                ( "index",
+                  J.Obj
+                    [
+                      ("entries", J.Int ih.R.indexed_entries);
+                      ("bytes", J.Int ih.R.indexed_bytes);
+                      ("log_records", J.Int ih.R.log_records);
+                      ("migrated", J.Int ih.R.migrated);
+                    ] );
+                ("hit_rate_pct", J.Float (rate k.R.hits total));
+              ]
+             @ List.map (fun (n, v) -> (n, J.Int v)) (counter_fields k)))
+      | `Openmetrics ->
+        let b = Buffer.create 1024 in
+        Buffer.add_string b
+          "# TYPE polyufc_cache_entries gauge\n\
+           # HELP polyufc_cache_entries Live entries in the on-disk tier.\n";
+        Buffer.add_string b
+          (Printf.sprintf "polyufc_cache_entries %d\n" s.R.entries);
+        Buffer.add_string b
+          "# TYPE polyufc_cache_bytes gauge\n\
+           # HELP polyufc_cache_bytes Bytes held by the on-disk tier.\n";
+        Buffer.add_string b (Printf.sprintf "polyufc_cache_bytes %d\n" s.R.bytes);
         List.iter
-          (fun (kind, (ks : Engine.Rcache.stats)) ->
-            Format.printf "  %s: %d entr%s, %d bytes@." kind
-              ks.Engine.Rcache.entries
-              (if ks.Engine.Rcache.entries = 1 then "y" else "ies")
-              ks.Engine.Rcache.bytes)
+          (fun (name, v) ->
+            Buffer.add_string b
+              (Printf.sprintf "# TYPE polyufc_cache_%s counter\n" name);
+            Buffer.add_string b
+              (Printf.sprintf "polyufc_cache_%s_total %d\n" name v))
+          (counter_fields k);
+        Buffer.add_string b "# EOF\n";
+        print_string (Buffer.contents b)
+      | `Text ->
+        Format.printf "cache directory: %s@." (R.dir c);
+        (match R.upstream c with
+        | Some u -> Format.printf "upstream (read-only): %s@." u
+        | None -> ());
+        Format.printf "entries: %d@.bytes: %d@." s.R.entries s.R.bytes;
+        List.iter
+          (fun (kind, (ks : R.stats)) ->
+            Format.printf "  %s: %d entr%s, %d bytes@." kind ks.R.entries
+              (if ks.R.entries = 1 then "y" else "ies")
+              ks.R.bytes)
           by_kind;
+        Format.printf "index: %d entr%s, %d log record%s since snapshot@."
+          ih.R.indexed_entries
+          (if ih.R.indexed_entries = 1 then "y" else "ies")
+          ih.R.log_records
+          (if ih.R.log_records = 1 then "" else "s");
+        if ih.R.migrated > 0 then
+          Format.printf "migrated to sharded layout: %d@." ih.R.migrated;
         Format.printf
-          "hits: %d@.misses: %d@.stores: %d@.corrupt: %d@.quarantined: \
-           %d@.write retries: %d@.read-only flips: %d@."
-          k.Engine.Rcache.hits k.Engine.Rcache.misses k.Engine.Rcache.stores
-          k.Engine.Rcache.corrupt k.Engine.Rcache.quarantined
-          k.Engine.Rcache.write_retries k.Engine.Rcache.readonly_flips;
-        if total > 0 then
-          Format.printf "hit rate: %.1f%%@."
-            (100.0 *. float_of_int k.Engine.Rcache.hits /. float_of_int total)
-      end
+          "hits: %d (mem %d / disk %d / upstream %d)@.misses: %d@.stores: \
+           %d@.promotions: %d@.evictions: %d (gc runs %d, mem %d)@.corrupt: \
+           %d@.quarantined: %d (dropped %d)@.index rebuilds: %d (bad lines \
+           %d)@.write retries: %d@.read-only flips: %d@."
+          k.R.hits k.R.mem_hits k.R.disk_hits k.R.upstream_hits k.R.misses
+          k.R.stores k.R.promotions k.R.evictions k.R.gc_runs k.R.mem_evictions
+          k.R.corrupt k.R.quarantined k.R.quarantine_dropped k.R.index_rebuilds
+          k.R.index_bad_lines k.R.write_retries k.R.readonly_flips;
+        if total > 0 then begin
+          Format.printf "hit rate: %.1f%%@." (rate k.R.hits total);
+          Format.printf
+            "  mem: %.1f%%  disk: %.1f%%  upstream: %.1f%% (of all lookups)@."
+            (rate k.R.mem_hits total) (rate k.R.disk_hits total)
+            (rate k.R.upstream_hits total)
+        end
     in
     Cmd.v
       (Cmd.info "stats"
          ~doc:
            "Show entry count (total and per kind: numeric vs symbolic), \
-            size on disk, and cumulative hit/miss/retry/quarantine \
-            counters")
-      Term.(const run $ cache_dir_arg $ json_arg)
+            size on disk, per-tier hit rates, and index/GC health — all \
+            from the store's index, without scanning every entry")
+      Term.(const run $ cache_dir_arg $ format_arg $ json_arg)
+  in
+  let gc_cmd =
+    let max_bytes_arg =
+      Arg.(
+        value
+        & opt (some Resource_flags.size_conv) None
+        & info [ "cache-max-bytes"; "max-bytes" ] ~docv:"SIZE"
+            ~doc:
+              "Evict least-recently-used entries until the store holds at \
+               most $(docv) bytes (suffixes $(b,k)/$(b,M)/$(b,G); default \
+               $(b,POLYUFC_CACHE_MAX_BYTES)).")
+    in
+    let max_entries_arg =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "cache-max-entries"; "max-entries" ] ~docv:"N"
+            ~doc:
+              "Evict least-recently-used entries until at most $(docv) \
+               remain (default $(b,POLYUFC_CACHE_MAX_ENTRIES)).")
+    in
+    let run cache_dir max_bytes max_entries fault_plan =
+      guarded @@ fun () ->
+      (match fault_plan with
+      | None -> ()
+      | Some plan -> (
+        match Engine.Faultsim.parse_plan plan with
+        | Ok p -> Engine.Faultsim.install p
+        | Error msg -> Resource_flags.usage_error "invalid --fault-plan: %s" msg));
+      let c = R.create ?dir:cache_dir ?max_bytes ?max_entries () in
+      let r = R.gc ?max_bytes ?max_entries c in
+      Format.printf
+        "examined %d entr%s, evicted %d (%d bytes); %d entr%s / %d bytes live@."
+        r.R.examined
+        (if r.R.examined = 1 then "y" else "ies")
+        r.R.evicted r.R.evicted_bytes r.R.live_entries
+        (if r.R.live_entries = 1 then "y" else "ies")
+        r.R.live_bytes;
+      if r.R.interrupted then
+        Format.printf "sweep interrupted by an injected fault@.";
+      if r.R.evicted = 0 && max_bytes = None && max_entries = None
+         && Sys.getenv_opt "POLYUFC_CACHE_MAX_BYTES" = None
+         && Sys.getenv_opt "POLYUFC_CACHE_MAX_ENTRIES" = None
+      then
+        Format.printf
+          "no watermark set (pass --max-bytes/--max-entries); nothing to do@."
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Evict least-recently-used results until the store fits under \
+            the byte/entry watermark. Crash-safe: an interrupted sweep \
+            leaves a store that reopens and rebuilds its index.")
+      Term.(
+        const run $ cache_dir_arg $ max_bytes_arg $ max_entries_arg
+        $ Resource_flags.fault_plan_arg)
+  in
+  let migrate_cmd =
+    let run cache_dir =
+      guarded @@ fun () ->
+      let c = R.create ?dir:cache_dir () in
+      let n = R.migrate c in
+      Format.printf "migrated %d flat entr%s to the sharded layout in %s@." n
+        (if n = 1 then "y" else "ies")
+        (R.dir c)
+    in
+    Cmd.v
+      (Cmd.info "migrate"
+         ~doc:
+           "Move any flat-layout (pre-sharding) entries into the two-level \
+            sharded layout now. Migration also happens transparently on \
+            first use; this makes it explicit (e.g. before shipping a \
+            pre-warmed store as an upstream).")
+      Term.(const run $ cache_dir_arg)
   in
   let clear_cmd =
     let run cache_dir =
-      let c = Engine.Rcache.create ?dir:cache_dir () in
-      let n = Engine.Rcache.clear c in
+      let c = R.create ?dir:cache_dir () in
+      let n = R.clear c in
       Format.printf "removed %d entr%s from %s@." n
         (if n = 1 then "y" else "ies")
-        (Engine.Rcache.dir c)
+        (R.dir c)
     in
     Cmd.v (Cmd.info "clear" ~doc:"Remove every cached result")
       Term.(const run $ cache_dir_arg)
   in
   Cmd.group
-    (Cmd.info "cache" ~doc:"Inspect or clear the persistent result cache")
-    [ stats_cmd; clear_cmd ]
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect, garbage-collect, migrate or clear the persistent \
+          result store")
+    [ stats_cmd; gc_cmd; migrate_cmd; clear_cmd ]
 
 let workloads_cmd =
   let run () =

@@ -30,6 +30,9 @@ type t = {
   jobs : int;
   no_cache : bool;
   cache_dir : string option;
+  cache_upstream : string option;
+  cache_max_bytes : int option;
+  cache_max_entries : int option;
   deadline_s : float option;
   fuel : int option;
   degrade : Engine.Budget.degrade;
@@ -60,6 +63,46 @@ let cache_dir_arg =
         ~doc:
           "Result-cache directory (default $(b,_polyufc_cache), or \
            $(b,POLYUFC_CACHE_DIR)).")
+
+let cache_upstream_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-upstream" ] ~docv:"DIR"
+        ~doc:
+          "Read-only upstream result store (e.g. a pre-warmed store \
+           shipped with a release; default $(b,POLYUFC_CACHE_UPSTREAM)). \
+           Hits found there are promoted into the local store; nothing is \
+           ever written upstream.")
+
+(* byte sizes with k/M/G suffixes, e.g. --cache-max-bytes 256M *)
+let size_conv =
+  let parse s =
+    match Engine.Rcache.parse_size s with
+    | Some n -> Ok n
+    | None -> Error (`Msg (Printf.sprintf "invalid size %S (want N[k|M|G])" s))
+  in
+  Arg.conv (parse, fun ppf n -> Format.fprintf ppf "%d" n)
+
+let cache_max_bytes_arg =
+  Arg.(
+    value
+    & opt (some size_conv) None
+    & info [ "cache-max-bytes" ] ~docv:"SIZE"
+        ~doc:
+          "Garbage-collect the result store down to $(docv) bytes \
+           (suffixes $(b,k)/$(b,M)/$(b,G); default \
+           $(b,POLYUFC_CACHE_MAX_BYTES), unset = unbounded). Least \
+           recently used entries are evicted first.")
+
+let cache_max_entries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-max-entries" ] ~docv:"N"
+        ~doc:
+          "Garbage-collect the result store down to $(docv) entries \
+           (default $(b,POLYUFC_CACHE_MAX_ENTRIES), unset = unbounded).")
 
 let deadline_arg =
   Arg.(
@@ -102,12 +145,25 @@ let fault_plan_arg =
         ~doc:"Arm fault-injection sites ($(b,site:prob:seed,...)).")
 
 let term =
-  let make jobs no_cache cache_dir deadline_s fuel degrade fault_plan =
-    { jobs; no_cache; cache_dir; deadline_s; fuel; degrade; fault_plan }
+  let make jobs no_cache cache_dir cache_upstream cache_max_bytes
+      cache_max_entries deadline_s fuel degrade fault_plan =
+    {
+      jobs;
+      no_cache;
+      cache_dir;
+      cache_upstream;
+      cache_max_bytes;
+      cache_max_entries;
+      deadline_s;
+      fuel;
+      degrade;
+      fault_plan;
+    }
   in
   Term.(
-    const make $ jobs_arg $ no_cache_arg $ cache_dir_arg $ deadline_arg
-    $ fuel_arg $ degrade_arg $ fault_plan_arg)
+    const make $ jobs_arg $ no_cache_arg $ cache_dir_arg $ cache_upstream_arg
+    $ cache_max_bytes_arg $ cache_max_entries_arg $ deadline_arg $ fuel_arg
+    $ degrade_arg $ fault_plan_arg)
 
 let usage_error fmt =
   Format.kasprintf
@@ -126,6 +182,10 @@ let validate t =
   (match t.fuel with
   | Some n when n <= 0 ->
     usage_error "invalid --fuel %d (want a positive work-unit count)" n
+  | _ -> ());
+  (match t.cache_max_entries with
+  | Some n when n <= 0 ->
+    usage_error "invalid --cache-max-entries %d (want a positive count)" n
   | _ -> ());
   match t.fault_plan with
   | None -> ()
@@ -159,7 +219,11 @@ let with_ctx t f =
   validate t;
   let jobs = if t.jobs = 0 then Engine.Pool.default_jobs () else t.jobs in
   let cache =
-    if t.no_cache then None else Some (Engine.Rcache.create ?dir:t.cache_dir ())
+    if t.no_cache then None
+    else
+      Some
+        (Engine.Rcache.create ?dir:t.cache_dir ?upstream:t.cache_upstream
+           ?max_bytes:t.cache_max_bytes ?max_entries:t.cache_max_entries ())
   in
   let budget =
     if t.deadline_s = None && t.fuel = None then None

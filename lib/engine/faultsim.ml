@@ -12,6 +12,8 @@ type site =
   | Rcache_torn_write
   | Rcache_enospc
   | Rcache_read_corrupt
+  | Rcache_index_corrupt
+  | Rcache_gc_crash
   | Io_report_write
   | Serve_accept_fail
   | Serve_io
@@ -23,6 +25,8 @@ let all_sites =
     Rcache_torn_write;
     Rcache_enospc;
     Rcache_read_corrupt;
+    Rcache_index_corrupt;
+    Rcache_gc_crash;
     Io_report_write;
     Serve_accept_fail;
     Serve_io;
@@ -34,9 +38,11 @@ let site_index = function
   | Rcache_torn_write -> 2
   | Rcache_enospc -> 3
   | Rcache_read_corrupt -> 4
-  | Io_report_write -> 5
-  | Serve_accept_fail -> 6
-  | Serve_io -> 7
+  | Rcache_index_corrupt -> 5
+  | Rcache_gc_crash -> 6
+  | Io_report_write -> 7
+  | Serve_accept_fail -> 8
+  | Serve_io -> 9
 
 let n_sites = List.length all_sites
 
@@ -46,6 +52,8 @@ let site_name = function
   | Rcache_torn_write -> "rcache.torn_write"
   | Rcache_enospc -> "rcache.enospc"
   | Rcache_read_corrupt -> "rcache.read_corrupt"
+  | Rcache_index_corrupt -> "rcache.index_corrupt"
+  | Rcache_gc_crash -> "rcache.gc_crash"
   | Io_report_write -> "io.report_write"
   | Serve_accept_fail -> "serve.accept_fail"
   | Serve_io -> "serve.io"

@@ -21,6 +21,12 @@ type site =
   | Rcache_torn_write  (** a cache store writes only half its payload *)
   | Rcache_enospc  (** a cache store hits [ENOSPC] *)
   | Rcache_read_corrupt  (** a cache read returns flipped bytes *)
+  | Rcache_index_corrupt
+      (** the result-store index is read back corrupt, or an index
+          append is torn mid-line (simulating a crash mid-append) *)
+  | Rcache_gc_crash
+      (** the store's garbage collector dies mid-sweep — after removing
+          an entry file but before recording the removal in the index *)
   | Io_report_write  (** an atomic report write fails *)
   | Serve_accept_fail  (** the daemon's [accept] fails transiently *)
   | Serve_io  (** a torn/short socket read or write in the serve protocol *)

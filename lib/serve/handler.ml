@@ -44,6 +44,8 @@ let create ?pool ?cache ?max_deadline_s ?max_fuel () =
     scatter = [];
   }
 
+let cache shared = shared.cache
+
 let record_scatter shared rows =
   Mutex.protect shared.scatter_mu @@ fun () ->
   let rec take n = function
@@ -249,15 +251,51 @@ let analyze_multi shared ~ctx params =
   record_scatter shared (Fleet.scatter_of_result result);
   Fleet.json_of_result result
 
+(* the daemon's view of its result store, for a v2 stats response: tier
+   occupancy from the index and the memory tier — no entry scan *)
+let cache_json shared =
+  match shared.cache with
+  | None -> J.Null
+  | Some c ->
+    let module R = Engine.Rcache in
+    let s = R.stats c in
+    let m = R.mem_stats c in
+    let k = R.counts_for c in
+    J.Obj
+      [
+        ("dir", J.Str (R.dir c));
+        ( "upstream",
+          match R.upstream c with Some u -> J.Str u | None -> J.Null );
+        ("read_only", J.Bool (R.read_only c));
+        ("entries", J.Int s.R.entries);
+        ("bytes", J.Int s.R.bytes);
+        ("mem_entries", J.Int m.R.entries);
+        ("mem_bytes", J.Int m.R.bytes);
+        ("hits", J.Int k.R.hits);
+        ("misses", J.Int k.R.misses);
+        ("mem_hits", J.Int k.R.mem_hits);
+        ("disk_hits", J.Int k.R.disk_hits);
+        ("upstream_hits", J.Int k.R.upstream_hits);
+        ("promotions", J.Int k.R.promotions);
+        ("evictions", J.Int k.R.evictions);
+        ("gc_runs", J.Int k.R.gc_runs);
+      ]
+
 (* a v1 stats response is exactly the telemetry document (old scrapers
-   parse it byte-for-byte); v2 appends the daemon's rolling scatter *)
+   parse it byte-for-byte); v2 appends the daemon's rolling scatter and
+   its result-store tier occupancy *)
 let stats shared ~version =
   let doc = Telemetry.stats_json () in
   if version < 2 then doc
   else
     match doc with
     | J.Obj fields ->
-      J.Obj (fields @ [ ("scatter", Report.json_of_scatter (scatter_rows shared)) ])
+      J.Obj
+        (fields
+        @ [
+            ("scatter", Report.json_of_scatter (scatter_rows shared));
+            ("cache", cache_json shared);
+          ])
     | doc -> doc
 
 let ping ~version params =

@@ -24,3 +24,6 @@ val create :
 
 val execute : shared -> Protocol.request -> Protocol.response
 (** Never raises. *)
+
+val cache : shared -> Engine.Rcache.t option
+(** The daemon's result-store handle (for the server's drain-time GC). *)

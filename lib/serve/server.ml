@@ -154,9 +154,12 @@ let begin_drain t =
 
 (* --- response writing ---------------------------------------------- *)
 
-(* Returns false when the client is gone (or the write was torn by fault
-   injection): the session will notice EOF on its side; the daemon keeps
-   serving either way. *)
+(* Returns false when the client is gone or the write failed.  A failed
+   write may have torn a frame in half, leaving the peer blocked mid-read
+   on bytes that will never come — the stream is unframed, so the only
+   safe recovery is to shut the connection down: the peer's read returns
+   EOF instead of hanging, and our own session loop wakes to clean up.
+   The daemon keeps serving either way. *)
 let write_response t conn response =
   let closed = Mutex.protect t.mu (fun () -> conn.conn_closed) in
   if closed then false
@@ -167,6 +170,8 @@ let write_response t conn response =
     | exception (Unix.Unix_error _ | Engine.Faultsim.Injected _ | Sys_error _)
       ->
       Telemetry.tick c_write_failures;
+      (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+       with Unix.Unix_error _ -> ());
       false
 
 let reject t conn ~id kind ~scope message =
@@ -449,6 +454,20 @@ let run t =
             with Unix.Unix_error _ -> ()))
     sessions;
   List.iter (fun (_, th) -> Thread.join th) sessions;
+  (* with all sessions gone there are no concurrent readers: trim the
+     store to its watermark so the next daemon starts under it *)
+  (match Handler.cache t.handler with
+  | Some c ->
+    let r = Engine.Rcache.gc c in
+    if r.Engine.Rcache.evicted > 0 then
+      Telemetry.Event.info "serve.drain_gc"
+        ~fields:
+          [
+            ("evicted", J.Int r.Engine.Rcache.evicted);
+            ("evicted_bytes", J.Int r.Engine.Rcache.evicted_bytes);
+            ("live_bytes", J.Int r.Engine.Rcache.live_bytes);
+          ]
+  | None -> ());
   Engine.Rcache.flush_counters ();
   Telemetry.Event.info "serve.stop"
     ~fields:

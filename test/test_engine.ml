@@ -126,11 +126,13 @@ let test_store_find_roundtrip () =
 let test_stale_schema_is_a_miss () =
   Engine.Faultsim.suspended @@ fun () ->
   let dir = fresh_cache_dir () in
-  let c = R.create ~dir () in
+  (* mem tier off: the point is how the disk tier treats the tampered
+     file, and the memory tier would legitimately serve the old hit *)
+  let c = R.create ~dir ~mem_entries:0 () in
   let k = R.key [ ("t", "stale") ] in
   R.store c k (J.Int 1);
   (* rewrite the entry as if a future version had written it *)
-  let oc = open_out (Filename.concat dir (k ^ ".json")) in
+  let oc = open_out (R.entry_path c k) in
   output_string oc
     (J.to_string
        (J.Obj
@@ -144,10 +146,10 @@ let test_stale_schema_is_a_miss () =
 let test_corrupt_entry_ignored () =
   Engine.Faultsim.suspended @@ fun () ->
   let dir = fresh_cache_dir () in
-  let c = R.create ~dir () in
+  let c = R.create ~dir ~mem_entries:0 () in
   let k = R.key [ ("t", "corrupt") ] in
   R.store c k (J.Int 1);
-  let oc = open_out (Filename.concat dir (k ^ ".json")) in
+  let oc = open_out (R.entry_path c k) in
   output_string oc "{ not json";
   close_out oc;
   let before = R.counts () in

@@ -17,9 +17,17 @@ module M = Cache_model.Model
 
 let fresh_cache_dir () = Filename.temp_dir "polyufc_govern_test" ""
 
+(* every file in the store's entry namespace: top-level stragglers plus
+   the two-level shard dirs — but not meta/ (index, counters) or
+   quarantine/, which are bookkeeping, not entries *)
 let entry_files dir =
   Sys.readdir dir |> Array.to_list
-  |> List.filter (fun f -> not (Sys.is_directory (Filename.concat dir f)))
+  |> List.concat_map (fun f ->
+         let p = Filename.concat dir f in
+         if Sys.is_directory p then
+           if f = "meta" || f = "quarantine" then []
+           else Sys.readdir p |> Array.to_list
+         else [ f ])
 
 (* ---------- budget ---------- *)
 
@@ -321,10 +329,12 @@ let overwrite path text =
 let test_quarantine_corrupt_entry () =
   Engine.Faultsim.suspended @@ fun () ->
   let dir = fresh_cache_dir () in
-  let c = R.create ~dir () in
+  (* mem tier off: quarantine is a disk-tier behaviour, and the memory
+     tier would legitimately keep serving the stored value *)
+  let c = R.create ~dir ~mem_entries:0 () in
   let k = R.key [ ("t", "quarantine") ] in
   R.store c k (J.Int 42);
-  let path = Filename.concat dir (k ^ ".json") in
+  let path = R.entry_path c k in
   overwrite path "{\"schema\":2,\"checksum\":\"trunc";
   let before = R.counts () in
   Alcotest.(check bool) "truncated entry is a miss" true (R.find c k = None);
@@ -342,10 +352,10 @@ let test_quarantine_checksum_mismatch () =
   (* parses fine, right schema — but the payload does not match the
      embedded checksum (a bit-flip survivor) *)
   let dir = fresh_cache_dir () in
-  let c = R.create ~dir () in
+  let c = R.create ~dir ~mem_entries:0 () in
   let k = R.key [ ("t", "bitflip") ] in
   R.store c k (J.Int 42);
-  let path = Filename.concat dir (k ^ ".json") in
+  let path = R.entry_path c k in
   let ic = open_in_bin path in
   let text = really_input_string ic (in_channel_length ic) in
   close_in ic;

@@ -18,6 +18,7 @@ let () =
       ("workloads", Test_workloads.tests);
       ("telemetry", Test_telemetry.tests);
       ("engine", Test_engine.tests);
+      ("store", Test_store.tests);
       ("govern", Test_govern.tests);
       ("fault", Test_fault.tests);
       ("observability", Test_observability.tests);
